@@ -1,0 +1,64 @@
+"""E8 (ablation) — link-computation strategies.
+
+The paper computes links by iterating over neighbour lists; an equivalent
+formulation is a sparse boolean matrix product.  This bench times both on
+the same Mushroom-like neighbour graph and verifies they produce identical
+link matrices, quantifying the constant-factor gap.
+"""
+
+import pytest
+from conftest import write_record
+
+from repro.bench.experiments import _scaled_group_sizes
+from repro.core.links import links_from_neighbors
+from repro.core.neighbors import compute_neighbors
+from repro.data.encoding import records_to_transactions
+from repro.datasets.mushroom import generate_mushroom_like
+
+
+@pytest.fixture(scope="module")
+def neighbor_graph(scale):
+    edible, poisonous = _scaled_group_sizes(min(scale, 0.15))
+    dataset = generate_mushroom_like(
+        group_sizes_edible=edible, group_sizes_poisonous=poisonous, rng=0
+    )
+    transactions = records_to_transactions(dataset).transactions
+    return compute_neighbors(transactions, theta=0.8)
+
+
+def test_benchmark_links_by_neighbor_lists(benchmark, neighbor_graph, results_dir):
+    links = benchmark.pedantic(
+        links_from_neighbors,
+        kwargs={"graph": neighbor_graph, "strategy": "neighbor-lists"},
+        rounds=2,
+        iterations=1,
+    )
+    write_record(
+        results_dir,
+        "E8_links_neighbor_lists",
+        "links via neighbour lists: %d points, %d non-zero link entries"
+        % (neighbor_graph.n_points, links.nnz),
+    )
+    assert links.nnz > 0
+
+
+def test_benchmark_links_by_sparse_matmul(benchmark, neighbor_graph, results_dir):
+    links = benchmark.pedantic(
+        links_from_neighbors,
+        kwargs={"graph": neighbor_graph, "strategy": "sparse-matmul"},
+        rounds=2,
+        iterations=1,
+    )
+    write_record(
+        results_dir,
+        "E8_links_sparse_matmul",
+        "links via sparse matmul: %d points, %d non-zero link entries"
+        % (neighbor_graph.n_points, links.nnz),
+    )
+    assert links.nnz > 0
+
+
+def test_link_strategies_identical(neighbor_graph):
+    by_lists = links_from_neighbors(neighbor_graph, strategy="neighbor-lists")
+    by_matmul = links_from_neighbors(neighbor_graph, strategy="sparse-matmul")
+    assert (by_lists != by_matmul).nnz == 0

@@ -1,0 +1,81 @@
+"""E10 (ablation) — sampling + labelling vs clustering the full data set.
+
+The paper clusters a Chernoff-bound random sample and labels the remaining
+points in one pass.  This ablation measures what that buys and what it
+costs on the Mushroom-like workload: wall-clock time of both pipelines and
+the clustering-error gap.
+"""
+
+from conftest import write_record
+
+from repro.bench.experiments import _scaled_group_sizes
+from repro.core.pipeline import rock_cluster
+from repro.core.sampling import chernoff_sample_size
+from repro.data.encoding import records_to_transactions
+from repro.datasets.mushroom import generate_mushroom_like
+from repro.evaluation.metrics import clustering_error
+from repro.evaluation.reporting import format_table
+
+
+def _workload(scale):
+    edible, poisonous = _scaled_group_sizes(scale)
+    dataset = generate_mushroom_like(
+        group_sizes_edible=edible, group_sizes_poisonous=poisonous, rng=0
+    )
+    return dataset, records_to_transactions(dataset)
+
+
+def _run_full(transactions):
+    return rock_cluster(transactions, n_clusters=21, theta=0.8, min_cluster_size=2, rng=0)
+
+
+def _run_sampled(transactions, sample_size):
+    return rock_cluster(
+        transactions,
+        n_clusters=21,
+        theta=0.8,
+        sample_size=sample_size,
+        min_cluster_size=2,
+        rng=0,
+    )
+
+
+def test_benchmark_full_clustering(benchmark, results_dir, scale):
+    dataset, transactions = _workload(scale)
+    result = benchmark.pedantic(_run_full, args=(transactions,), rounds=1, iterations=1)
+    error = clustering_error(result.labels, dataset.labels)
+    write_record(
+        results_dir,
+        "E10_full_clustering",
+        "full clustering: %d records, error %.4f, %d clusters, %.2fs"
+        % (dataset.n_records, error, result.n_clusters, result.timings["total"]),
+    )
+    assert error < 0.05
+
+
+def test_benchmark_sampled_clustering(benchmark, results_dir, scale):
+    dataset, transactions = _workload(scale)
+    smallest_group = min(min(_scaled_group_sizes(scale)[0]), min(_scaled_group_sizes(scale)[1]))
+    sample_size = min(
+        dataset.n_records,
+        max(300, chernoff_sample_size(dataset.n_records, max(smallest_group, 20), fraction=0.2)),
+    )
+    result = benchmark.pedantic(
+        _run_sampled, args=(transactions, sample_size), rounds=1, iterations=1
+    )
+    error = clustering_error(result.labels, dataset.labels)
+    rows = [
+        ["sampled", dataset.n_records, sample_size, "%.4f" % error, result.n_clusters],
+    ]
+    write_record(
+        results_dir,
+        "E10_sampled_clustering",
+        format_table(
+            ["mode", "records", "sample", "error", "clusters"],
+            rows,
+            title="E10: sampling + labelling pipeline",
+        ),
+    )
+    # The sampled pipeline must stay close to the full run in quality: most
+    # records are labelled correctly even though only the sample was clustered.
+    assert error < 0.15

@@ -1,0 +1,50 @@
+"""E9 (ablation) — sensitivity of the clustering quality to theta.
+
+The paper fixes theta per data set (0.73 for Votes, 0.8 for Mushroom) but
+does not report a sweep; this ablation quantifies how the clustering error
+and the number of clusters react to the threshold on the Votes workload,
+supporting the theta-selection helper in ``repro.extensions.auto_theta``.
+"""
+
+from conftest import write_record
+
+from repro.data.encoding import records_to_transactions
+from repro.datasets.votes import generate_votes_like
+from repro.evaluation.reporting import format_table
+from repro.extensions.auto_theta import sweep_theta
+
+THETAS = (0.55, 0.6, 0.65, 0.7, 0.73, 0.78, 0.85)
+
+
+def run_sweep():
+    votes = generate_votes_like(rng=0)
+    transactions = records_to_transactions(votes)
+    return sweep_theta(
+        transactions, n_clusters=2, thetas=THETAS, labels_true=votes.labels
+    )
+
+
+def test_benchmark_theta_sweep(benchmark, results_dir):
+    entries = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            "%.2f" % entry.theta,
+            entry.n_clusters,
+            "%.1f" % entry.criterion,
+            "%.3f" % entry.error,
+            entry.stopped_early,
+        ]
+        for entry in entries
+    ]
+    table = format_table(
+        ["theta", "clusters", "criterion", "error", "stopped early"],
+        rows,
+        title="E9: theta sweep on Congressional Votes (k=2)",
+    )
+    write_record(results_dir, "E9_theta_sweep", table)
+
+    # Shape checks: a broad band of thresholds around the paper's 0.73 keeps
+    # the error low, while an over-tight threshold fragments the clustering.
+    by_theta = {round(entry.theta, 2): entry for entry in entries}
+    assert by_theta[0.73].error < 0.15
+    assert by_theta[0.85].n_clusters > by_theta[0.73].n_clusters

@@ -1,0 +1,20 @@
+"""E1 — the motivating basket example (paper Section 2 figure/example).
+
+Regenerates the qualitative comparison: ROCK separates the two basket
+families while the traditional centroid-based comparator does not, and
+benchmarks the end-to-end runtime of the example.
+"""
+
+from conftest import write_record
+
+from repro.bench.experiments import run_basket_example
+
+
+def test_benchmark_basket_example(benchmark, results_dir):
+    record = benchmark.pedantic(run_basket_example, rounds=3, iterations=1)
+    write_record(results_dir, "E1_basket_example", record.render())
+
+    # Shape checks from DESIGN.md: ROCK at least matches the comparator and
+    # separates the families perfectly on this example.
+    assert record.metrics["rock_error"] == 0.0
+    assert record.metrics["rock_error"] <= record.metrics["traditional_error"]

@@ -1,0 +1,46 @@
+"""E7 — the scalability figure: execution time vs sample size, per theta.
+
+Regenerates the paper's figure as a set of (sample size, seconds) series,
+one per similarity threshold, and checks its qualitative shape: time grows
+with the sample size and does not grow as theta increases.
+"""
+
+import numpy as np
+from conftest import write_record
+
+from repro.bench.scalability import run_scalability_experiment
+
+
+def _series_times(record, theta):
+    return dict(record.series["theta=%.2f" % theta])
+
+
+def test_benchmark_scalability_figure(benchmark, results_dir, max_sample):
+    sizes = tuple(int(round(fraction * max_sample)) for fraction in (0.25, 0.5, 0.75, 1.0))
+    thetas = (0.5, 0.6, 0.7, 0.8)
+    record = benchmark.pedantic(
+        run_scalability_experiment,
+        kwargs={"sample_sizes": sizes, "thetas": thetas, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    write_record(results_dir, "E7_scalability", record.render())
+
+    # Shape check 1: for every theta the time increases with the sample size.
+    for theta in thetas:
+        times = _series_times(record, theta)
+        assert times[sizes[-1]] > times[sizes[0]]
+
+    # Shape check 2: at the largest sample size, higher thresholds are not
+    # slower than the loosest threshold (fewer neighbours, fewer links).
+    largest = sizes[-1]
+    loosest = _series_times(record, thetas[0])[largest]
+    strictest = _series_times(record, thetas[-1])[largest]
+    assert strictest <= loosest * 1.5
+
+    # Shape check 3: growth is superlinear in the sample size (the paper's
+    # curves bend upwards).  Compare against linear extrapolation with slack.
+    for theta in thetas:
+        times = _series_times(record, theta)
+        linear_extrapolation = times[sizes[0]] * (largest / sizes[0])
+        assert times[largest] > 0.8 * linear_extrapolation

@@ -1,0 +1,20 @@
+"""E6 — US mutual funds: clusters aligned with fund families.
+
+Regenerates the paper's fund-cluster table on the synthetic price series
+(see DESIGN.md §4 for the data substitution) and benchmarks the end-to-end
+experiment, including the Up/Down categorisation.
+"""
+
+from conftest import write_record
+
+from repro.bench.experiments import run_funds_experiment
+
+
+def test_benchmark_fund_clusters(benchmark, results_dir):
+    record = benchmark.pedantic(
+        run_funds_experiment, kwargs={"n_days": 360, "rng": 0}, rounds=1, iterations=1
+    )
+    write_record(results_dir, "E6_mutual_funds", record.render())
+
+    # Shape check: funds of the same family co-cluster.
+    assert record.metrics["purity_vs_family"] > 0.9

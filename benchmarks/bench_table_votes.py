@@ -1,0 +1,22 @@
+"""E2/E3 — Congressional Votes cluster-composition tables.
+
+Regenerates the paper's two Votes tables (traditional hierarchical vs ROCK,
+plus k-modes for reference) and benchmarks the end-to-end experiment.
+"""
+
+from conftest import write_record
+
+from repro.bench.experiments import run_votes_experiment
+
+
+def test_benchmark_votes_tables(benchmark, results_dir):
+    record = benchmark.pedantic(
+        run_votes_experiment, kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    write_record(results_dir, "E2_E3_votes", record.render())
+
+    # Shape checks: ROCK error clearly below the traditional comparator's,
+    # and both ROCK clusters dominated by a single party.
+    assert record.metrics["rock_error"] < 0.2
+    assert record.metrics["rock_error"] < record.metrics["traditional_error"]
+    assert record.metrics["rock_n_clusters"] == 2

@@ -1,0 +1,57 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md §3) and writes the rendered result to ``benchmarks/results/`` so
+the rows/series can be inspected and copied into EXPERIMENTS.md.
+
+Two environment variables control the workload size:
+
+* ``REPRO_BENCH_SCALE`` — scale factor of the synthetic Mushroom data used
+  by the Mushroom table and the ablations (default ``0.2``; use ``1.0`` for
+  the full 8124-record shape).
+* ``REPRO_BENCH_MAX_SAMPLE`` — largest sample size of the scalability sweep
+  (default ``800``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Scale factor for the Mushroom-like workloads."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+def bench_max_sample() -> int:
+    """Largest sample size used in the scalability sweep."""
+    return int(os.environ.get("REPRO_BENCH_MAX_SAMPLE", "800"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where rendered experiment records are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def max_sample() -> int:
+    return bench_max_sample()
+
+
+def write_record(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered experiment record and echo it to stdout."""
+    path = results_dir / ("%s.txt" % name)
+    path.write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)

@@ -1,0 +1,71 @@
+"""Congressional Votes experiment: ROCK vs traditional hierarchical vs k-modes.
+
+Reproduces the paper's Votes tables (DESIGN.md experiments E2/E3).  Run with::
+
+    python examples/congressional_votes.py [path/to/house-votes-84.data]
+
+When the real UCI file is not supplied the faithful synthetic twin is used.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    KModes,
+    TraditionalHierarchicalClustering,
+    clustering_error,
+    composition_table,
+    records_to_transactions,
+    rock_cluster,
+)
+from repro.datasets.votes import fetch_votes
+from repro.evaluation.reporting import format_composition_table
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else None
+    votes = fetch_votes(path=path, rng=0)
+    truth = votes.labels
+    print("data set: %s (%d records, %d attributes)" % (votes.name, votes.n_records, votes.n_attributes))
+    print("class distribution: %s" % dict(votes.class_distribution()))
+    print()
+
+    # --- ROCK, the paper's configuration --------------------------------- #
+    rock_result = rock_cluster(
+        records_to_transactions(votes),
+        n_clusters=2,
+        theta=0.73,
+        min_cluster_size=5,
+    )
+    print(format_composition_table(
+        composition_table(rock_result.labels, truth),
+        class_order=["republican", "democrat"],
+        title="ROCK (theta=0.73, k=2)",
+    ))
+    print("clustering error: %.3f   outliers: %d" % (
+        clustering_error(rock_result.labels, truth), rock_result.n_outliers))
+    print()
+
+    # --- Traditional centroid-based hierarchical clustering -------------- #
+    traditional = TraditionalHierarchicalClustering(n_clusters=2).fit(votes)
+    print(format_composition_table(
+        composition_table(traditional.labels_, truth),
+        class_order=["republican", "democrat"],
+        title="Traditional centroid-based hierarchical (k=2)",
+    ))
+    print("clustering error: %.3f" % clustering_error(traditional.labels_, truth))
+    print()
+
+    # --- k-modes for reference ------------------------------------------- #
+    kmodes = KModes(n_clusters=2, rng=0).fit(votes)
+    print(format_composition_table(
+        composition_table(kmodes.labels_, truth),
+        class_order=["republican", "democrat"],
+        title="k-modes (k=2)",
+    ))
+    print("clustering error: %.3f" % clustering_error(kmodes.labels_, truth))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: cluster a handful of market baskets with ROCK.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds a tiny basket data set by hand, clusters it with the
+plain :class:`repro.RockClustering` estimator and with the full
+sample/cluster/label pipeline, and prints the resulting clusters.
+"""
+
+from __future__ import annotations
+
+from repro import RockClustering, rock_cluster
+
+
+def main() -> None:
+    # Two natural groups of shoppers: breakfast baskets and barbecue baskets.
+    baskets = [
+        {"milk", "cereal", "banana"},
+        {"milk", "cereal", "coffee"},
+        {"milk", "banana", "coffee"},
+        {"cereal", "banana", "coffee"},
+        {"charcoal", "sausage", "buns"},
+        {"charcoal", "sausage", "ketchup"},
+        {"charcoal", "buns", "ketchup"},
+        {"sausage", "buns", "ketchup"},
+        # one odd basket that matches neither group
+        {"lightbulb", "batteries"},
+    ]
+
+    print("=== RockClustering (cluster everything) ===")
+    model = RockClustering(n_clusters=3, theta=0.4).fit(baskets)
+    for cluster_id, members in enumerate(model.clusters_):
+        print("cluster %d: %s" % (cluster_id, [sorted(baskets[i]) for i in members]))
+    print("criterion E_l = %.3f" % model.result_.criterion)
+
+    print()
+    print("=== rock_cluster pipeline (outlier handling on) ===")
+    result = rock_cluster(
+        baskets,
+        n_clusters=2,
+        theta=0.4,
+        min_neighbors=1,       # drop isolated baskets before clustering
+        min_cluster_size=2,    # dissolve tiny clusters afterwards
+    )
+    for cluster_id, members in enumerate(result.clusters):
+        print("cluster %d: %s" % (cluster_id, [sorted(baskets[i]) for i in members]))
+    outliers = [i for i, label in enumerate(result.labels) if label == -1]
+    print("outliers: %s" % [sorted(baskets[i]) for i in outliers])
+    print("phase timings: %s" % {k: round(v, 4) for k, v in result.timings.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Scalability figure: ROCK execution time vs sample size, per theta.
+
+Reproduces the paper's scalability figure (DESIGN.md experiment E7): the
+running time of neighbour + link computation + agglomeration as a function
+of the random-sample size, with one series per similarity threshold.  Run::
+
+    python examples/scalability.py [--sizes 250 500 750 1000] [--thetas 0.5 0.6 0.7 0.8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.scalability import run_scalability_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[250, 500, 750, 1000])
+    parser.add_argument("--thetas", type=float, nargs="+", default=[0.5, 0.6, 0.7, 0.8])
+    parser.add_argument("--clusters", type=int, default=21)
+    arguments = parser.parse_args()
+
+    points = run_scalability_sweep(
+        sample_sizes=arguments.sizes,
+        thetas=arguments.thetas,
+        n_clusters=arguments.clusters,
+        rng=0,
+    )
+
+    print("%8s  %12s  %10s  %10s" % ("theta", "sample size", "seconds", "clusters"))
+    for point in points:
+        print("%8.2f  %12d  %10.3f  %10d" % (
+            point.theta, point.sample_size, point.seconds, point.n_clusters))
+
+    print()
+    print("series (x = sample size, y = seconds):")
+    for theta in arguments.thetas:
+        series = [(p.sample_size, round(p.seconds, 3)) for p in points if p.theta == theta]
+        print("  theta=%.2f: %s" % (theta, series))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip cannot
+build PEP 660 editable wheels (for example offline machines without the
+``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

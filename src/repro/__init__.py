@@ -1,0 +1,82 @@
+"""repro: reproduction of the ROCK categorical clustering algorithm.
+
+The package reproduces "Clustering Categorical Data" (ICDE 2000 target; see
+``DESIGN.md`` for the source-text mismatch note) — the ROCK links-based
+agglomerative clustering algorithm for categorical and market-basket data —
+together with the comparators, data sets and experiment harness of its
+evaluation.
+
+Most users need only the top-level names re-exported here:
+
+* :class:`RockClustering` — the agglomerative algorithm on its own;
+* :func:`rock_cluster` / :class:`RockPipeline` — the full
+  sample / cluster / label pipeline;
+* :class:`CategoricalDataset` / :class:`TransactionDataset` — input shapes;
+* the baselines (:class:`TraditionalHierarchicalClustering`, :class:`KModes`,
+  :class:`Squeezer`, :class:`Stirr`) and the evaluation helpers.
+
+See the subpackages for the complete API:
+
+* :mod:`repro.core` — neighbours, links, goodness, heaps, sampling,
+  labelling, outlier handling;
+* :mod:`repro.data` — dataset containers, encodings and I/O;
+* :mod:`repro.similarity` — similarity measures;
+* :mod:`repro.baselines` — comparison algorithms;
+* :mod:`repro.datasets` — loaders and faithful synthetic generators;
+* :mod:`repro.timeseries` — Up/Down conversion for the mutual-funds study;
+* :mod:`repro.evaluation` — clustering quality metrics and tables;
+* :mod:`repro.extensions` — QROCK shortcut and theta-selection helpers;
+* :mod:`repro.bench` — the experiment harness reproducing the paper.
+"""
+
+from repro._version import __version__
+from repro.baselines.hierarchical import TraditionalHierarchicalClustering
+from repro.baselines.kmodes import KModes
+from repro.baselines.squeezer import Squeezer
+from repro.baselines.stirr import Stirr
+from repro.core.neighbors import compute_neighbors
+from repro.core.links import compute_links
+from repro.core.pipeline import RockPipeline, RockPipelineResult, rock_cluster
+from repro.core.rock import RockClustering, RockResult
+from repro.data.dataset import CategoricalDataset, TransactionDataset
+from repro.data.encoding import one_hot_encode, records_to_transactions
+from repro.evaluation.composition import composition_table
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    clustering_error,
+    normalized_mutual_information,
+    purity,
+)
+from repro.extensions.qrock import QRock
+from repro.similarity.jaccard import JaccardSimilarity, jaccard
+from repro.similarity.registry import get_measure
+
+__all__ = [
+    "__version__",
+    "TraditionalHierarchicalClustering",
+    "KModes",
+    "Squeezer",
+    "Stirr",
+    "compute_neighbors",
+    "compute_links",
+    "RockPipeline",
+    "RockPipelineResult",
+    "rock_cluster",
+    "RockClustering",
+    "RockResult",
+    "CategoricalDataset",
+    "TransactionDataset",
+    "one_hot_encode",
+    "records_to_transactions",
+    "composition_table",
+    "adjusted_rand_index",
+    "clustering_accuracy",
+    "clustering_error",
+    "normalized_mutual_information",
+    "purity",
+    "QRock",
+    "JaccardSimilarity",
+    "jaccard",
+    "get_measure",
+]

@@ -1,0 +1,30 @@
+"""Baseline clustering algorithms the ROCK paper compares against or cites.
+
+* :mod:`repro.baselines.hierarchical` — the *traditional* centroid-based
+  agglomerative hierarchical clustering used as the main comparator in the
+  paper's Votes and Mushroom experiments (records one-hot encoded, Euclidean
+  centroid distance).
+* :mod:`repro.baselines.kmodes` — Huang's k-modes, the standard partitioning
+  algorithm for categorical data.
+* :mod:`repro.baselines.squeezer` — the Squeezer one-pass algorithm.
+* :mod:`repro.baselines.stirr` — the STIRR dynamical-system approach and the
+  revised, convergence-guaranteed variant (the alternate reading of the
+  "Clustering Categorical Data", ICDE 2000 title).
+"""
+
+from repro.baselines.hierarchical import (
+    TraditionalHierarchicalClustering,
+    centroid_distance_matrix,
+)
+from repro.baselines.kmodes import KModes
+from repro.baselines.squeezer import Squeezer
+from repro.baselines.stirr import Stirr, StirrResult
+
+__all__ = [
+    "TraditionalHierarchicalClustering",
+    "centroid_distance_matrix",
+    "KModes",
+    "Squeezer",
+    "Stirr",
+    "StirrResult",
+]

@@ -1,0 +1,194 @@
+"""Traditional centroid-based agglomerative hierarchical clustering.
+
+This is the comparator the ROCK paper calls the "traditional hierarchical
+clustering algorithm": records are embedded as numeric vectors (boolean
+attributes become 0/1, general categorical attributes are one-hot encoded),
+clusters are represented by their centroids, and at every step the two
+clusters with the smallest centroid distance are merged.  The paper uses it
+to demonstrate that distance-based merging splits and mixes the natural
+categorical clusters that ROCK recovers.
+
+The implementation maintains the full pairwise (squared Euclidean) distance
+matrix and updates it after every merge with the Lance–Williams recurrences,
+so the whole run is vectorised NumPy and handles a few thousand records in
+seconds.  Centroid linkage (the paper's configuration) is the default;
+single, complete and average linkage are available for ablations and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset, TransactionDataset
+from repro.data.encoding import one_hot_encode, transactions_to_binary_matrix
+from repro.errors import ConfigurationError, DataValidationError, NotFittedError
+from repro.types import MergeStep
+
+#: Linkage criteria supported by :class:`TraditionalHierarchicalClustering`.
+LINKAGES = ("centroid", "single", "complete", "average")
+
+
+def centroid_distance_matrix(points: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance between all pairs of row vectors."""
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2:
+        raise DataValidationError("expected a two-dimensional array of points")
+    squared_norms = np.sum(array * array, axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * (array @ array.T)
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+class TraditionalHierarchicalClustering:
+    """Agglomerative clustering on numeric encodings of categorical data.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters to stop at.
+    linkage:
+        ``"centroid"`` (the paper's comparator), ``"single"``,
+        ``"complete"`` or ``"average"``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+    >>> model = TraditionalHierarchicalClustering(n_clusters=2).fit(points)
+    >>> sorted(len(c) for c in model.clusters_)
+    [2, 2]
+    """
+
+    def __init__(self, n_clusters: int, linkage: str = "centroid") -> None:
+        if int(n_clusters) < 1:
+            raise ConfigurationError("n_clusters must be at least 1, got %r" % n_clusters)
+        if linkage not in LINKAGES:
+            raise ConfigurationError(
+                "unknown linkage %r; expected one of %s" % (linkage, ", ".join(LINKAGES))
+            )
+        self.n_clusters = int(n_clusters)
+        self.linkage = linkage
+        self._labels: np.ndarray | None = None
+        self._clusters: list[tuple] | None = None
+        self._merge_history: list[MergeStep] = []
+
+    # ------------------------------------------------------------------ #
+    # Input handling
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _as_matrix(data) -> np.ndarray:
+        if isinstance(data, CategoricalDataset):
+            matrix, _ = one_hot_encode(data)
+            return matrix
+        if isinstance(data, TransactionDataset):
+            matrix, _ = transactions_to_binary_matrix(data)
+            return matrix
+        array = np.asarray(data, dtype=float)
+        if array.ndim != 2:
+            raise DataValidationError(
+                "expected a dataset object or a two-dimensional numeric array"
+            )
+        if array.shape[0] == 0:
+            raise DataValidationError("cannot cluster an empty array")
+        return array
+
+    # ------------------------------------------------------------------ #
+    # Fitted attributes
+    # ------------------------------------------------------------------ #
+    @property
+    def labels_(self) -> np.ndarray:
+        """Cluster label per point from the last :meth:`fit` call."""
+        if self._labels is None:
+            raise NotFittedError("call fit() before accessing labels_")
+        return self._labels
+
+    @property
+    def clusters_(self) -> list[tuple]:
+        """Cluster membership (point indices), ordered by decreasing size."""
+        if self._clusters is None:
+            raise NotFittedError("call fit() before accessing clusters_")
+        return self._clusters
+
+    @property
+    def merge_history_(self) -> list[MergeStep]:
+        """The merges performed, in execution order."""
+        if self._clusters is None:
+            raise NotFittedError("call fit() before accessing merge_history_")
+        return list(self._merge_history)
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, data) -> "TraditionalHierarchicalClustering":
+        """Cluster ``data`` (dataset object or numeric matrix)."""
+        points = self._as_matrix(data)
+        n_points = points.shape[0]
+
+        distances = centroid_distance_matrix(points)
+        np.fill_diagonal(distances, np.inf)
+        active = np.ones(n_points, dtype=bool)
+        sizes = np.ones(n_points, dtype=float)
+        members: dict[int, list[int]] = {i: [i] for i in range(n_points)}
+        self._merge_history = []
+
+        n_active = n_points
+        while n_active > self.n_clusters and n_active > 1:
+            flat_index = int(np.argmin(distances))
+            left, right = divmod(flat_index, n_points)
+            if not np.isfinite(distances[left, right]):
+                break
+            if right < left:
+                left, right = right, left
+
+            merge_distance = float(distances[left, right])
+            self._merge_history.append(
+                MergeStep(
+                    step=len(self._merge_history),
+                    left=left,
+                    right=right,
+                    goodness=-merge_distance,
+                    new_size=len(members[left]) + len(members[right]),
+                )
+            )
+
+            # Lance–Williams update of the distances from the merged cluster
+            # (stored at index `left`) to every other active cluster.
+            size_left, size_right = sizes[left], sizes[right]
+            total = size_left + size_right
+            row_left = distances[left, :]
+            row_right = distances[right, :]
+            if self.linkage == "centroid":
+                updated = (
+                    (size_left * row_left + size_right * row_right) / total
+                    - (size_left * size_right * merge_distance) / (total * total)
+                )
+            elif self.linkage == "single":
+                updated = np.minimum(row_left, row_right)
+            elif self.linkage == "complete":
+                updated = np.maximum(row_left, row_right)
+            else:  # average
+                updated = (size_left * row_left + size_right * row_right) / total
+
+            distances[left, :] = updated
+            distances[:, left] = updated
+            distances[left, left] = np.inf
+            distances[right, :] = np.inf
+            distances[:, right] = np.inf
+
+            members[left] = members[left] + members.pop(right)
+            sizes[left] = total
+            active[right] = False
+            n_active -= 1
+
+        clusters = [tuple(sorted(members[c])) for c in members if active[c]]
+        clusters.sort(key=lambda cluster: (-len(cluster), cluster[0]))
+        labels = np.full(n_points, -1, dtype=int)
+        for label, cluster_members in enumerate(clusters):
+            labels[list(cluster_members)] = label
+        self._labels = labels
+        self._clusters = clusters
+        return self
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Cluster ``data`` and return the label array."""
+        return self.fit(data).labels_

@@ -1,0 +1,20 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+Each experiment of ``DESIGN.md`` §3 has a function in
+:mod:`repro.bench.experiments` that builds the workload, runs ROCK and the
+relevant comparators, and returns an :class:`~repro.bench.harness.ExperimentRecord`
+holding the same rows/series the paper reports.  The ``benchmarks/``
+directory wraps these functions with pytest-benchmark so timing and output
+regeneration happen in one place.
+"""
+
+from repro.bench.harness import ExperimentRecord, available_experiments, get_experiment
+from repro.bench.scalability import ScalabilityPoint, run_scalability_sweep
+
+__all__ = [
+    "ExperimentRecord",
+    "available_experiments",
+    "get_experiment",
+    "ScalabilityPoint",
+    "run_scalability_sweep",
+]

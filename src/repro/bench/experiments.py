@@ -1,0 +1,305 @@
+"""One runner per reproduced paper artefact (see DESIGN.md §3).
+
+Every function builds the workload, runs ROCK and the relevant comparators,
+computes the metrics the paper reports and returns an
+:class:`~repro.bench.harness.ExperimentRecord`.  The ``scale`` parameter of
+the Mushroom experiments shrinks the synthetic data set proportionally so
+the same code serves fast CI runs and full-size reproductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.hierarchical import TraditionalHierarchicalClustering
+from repro.baselines.kmodes import KModes
+from repro.bench.harness import ExperimentRecord, register_experiment
+from repro.core.pipeline import rock_cluster
+from repro.core.rock import RockClustering
+from repro.data.encoding import one_hot_encode, records_to_transactions
+from repro.datasets.market_basket import example_transactions
+from repro.datasets.mushroom import (
+    EDIBLE_GROUP_SIZES,
+    POISONOUS_GROUP_SIZES,
+    generate_mushroom_like,
+)
+from repro.datasets.mutual_funds import generate_mutual_funds
+from repro.datasets.votes import fetch_votes
+from repro.errors import ConfigurationError
+from repro.evaluation.composition import composition_table, pure_cluster_count
+from repro.evaluation.metrics import adjusted_rand_index, clustering_error, purity
+from repro.evaluation.reporting import format_composition_table, format_table
+from repro.timeseries.funds import cluster_funds
+
+
+# --------------------------------------------------------------------- #
+# E1 — motivating basket example
+# --------------------------------------------------------------------- #
+def run_basket_example(theta: float = 0.4) -> ExperimentRecord:
+    """E1: the market-basket example where links beat distances."""
+    baskets = example_transactions()
+    truth = baskets.labels
+
+    rock = RockClustering(n_clusters=2, theta=theta).fit(baskets)
+    traditional = TraditionalHierarchicalClustering(n_clusters=2).fit(baskets)
+
+    rock_error = clustering_error(rock.labels_, truth)
+    traditional_error = clustering_error(traditional.labels_, truth)
+
+    record = ExperimentRecord(
+        experiment_id="E1",
+        title="Motivating basket example: ROCK vs traditional hierarchical",
+        parameters={"theta": theta, "n_clusters": 2, "n_baskets": baskets.n_transactions},
+        metrics={
+            "rock_error": rock_error,
+            "traditional_error": traditional_error,
+            "rock_purity": purity(rock.labels_, truth),
+            "traditional_purity": purity(traditional.labels_, truth),
+        },
+        tables={
+            "rock": format_composition_table(
+                composition_table(rock.labels_, truth), title="ROCK clusters"
+            ),
+            "traditional": format_composition_table(
+                composition_table(traditional.labels_, truth),
+                title="Traditional hierarchical clusters",
+            ),
+        },
+    )
+    record.notes.append(
+        "expected shape: ROCK separates the two basket families at least as "
+        "well as the centroid-based comparator"
+    )
+    return record
+
+
+# --------------------------------------------------------------------- #
+# E2 + E3 — Congressional Votes tables
+# --------------------------------------------------------------------- #
+def run_votes_experiment(
+    theta: float = 0.73,
+    n_clusters: int = 2,
+    rng: int = 0,
+    include_kmodes: bool = True,
+) -> ExperimentRecord:
+    """E2/E3: traditional hierarchical vs ROCK (vs k-modes) on Votes."""
+    dataset = fetch_votes(rng=rng)
+    truth = dataset.labels
+
+    rock_result = rock_cluster(
+        records_to_transactions(dataset),
+        n_clusters=n_clusters,
+        theta=theta,
+        min_cluster_size=5,
+    )
+    traditional = TraditionalHierarchicalClustering(n_clusters=n_clusters).fit(dataset)
+
+    metrics = {
+        "rock_error": clustering_error(rock_result.labels, truth),
+        "traditional_error": clustering_error(traditional.labels_, truth),
+        "rock_ari": adjusted_rand_index(rock_result.labels, truth),
+        "traditional_ari": adjusted_rand_index(traditional.labels_, truth),
+        "rock_n_clusters": rock_result.n_clusters,
+        "rock_n_outliers": rock_result.n_outliers,
+    }
+    tables = {
+        "rock": format_composition_table(
+            composition_table(rock_result.labels, truth),
+            class_order=["republican", "democrat"],
+            title="ROCK on Congressional Votes (theta=%.2f)" % theta,
+        ),
+        "traditional": format_composition_table(
+            composition_table(traditional.labels_, truth),
+            class_order=["republican", "democrat"],
+            title="Traditional hierarchical on Congressional Votes",
+        ),
+    }
+    if include_kmodes:
+        kmodes = KModes(n_clusters=n_clusters, rng=rng).fit(dataset)
+        metrics["kmodes_error"] = clustering_error(kmodes.labels_, truth)
+        tables["kmodes"] = format_composition_table(
+            composition_table(kmodes.labels_, truth),
+            class_order=["republican", "democrat"],
+            title="k-modes on Congressional Votes",
+        )
+
+    record = ExperimentRecord(
+        experiment_id="E2-E3",
+        title="Congressional Votes: cluster composition tables",
+        parameters={"theta": theta, "n_clusters": n_clusters, "n_records": dataset.n_records},
+        metrics=metrics,
+        tables=tables,
+    )
+    record.notes.append(
+        "expected shape: ROCK's two clusters are each dominated by one party "
+        "(share well above 0.8) and its error is at most the comparators'"
+    )
+    return record
+
+
+# --------------------------------------------------------------------- #
+# E4 + E5 — Mushroom tables
+# --------------------------------------------------------------------- #
+def _scaled_group_sizes(scale: float) -> tuple[tuple, tuple]:
+    if not 0.0 < scale <= 1.0:
+        raise ConfigurationError("scale must lie in (0, 1]")
+    edible = tuple(max(2, int(round(size * scale))) for size in EDIBLE_GROUP_SIZES)
+    poisonous = tuple(max(2, int(round(size * scale))) for size in POISONOUS_GROUP_SIZES)
+    return edible, poisonous
+
+
+def run_mushroom_experiment(
+    theta: float = 0.8,
+    n_clusters: int = 21,
+    scale: float = 0.25,
+    traditional_clusters: int = 20,
+    sample_size: int | None = None,
+    rng: int = 0,
+) -> ExperimentRecord:
+    """E4/E5: traditional hierarchical vs ROCK on the Mushroom-like data.
+
+    ``scale`` shrinks every latent group proportionally (0.25 gives roughly
+    2000 records); ``sample_size`` additionally routes ROCK through the
+    sampling + labelling pipeline as the paper does for large inputs.
+    """
+    edible_sizes, poisonous_sizes = _scaled_group_sizes(scale)
+    dataset = generate_mushroom_like(
+        group_sizes_edible=edible_sizes,
+        group_sizes_poisonous=poisonous_sizes,
+        rng=rng,
+    )
+    truth = dataset.labels
+
+    rock_result = rock_cluster(
+        records_to_transactions(dataset),
+        n_clusters=n_clusters,
+        theta=theta,
+        sample_size=sample_size,
+        min_cluster_size=2,
+        rng=rng,
+    )
+
+    # The traditional comparator keeps a dense n x n distance matrix, so it
+    # runs on a capped subset when the data set is very large (the same
+    # scalability pressure that motivates sampling in the paper).
+    traditional_cap = min(dataset.n_records, 2500)
+    traditional_subset = dataset.subset(list(range(traditional_cap)))
+    traditional = TraditionalHierarchicalClustering(n_clusters=traditional_clusters).fit(
+        traditional_subset
+    )
+    traditional_truth = traditional_subset.labels
+
+    rock_table = composition_table(rock_result.labels, truth)
+    traditional_table = composition_table(traditional.labels_, traditional_truth)
+
+    record = ExperimentRecord(
+        experiment_id="E4-E5",
+        title="Mushroom: cluster composition, ROCK vs traditional hierarchical",
+        parameters={
+            "theta": theta,
+            "n_clusters": n_clusters,
+            "scale": scale,
+            "n_records": dataset.n_records,
+            "sample_size": sample_size,
+            "traditional_records": traditional_cap,
+            "traditional_clusters": traditional_clusters,
+        },
+        metrics={
+            "rock_error": clustering_error(rock_result.labels, truth),
+            "traditional_error": clustering_error(traditional.labels_, traditional_truth),
+            "rock_pure_clusters": pure_cluster_count(rock_table, threshold=0.99),
+            "rock_n_clusters": rock_result.n_clusters,
+            "traditional_pure_clusters": pure_cluster_count(traditional_table, threshold=0.99),
+            "traditional_n_clusters": len(
+                [row for row in traditional_table if row.cluster_id != -1]
+            ),
+            "rock_n_outliers": rock_result.n_outliers,
+        },
+        tables={
+            "rock": format_composition_table(
+                rock_table,
+                class_order=["edible", "poisonous"],
+                title="ROCK on Mushroom (theta=%.2f)" % theta,
+            ),
+            "traditional": format_composition_table(
+                traditional_table,
+                class_order=["edible", "poisonous"],
+                title="Traditional hierarchical on Mushroom subset",
+            ),
+        },
+    )
+    record.notes.append(
+        "expected shape: (almost) every ROCK cluster is pure in the "
+        "edible/poisonous label with highly uneven sizes, while the "
+        "traditional comparator mixes the classes in a substantial fraction "
+        "of its clusters"
+    )
+    return record
+
+
+# --------------------------------------------------------------------- #
+# E6 — mutual funds
+# --------------------------------------------------------------------- #
+def run_funds_experiment(
+    theta: float = 0.8,
+    n_clusters: int = 8,
+    n_days: int = 360,
+    rng: int = 0,
+) -> ExperimentRecord:
+    """E6: clustering fund Up/Down series; families should stay together."""
+    fund_names, prices, families = generate_mutual_funds(n_days=n_days, rng=rng)
+    result = cluster_funds(
+        prices,
+        fund_names,
+        families=families,
+        n_clusters=n_clusters,
+        theta=theta,
+    )
+
+    rows = []
+    for cluster_id, (names, counter) in enumerate(
+        zip(result.clusters, result.family_composition)
+    ):
+        dominant = counter.most_common(1)[0][0] if counter else ""
+        rows.append(
+            [
+                cluster_id,
+                len(names),
+                dominant,
+                ", ".join(sorted(names)[:4]) + ("..." if len(names) > 4 else ""),
+            ]
+        )
+    labels = result.pipeline_result.labels
+    record = ExperimentRecord(
+        experiment_id="E6",
+        title="US mutual funds (synthetic): clusters by fund family",
+        parameters={
+            "theta": theta,
+            "n_clusters": n_clusters,
+            "n_funds": len(fund_names),
+            "n_days": n_days,
+        },
+        metrics={
+            "error_vs_family": clustering_error(labels, families),
+            "purity_vs_family": purity(labels, families),
+            "n_clusters_found": result.n_clusters,
+        },
+        tables={
+            "funds": format_table(
+                ["cluster", "size", "dominant family", "example funds"],
+                rows,
+                title="Fund clusters (theta=%.2f)" % theta,
+            )
+        },
+    )
+    record.notes.append(
+        "expected shape: funds of the same family co-cluster; purity vs the "
+        "family label is high"
+    )
+    return record
+
+
+register_experiment("E1", run_basket_example)
+register_experiment("E2-E3", run_votes_experiment)
+register_experiment("E4-E5", run_mushroom_experiment)
+register_experiment("E6", run_funds_experiment)

@@ -1,0 +1,109 @@
+"""Experiment records and the experiment registry.
+
+An :class:`ExperimentRecord` is the unit of reporting: it names the paper
+artefact being reproduced, carries the parameters, the headline metrics and
+the formatted result table(s), and can render itself as text for
+``EXPERIMENTS.md`` and the benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ExperimentRecord:
+    """Result of one reproduced experiment (a paper table or figure).
+
+    Attributes
+    ----------
+    experiment_id:
+        Short identifier matching ``DESIGN.md`` (for example ``"E3"``).
+    title:
+        Human-readable description of the paper artefact.
+    parameters:
+        The workload and algorithm parameters used.
+    metrics:
+        Headline scalar metrics (clustering error, purity, counts, ...).
+    tables:
+        Mapping of table name to pre-formatted text table.
+    series:
+        Mapping of series name to a list of ``(x, y)`` pairs (for figures).
+    notes:
+        Free-form remarks (for example which comparator won).
+    """
+
+    experiment_id: str
+    title: str
+    parameters: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    tables: dict = field(default_factory=dict)
+    series: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render the record as plain text (used by benches and examples)."""
+        lines = ["[%s] %s" % (self.experiment_id, self.title)]
+        if self.parameters:
+            lines.append("parameters: " + ", ".join(
+                "%s=%r" % (key, value) for key, value in sorted(self.parameters.items())
+            ))
+        if self.metrics:
+            lines.append("metrics:")
+            for key, value in sorted(self.metrics.items()):
+                if isinstance(value, float):
+                    lines.append("  %s = %.4f" % (key, value))
+                else:
+                    lines.append("  %s = %r" % (key, value))
+        for name, table in self.tables.items():
+            lines.append("")
+            lines.append(table if table.startswith(name) else "%s\n%s" % (name, table))
+        for name, points in self.series.items():
+            lines.append("")
+            lines.append("series %s:" % name)
+            for x, y in points:
+                lines.append("  %r\t%r" % (x, y))
+        for note in self.notes:
+            lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+
+#: Registry mapping experiment ids to callables returning ExperimentRecords.
+_EXPERIMENTS: dict[str, Callable[..., ExperimentRecord]] = {}
+
+
+def register_experiment(experiment_id: str, runner: Callable[..., ExperimentRecord]) -> None:
+    """Register an experiment runner under ``experiment_id``."""
+    key = experiment_id.strip().upper()
+    if not key:
+        raise ConfigurationError("experiment_id must be a non-empty string")
+    if key in _EXPERIMENTS:
+        raise ConfigurationError("experiment %r is already registered" % key)
+    _EXPERIMENTS[key] = runner
+
+
+def available_experiments() -> list[str]:
+    """Return the sorted list of registered experiment ids."""
+    _ensure_registered()
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentRecord]:
+    """Return the runner registered under ``experiment_id``."""
+    _ensure_registered()
+    key = experiment_id.strip().upper()
+    try:
+        return _EXPERIMENTS[key]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown experiment %r; available: %s"
+            % (experiment_id, ", ".join(available_experiments()))
+        ) from None
+
+
+def _ensure_registered() -> None:
+    """Import the experiment definitions lazily to avoid import cycles."""
+    from repro.bench import experiments, scalability  # noqa: F401  (import registers)

@@ -1,0 +1,149 @@
+"""E7: execution time versus random-sample size (the paper's scalability figure).
+
+The figure plots ROCK's running time against the number of sampled points
+for several values of ``theta``; time grows roughly quadratically-to-
+cubically with the sample size and drops as ``theta`` rises (fewer
+neighbours means fewer links to count and fewer merges with positive
+goodness).  The sweep here reproduces that series on the Mushroom-like
+synthetic data (or any transaction input the caller provides).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.harness import ExperimentRecord, register_experiment
+from repro.core.rock import RockClustering, as_transactions
+from repro.core.sampling import draw_sample
+from repro.data.encoding import records_to_transactions
+from repro.datasets.mushroom import generate_mushroom_like
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One measurement of the scalability sweep.
+
+    Attributes
+    ----------
+    theta:
+        Similarity threshold of the run.
+    sample_size:
+        Number of points clustered.
+    seconds:
+        Wall-clock time of neighbour + link computation + agglomeration.
+    n_clusters:
+        Number of clusters produced (sanity signal, not part of the figure).
+    """
+
+    theta: float
+    sample_size: int
+    seconds: float
+    n_clusters: int
+
+
+def run_scalability_sweep(
+    data=None,
+    sample_sizes: Sequence[int] = (250, 500, 750, 1000),
+    thetas: Sequence[float] = (0.5, 0.6, 0.7, 0.8),
+    n_clusters: int = 21,
+    rng: int = 0,
+) -> list[ScalabilityPoint]:
+    """Time ROCK across a grid of sample sizes and thresholds.
+
+    Parameters
+    ----------
+    data:
+        Transaction-like input to sample from; defaults to a Mushroom-like
+        synthetic data set large enough for the largest sample size.
+    sample_sizes:
+        Number of points per run (each drawn uniformly at random).
+    thetas:
+        Threshold values of the series.
+    n_clusters:
+        Cluster count requested from every run.
+    rng:
+        Seed for sampling.
+
+    Returns
+    -------
+    list[ScalabilityPoint]
+    """
+    sample_sizes = [int(size) for size in sample_sizes]
+    thetas = [float(theta) for theta in thetas]
+    if not sample_sizes or not thetas:
+        raise ConfigurationError("sample_sizes and thetas must be non-empty")
+
+    if data is None:
+        dataset = generate_mushroom_like(rng=rng)
+        transactions = records_to_transactions(dataset).transactions
+    else:
+        transactions = as_transactions(data)
+    if max(sample_sizes) > len(transactions):
+        raise ConfigurationError(
+            "largest sample size %d exceeds the data size %d"
+            % (max(sample_sizes), len(transactions))
+        )
+
+    generator = np.random.default_rng(rng)
+    points: list[ScalabilityPoint] = []
+    for theta in thetas:
+        for size in sample_sizes:
+            chosen, _ = draw_sample(transactions, size, rng=generator)
+            sample = [transactions[i] for i in chosen]
+            start = time.perf_counter()
+            model = RockClustering(n_clusters=n_clusters, theta=theta)
+            result = model.fit(sample).result_
+            elapsed = time.perf_counter() - start
+            points.append(
+                ScalabilityPoint(
+                    theta=theta,
+                    sample_size=size,
+                    seconds=elapsed,
+                    n_clusters=result.n_clusters,
+                )
+            )
+    return points
+
+
+def run_scalability_experiment(
+    sample_sizes: Sequence[int] = (250, 500, 750, 1000),
+    thetas: Sequence[float] = (0.5, 0.6, 0.7, 0.8),
+    n_clusters: int = 21,
+    rng: int = 0,
+) -> ExperimentRecord:
+    """E7 as an :class:`ExperimentRecord` with one series per theta."""
+    points = run_scalability_sweep(
+        sample_sizes=sample_sizes, thetas=thetas, n_clusters=n_clusters, rng=rng
+    )
+    series: dict[str, list[tuple]] = {}
+    for point in points:
+        series.setdefault("theta=%.2f" % point.theta, []).append(
+            (point.sample_size, round(point.seconds, 4))
+        )
+    record = ExperimentRecord(
+        experiment_id="E7",
+        title="Execution time vs sample size (per theta)",
+        parameters={
+            "sample_sizes": list(sample_sizes),
+            "thetas": list(thetas),
+            "n_clusters": n_clusters,
+        },
+        metrics={
+            "max_seconds": max(point.seconds for point in points),
+            "min_seconds": min(point.seconds for point in points),
+        },
+        series=series,
+    )
+    record.notes.append(
+        "expected shape: time grows superlinearly with the sample size and "
+        "decreases as theta increases"
+    )
+    return record
+
+
+register_experiment("E7", run_scalability_experiment)

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main entry points::
+
+    python -m repro cluster data.csv --clusters 2 --theta 0.73 --label-column 0
+    python -m repro cluster baskets.txt --format transactions --clusters 4 --theta 0.3
+    python -m repro experiment E2-E3
+    python -m repro sweep data.csv --clusters 2 --thetas 0.6 0.7 0.8
+    python -m repro datasets
+
+``cluster`` reads a UCI-style CSV (or a one-transaction-per-line file with
+``--format transactions``), runs the ROCK pipeline and prints the cluster
+composition table (plus, with ``--output``, a per-record label file).
+``experiment`` runs one of the reproduced paper experiments by id.
+``sweep`` reports the theta-sensitivity table for a data file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.harness import available_experiments, get_experiment
+from repro.core.pipeline import rock_cluster
+from repro.data.encoding import records_to_transactions
+from repro.data.io import read_categorical_csv, read_transactions
+from repro.datasets.registry import available_datasets
+from repro.errors import ReproError
+from repro.evaluation.composition import composition_table
+from repro.evaluation.metrics import clustering_error
+from repro.evaluation.reporting import format_composition_table, format_table
+from repro.extensions.auto_theta import best_theta, sweep_theta
+
+
+def _load_input(arguments) -> tuple:
+    """Load the input file and return (transactions, labels_or_none, n_records)."""
+    if arguments.format == "transactions":
+        dataset = read_transactions(arguments.path, label_prefix=arguments.label_prefix)
+        return dataset.transactions, dataset.labels, dataset.n_transactions
+    dataset = read_categorical_csv(
+        arguments.path,
+        delimiter=arguments.delimiter,
+        label_column=arguments.label_column,
+        missing_token=arguments.missing_token,
+        has_header=arguments.header,
+    )
+    transactions = records_to_transactions(dataset)
+    return transactions.transactions, dataset.labels, dataset.n_records
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("path", help="input data file")
+    parser.add_argument(
+        "--format", choices=["csv", "transactions"], default="csv",
+        help="input format (default: UCI-style CSV)",
+    )
+    parser.add_argument("--delimiter", default=",", help="CSV value delimiter")
+    parser.add_argument(
+        "--label-column", type=int, default=None,
+        help="index of the class-label column (omit when the file has no labels)",
+    )
+    parser.add_argument("--missing-token", default="?", help="missing-value token")
+    parser.add_argument("--header", action="store_true", help="first CSV line is a header")
+    parser.add_argument(
+        "--label-prefix", default=None,
+        help="transaction format: items starting with this prefix are class labels",
+    )
+
+
+def _command_cluster(arguments) -> int:
+    transactions, labels, n_records = _load_input(arguments)
+    result = rock_cluster(
+        transactions,
+        n_clusters=arguments.clusters,
+        theta=arguments.theta,
+        sample_size=arguments.sample_size,
+        min_neighbors=arguments.min_neighbors,
+        min_cluster_size=arguments.min_cluster_size,
+        rng=arguments.seed,
+    )
+    print("%d records -> %d clusters (%d outliers) in %.2fs" % (
+        n_records, result.n_clusters, result.n_outliers, result.timings["total"]))
+    if labels is not None:
+        table = composition_table(result.labels, labels)
+        print(format_composition_table(table, title="Cluster composition"))
+        print("clustering error: %.4f" % clustering_error(result.labels, labels))
+    else:
+        rows = [[i, len(members)] for i, members in enumerate(result.clusters)]
+        print(format_table(["cluster", "size"], rows, title="Cluster sizes"))
+    if arguments.output:
+        output_path = Path(arguments.output)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(
+            "\n".join(str(int(label)) for label in result.labels) + "\n", encoding="utf-8"
+        )
+        print("labels written to %s" % output_path)
+    return 0
+
+
+def _command_experiment(arguments) -> int:
+    runner = get_experiment(arguments.experiment_id)
+    record = runner()
+    print(record.render())
+    return 0
+
+
+def _command_sweep(arguments) -> int:
+    transactions, labels, _ = _load_input(arguments)
+    entries = sweep_theta(
+        transactions,
+        n_clusters=arguments.clusters,
+        thetas=arguments.thetas,
+        labels_true=labels,
+    )
+    rows = []
+    for entry in entries:
+        rows.append([
+            "%.2f" % entry.theta,
+            entry.n_clusters,
+            "%.1f" % entry.criterion,
+            "-" if entry.error is None else "%.4f" % entry.error,
+            entry.stopped_early,
+        ])
+    print(format_table(
+        ["theta", "clusters", "criterion", "error", "stopped early"],
+        rows,
+        title="theta sweep",
+    ))
+    print("recommended theta: %.2f" % best_theta(entries))
+    return 0
+
+
+def _command_datasets(_arguments) -> int:
+    print("registered data sets:")
+    for name in available_datasets():
+        print("  %s" % name)
+    print("registered experiments:")
+    for experiment_id in available_experiments():
+        print("  %s" % experiment_id)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    cluster = subparsers.add_parser("cluster", help="cluster a data file with ROCK")
+    _add_input_arguments(cluster)
+    cluster.add_argument("--clusters", type=int, required=True, help="number of clusters")
+    cluster.add_argument("--theta", type=float, default=0.5, help="similarity threshold")
+    cluster.add_argument("--sample-size", type=int, default=None, help="random-sample size")
+    cluster.add_argument("--min-neighbors", type=int, default=0, help="outlier pre-filter")
+    cluster.add_argument("--min-cluster-size", type=int, default=1, help="prune smaller clusters")
+    cluster.add_argument("--seed", type=int, default=0, help="random seed")
+    cluster.add_argument("--output", default=None, help="write per-record labels to this file")
+    cluster.set_defaults(handler=_command_cluster)
+
+    experiment = subparsers.add_parser("experiment", help="run a reproduced paper experiment")
+    experiment.add_argument("experiment_id", help="experiment id (see 'repro datasets')")
+    experiment.set_defaults(handler=_command_experiment)
+
+    sweep = subparsers.add_parser("sweep", help="theta sensitivity sweep on a data file")
+    _add_input_arguments(sweep)
+    sweep.add_argument("--clusters", type=int, required=True, help="number of clusters")
+    sweep.add_argument(
+        "--thetas", type=float, nargs="+", default=[0.5, 0.6, 0.7, 0.8],
+        help="threshold grid",
+    )
+    sweep.set_defaults(handler=_command_sweep)
+
+    datasets = subparsers.add_parser("datasets", help="list data sets and experiments")
+    datasets.set_defaults(handler=_command_datasets)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

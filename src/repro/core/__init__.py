@@ -1,0 +1,58 @@
+"""Core ROCK machinery: neighbours, links, goodness, heaps and the algorithm.
+
+The modules follow the structure of the ROCK paper:
+
+* :mod:`repro.core.neighbors` — thresholded similarity graph (Section 3.1);
+* :mod:`repro.core.links` — link (common-neighbour) computation (Section 3.2
+  and the ``compute_links`` procedure of Section 4);
+* :mod:`repro.core.goodness` — criterion function and goodness measure
+  (Sections 3.3 and 3.4);
+* :mod:`repro.core.heaps` — the local/global heap machinery of the
+  agglomerative procedure (Section 4.1);
+* :mod:`repro.core.rock` — the agglomerative clustering algorithm itself;
+* :mod:`repro.core.sampling` — Chernoff-bound random sampling (Section 4.3);
+* :mod:`repro.core.labeling` — labelling of disk-resident points
+  (Section 4.4);
+* :mod:`repro.core.outliers` — outlier handling (Section 4.5);
+* :mod:`repro.core.pipeline` — the end-to-end sample/cluster/label pipeline.
+"""
+
+from repro.core.goodness import (
+    criterion_function,
+    default_expected_links_exponent,
+    expected_pairwise_links,
+    goodness,
+    theta_power,
+)
+from repro.core.heaps import AddressableMaxHeap
+from repro.core.labeling import LabelingResult, label_points
+from repro.core.links import compute_links, links_from_neighbors
+from repro.core.neighbors import NeighborGraph, compute_neighbors
+from repro.core.outliers import drop_small_clusters, isolated_point_mask
+from repro.core.pipeline import RockPipeline, RockPipelineResult, rock_cluster
+from repro.core.rock import RockClustering, RockResult
+from repro.core.sampling import chernoff_sample_size, draw_sample
+
+__all__ = [
+    "criterion_function",
+    "default_expected_links_exponent",
+    "expected_pairwise_links",
+    "goodness",
+    "theta_power",
+    "AddressableMaxHeap",
+    "LabelingResult",
+    "label_points",
+    "compute_links",
+    "links_from_neighbors",
+    "NeighborGraph",
+    "compute_neighbors",
+    "drop_small_clusters",
+    "isolated_point_mask",
+    "RockPipeline",
+    "RockPipelineResult",
+    "rock_cluster",
+    "RockClustering",
+    "RockResult",
+    "chernoff_sample_size",
+    "draw_sample",
+]

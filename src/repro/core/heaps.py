@@ -1,0 +1,214 @@
+"""Addressable max-heaps for the ROCK agglomeration loop (Section 4.1).
+
+The paper maintains, for every cluster ``i``, a local heap ``q[i]`` of the
+other clusters ordered by the goodness of merging with ``i``, plus a global
+heap ``Q`` of all clusters ordered by the goodness of their best local
+merge.  Both require a priority queue supporting *update* and *delete* of
+arbitrary entries, which :mod:`heapq` alone does not provide.
+
+:class:`AddressableMaxHeap` implements a binary max-heap with a position
+index so that ``push``, ``update``, ``delete`` and ``pop`` are all
+``O(log n)`` and membership checks are ``O(1)``.  Ties are broken by the
+insertion-order sequence number so behaviour is fully deterministic, which
+matters for reproducible cluster output.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.errors import ConfigurationError
+
+
+class AddressableMaxHeap:
+    """A binary max-heap whose entries can be updated or removed by key.
+
+    Entries are ``(key, priority)`` pairs with unique hashable keys.  The
+    heap orders by priority (largest first); equal priorities are ordered by
+    insertion sequence (earlier first) so that iteration and pops are
+    deterministic.
+
+    Examples
+    --------
+    >>> heap = AddressableMaxHeap()
+    >>> heap.push("a", 1.0)
+    >>> heap.push("b", 3.0)
+    >>> heap.push("c", 2.0)
+    >>> heap.peek()
+    ('b', 3.0)
+    >>> heap.update("a", 10.0)
+    >>> heap.pop()
+    ('a', 10.0)
+    >>> len(heap)
+    2
+    """
+
+    def __init__(self) -> None:
+        # Parallel arrays forming the heap: keys and priorities, plus the
+        # insertion sequence number used for deterministic tie-breaking.
+        self._keys: list[Hashable] = []
+        self._priorities: list[float] = []
+        self._sequence: list[int] = []
+        self._positions: dict[Hashable, int] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._positions
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate over keys in arbitrary (heap) order."""
+        return iter(list(self._keys))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "AddressableMaxHeap(size=%d)" % len(self)
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def push(self, key: Hashable, priority: float) -> None:
+        """Insert a new entry.  Raises if the key is already present."""
+        if key in self._positions:
+            raise ConfigurationError(
+                "key %r is already in the heap; use update() instead" % (key,)
+            )
+        self._keys.append(key)
+        self._priorities.append(float(priority))
+        self._sequence.append(self._counter)
+        self._counter += 1
+        position = len(self._keys) - 1
+        self._positions[key] = position
+        self._sift_up(position)
+
+    def update(self, key: Hashable, priority: float) -> None:
+        """Change the priority of an existing entry."""
+        position = self._require_position(key)
+        old_priority = self._priorities[position]
+        self._priorities[position] = float(priority)
+        if self._compare_positions_would_raise(priority, old_priority):
+            self._sift_up(position)
+        else:
+            self._sift_down(position)
+
+    def push_or_update(self, key: Hashable, priority: float) -> None:
+        """Insert the entry or update its priority if already present."""
+        if key in self._positions:
+            self.update(key, priority)
+        else:
+            self.push(key, priority)
+
+    def delete(self, key: Hashable) -> float:
+        """Remove an entry and return its priority."""
+        position = self._require_position(key)
+        priority = self._priorities[position]
+        self._remove_at(position)
+        return priority
+
+    def discard(self, key: Hashable) -> None:
+        """Remove an entry if present; do nothing otherwise."""
+        if key in self._positions:
+            self.delete(key)
+
+    def pop(self) -> tuple[Hashable, float]:
+        """Remove and return the ``(key, priority)`` entry with the largest priority."""
+        if not self._keys:
+            raise IndexError("pop from an empty AddressableMaxHeap")
+        key = self._keys[0]
+        priority = self._priorities[0]
+        self._remove_at(0)
+        return key, priority
+
+    def peek(self) -> tuple[Hashable, float]:
+        """Return (without removing) the entry with the largest priority."""
+        if not self._keys:
+            raise IndexError("peek into an empty AddressableMaxHeap")
+        return self._keys[0], self._priorities[0]
+
+    def priority_of(self, key: Hashable) -> float:
+        """Return the priority currently associated with ``key``."""
+        return self._priorities[self._require_position(key)]
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._keys.clear()
+        self._priorities.clear()
+        self._sequence.clear()
+        self._positions.clear()
+
+    def items(self) -> list[tuple[Hashable, float]]:
+        """Return all ``(key, priority)`` pairs sorted by decreasing priority."""
+        order = sorted(
+            range(len(self._keys)),
+            key=lambda i: (-self._priorities[i], self._sequence[i]),
+        )
+        return [(self._keys[i], self._priorities[i]) for i in order]
+
+    # ------------------------------------------------------------------ #
+    # Internal heap mechanics
+    # ------------------------------------------------------------------ #
+    def _require_position(self, key: Hashable) -> int:
+        try:
+            return self._positions[key]
+        except KeyError:
+            raise KeyError("key %r is not in the heap" % (key,)) from None
+
+    def _compare_positions_would_raise(self, new_priority: float, old_priority: float) -> bool:
+        return float(new_priority) > float(old_priority)
+
+    def _precedes(self, i: int, j: int) -> bool:
+        """Does entry ``i`` rank strictly above entry ``j``?"""
+        if self._priorities[i] != self._priorities[j]:
+            return self._priorities[i] > self._priorities[j]
+        return self._sequence[i] < self._sequence[j]
+
+    def _swap(self, i: int, j: int) -> None:
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._priorities[i], self._priorities[j] = self._priorities[j], self._priorities[i]
+        self._sequence[i], self._sequence[j] = self._sequence[j], self._sequence[i]
+        self._positions[self._keys[i]] = i
+        self._positions[self._keys[j]] = j
+
+    def _sift_up(self, position: int) -> None:
+        while position > 0:
+            parent = (position - 1) // 2
+            if self._precedes(position, parent):
+                self._swap(position, parent)
+                position = parent
+            else:
+                break
+
+    def _sift_down(self, position: int) -> None:
+        size = len(self._keys)
+        while True:
+            left = 2 * position + 1
+            right = left + 1
+            best = position
+            if left < size and self._precedes(left, best):
+                best = left
+            if right < size and self._precedes(right, best):
+                best = right
+            if best == position:
+                break
+            self._swap(position, best)
+            position = best
+
+    def _remove_at(self, position: int) -> None:
+        last = len(self._keys) - 1
+        key = self._keys[position]
+        if position != last:
+            self._swap(position, last)
+        self._keys.pop()
+        self._priorities.pop()
+        self._sequence.pop()
+        del self._positions[key]
+        if position <= last - 1 and position < len(self._keys):
+            self._sift_down(position)
+            self._sift_up(position)

@@ -1,0 +1,152 @@
+"""Labelling of disk-resident points (ROCK Section 4.4).
+
+After clustering a random sample, the remaining points are assigned to
+clusters in a single pass: a fraction ``L_i`` of points from each sampled
+cluster ``i`` is retained, each unlabelled point ``p`` counts its neighbours
+``N_i`` within each ``L_i`` (using the same threshold ``theta``), and ``p``
+joins the cluster maximising the normalised count
+
+    ``N_i / (|L_i| + 1) ** f(theta)``
+
+The normalisation accounts for larger clusters naturally offering more
+neighbours.  Points with no neighbours in any cluster are reported as
+outliers (label ``-1``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.goodness import ExponentFunction, default_expected_links_exponent
+from repro.errors import ConfigurationError, DataValidationError
+from repro.similarity.base import SetSimilarity
+from repro.similarity.jaccard import JaccardSimilarity
+
+
+@dataclass
+class LabelingResult:
+    """Outcome of the labelling pass.
+
+    Attributes
+    ----------
+    labels:
+        One label per unlabelled input point; ``-1`` marks outliers that had
+        no neighbour in any cluster fraction.
+    neighbor_counts:
+        ``(n_points, n_clusters)`` matrix of raw neighbour counts ``N_i``.
+    n_outliers:
+        Number of points labelled ``-1``.
+    """
+
+    labels: np.ndarray
+    neighbor_counts: np.ndarray
+    n_outliers: int
+
+
+def select_labeling_fractions(
+    clusters: Sequence[Sequence[int]],
+    fraction: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> list[list[int]]:
+    """Choose the subset ``L_i`` of each sampled cluster used for labelling.
+
+    The paper labels against a random fraction of each cluster to reduce the
+    per-point cost; ``fraction=1.0`` (the default) uses every sampled point.
+    Every cluster retains at least one point.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError("fraction must lie in (0, 1], got %r" % fraction)
+    generator = np.random.default_rng(rng)
+    fractions: list[list[int]] = []
+    for members in clusters:
+        members = list(members)
+        if not members:
+            raise DataValidationError("labelling requires non-empty clusters")
+        keep = max(1, int(round(fraction * len(members))))
+        if keep >= len(members):
+            fractions.append(members)
+        else:
+            chosen = generator.choice(len(members), size=keep, replace=False)
+            fractions.append([members[i] for i in sorted(chosen)])
+    return fractions
+
+
+def label_points(
+    unlabeled: Sequence[frozenset],
+    sample: Sequence[frozenset],
+    clusters: Sequence[Sequence[int]],
+    theta: float,
+    measure: SetSimilarity | None = None,
+    exponent_function: ExponentFunction | None = None,
+    labeling_fraction: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> LabelingResult:
+    """Assign each unlabelled point to the best sampled cluster.
+
+    Parameters
+    ----------
+    unlabeled:
+        Item sets of the points that were *not* part of the clustered sample.
+    sample:
+        Item sets of the sampled points (indexable by the indices appearing
+        in ``clusters``).
+    clusters:
+        Cluster membership over the sample, as sequences of sample indices.
+    theta:
+        Similarity threshold (the same value used for clustering).
+    measure:
+        Similarity measure; defaults to Jaccard.
+    exponent_function:
+        ``f(theta)``; defaults to the paper's.
+    labeling_fraction:
+        Fraction of each cluster retained for neighbour counting.
+    rng:
+        Random generator or seed for the fraction selection.
+
+    Returns
+    -------
+    LabelingResult
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ConfigurationError("theta must lie in [0, 1], got %r" % theta)
+    if measure is None:
+        measure = JaccardSimilarity()
+    if exponent_function is None:
+        exponent_function = default_expected_links_exponent
+    sample = [frozenset(t) for t in sample]
+    unlabeled = [frozenset(t) for t in unlabeled]
+    if not clusters:
+        raise DataValidationError("labelling requires at least one cluster")
+
+    fractions = select_labeling_fractions(clusters, fraction=labeling_fraction, rng=rng)
+    exponent = exponent_function(theta)
+    normalisers = np.array(
+        [(len(subset) + 1.0) ** exponent for subset in fractions], dtype=float
+    )
+
+    n_points = len(unlabeled)
+    n_clusters = len(fractions)
+    counts = np.zeros((n_points, n_clusters), dtype=float)
+    for point_index, point in enumerate(unlabeled):
+        for cluster_index, subset in enumerate(fractions):
+            count = 0
+            for sample_index in subset:
+                if measure(point, sample[sample_index]) >= theta:
+                    count += 1
+            counts[point_index, cluster_index] = count
+
+    labels = np.full(n_points, -1, dtype=int)
+    if n_points:
+        scores = counts / normalisers[np.newaxis, :]
+        best = np.argmax(scores, axis=1)
+        has_neighbors = counts.max(axis=1) > 0
+        labels[has_neighbors] = best[has_neighbors]
+
+    return LabelingResult(
+        labels=labels,
+        neighbor_counts=counts,
+        n_outliers=int(np.sum(labels == -1)),
+    )

@@ -1,0 +1,230 @@
+"""Neighbour computation: the thresholded similarity graph of ROCK.
+
+Two points are *neighbours* when their similarity is at least ``theta``
+(Section 3.1 of the paper).  The neighbour relation is represented as a
+:class:`NeighborGraph`, a thin wrapper over a boolean SciPy sparse adjacency
+matrix that also keeps the parameters used to build it.
+
+Two construction strategies are provided:
+
+* ``"bruteforce"`` — evaluate the similarity measure for every pair.  Works
+  with any :class:`~repro.similarity.base.SetSimilarity` and is the
+  reference implementation.
+* ``"vectorized"`` — specialised to the Jaccard coefficient; builds the
+  binary item-incidence matrix once and computes all pairwise intersection
+  sizes with one sparse matrix product.  Orders of magnitude faster for the
+  paper's data sizes and bit-for-bit identical to the brute-force result.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ConfigurationError, DataValidationError
+from repro.similarity.base import SetSimilarity
+from repro.similarity.jaccard import JaccardSimilarity
+
+#: Strategies accepted by :func:`compute_neighbors`.
+NEIGHBOR_STRATEGIES = ("auto", "bruteforce", "vectorized")
+
+
+@dataclass
+class NeighborGraph:
+    """The neighbour relation of a point set under a similarity threshold.
+
+    Attributes
+    ----------
+    adjacency:
+        ``(n, n)`` boolean CSR matrix; ``adjacency[i, j]`` is ``True`` when
+        points ``i`` and ``j`` are neighbours.  The diagonal is always zero
+        (a point is not recorded as its own neighbour; the link computation
+        adds the convention it needs explicitly).
+    theta:
+        The similarity threshold used to build the graph.
+    measure_name:
+        Name of the similarity measure used.
+    """
+
+    adjacency: sparse.csr_matrix
+    theta: float
+    measure_name: str
+
+    @property
+    def n_points(self) -> int:
+        """Number of points in the graph."""
+        return self.adjacency.shape[0]
+
+    def neighbors_of(self, index: int) -> np.ndarray:
+        """Return the sorted array of neighbour indices of point ``index``."""
+        start, end = self.adjacency.indptr[index], self.adjacency.indptr[index + 1]
+        return np.sort(self.adjacency.indices[start:end])
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Return the number of neighbours of every point."""
+        return np.diff(self.adjacency.indptr)
+
+    def n_edges(self) -> int:
+        """Number of neighbour pairs (undirected edges)."""
+        return int(self.adjacency.nnz // 2)
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Map ``degree -> number of points with that degree``."""
+        counts = self.neighbor_counts()
+        histogram: dict[int, int] = {}
+        for degree in counts.tolist():
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+    def subgraph(self, indices: Sequence[int]) -> "NeighborGraph":
+        """Return the induced subgraph on ``indices`` (reindexed from 0)."""
+        index_array = np.asarray(list(indices), dtype=int)
+        sub = self.adjacency[index_array][:, index_array].tocsr()
+        return NeighborGraph(adjacency=sub, theta=self.theta, measure_name=self.measure_name)
+
+
+def _validate_theta(theta: float) -> float:
+    theta = float(theta)
+    if not 0.0 <= theta <= 1.0:
+        raise ConfigurationError("theta must lie in [0, 1], got %r" % theta)
+    return theta
+
+
+def _as_transaction_list(transactions: Sequence[frozenset]) -> list[frozenset]:
+    converted = [frozenset(t) for t in transactions]
+    if not converted:
+        raise DataValidationError("neighbour computation requires at least one point")
+    return converted
+
+
+def _bruteforce_adjacency(
+    transactions: list[frozenset], theta: float, measure: SetSimilarity
+) -> sparse.csr_matrix:
+    n = len(transactions)
+    rows: list[int] = []
+    cols: list[int] = []
+    for i in range(n):
+        left = transactions[i]
+        for j in range(i + 1, n):
+            if measure(left, transactions[j]) >= theta:
+                rows.append(i)
+                cols.append(j)
+    data = np.ones(len(rows), dtype=bool)
+    upper = sparse.coo_matrix((data, (rows, cols)), shape=(n, n), dtype=bool)
+    adjacency = (upper + upper.T).tocsr()
+    adjacency.eliminate_zeros()
+    return adjacency
+
+
+def _vectorized_jaccard_adjacency(
+    transactions: list[frozenset], theta: float
+) -> sparse.csr_matrix:
+    """Jaccard-threshold adjacency via one sparse intersection-count product."""
+    n = len(transactions)
+    if theta == 0.0:
+        # Every pair qualifies (similarity is always >= 0); the sparse
+        # product below would miss pairs with empty intersections.
+        adjacency = sparse.csr_matrix(np.ones((n, n), dtype=bool))
+        adjacency.setdiag(False)
+        adjacency.eliminate_zeros()
+        return adjacency
+    items = sorted({item for transaction in transactions for item in transaction}, key=repr)
+    item_index = {item: j for j, item in enumerate(items)}
+
+    indptr = [0]
+    indices: list[int] = []
+    for transaction in transactions:
+        indices.extend(sorted(item_index[item] for item in transaction))
+        indptr.append(len(indices))
+    incidence = sparse.csr_matrix(
+        (np.ones(len(indices), dtype=np.int32), np.array(indices, dtype=np.int64),
+         np.array(indptr, dtype=np.int64)),
+        shape=(n, max(len(items), 1)),
+    )
+
+    intersections = (incidence @ incidence.T).tocoo()
+    sizes = np.asarray(incidence.sum(axis=1)).ravel()
+
+    rows, cols, values = intersections.row, intersections.col, intersections.data
+    off_diagonal = rows != cols
+    rows, cols, values = rows[off_diagonal], cols[off_diagonal], values[off_diagonal]
+    unions = sizes[rows] + sizes[cols] - values
+    with np.errstate(divide="ignore", invalid="ignore"):
+        similarity = np.where(unions > 0, values / np.maximum(unions, 1), 0.0)
+    keep = similarity >= theta
+
+    # Pairs of empty transactions never intersect, but Jaccard defines them
+    # as identical (similarity 1); add those pairs explicitly when theta <= 1.
+    empty = np.nonzero(sizes == 0)[0]
+    extra_rows: list[int] = []
+    extra_cols: list[int] = []
+    if len(empty) > 1:
+        for a_position, a in enumerate(empty):
+            for b in empty[a_position + 1:]:
+                extra_rows.extend((a, b))
+                extra_cols.extend((b, a))
+
+    all_rows = np.concatenate([rows[keep], np.array(extra_rows, dtype=int)])
+    all_cols = np.concatenate([cols[keep], np.array(extra_cols, dtype=int)])
+    adjacency = sparse.coo_matrix(
+        (np.ones(len(all_rows), dtype=bool), (all_rows, all_cols)), shape=(n, n), dtype=bool
+    ).tocsr()
+    adjacency.eliminate_zeros()
+    return adjacency
+
+
+def compute_neighbors(
+    transactions: Sequence[frozenset],
+    theta: float,
+    measure: SetSimilarity | None = None,
+    strategy: str = "auto",
+) -> NeighborGraph:
+    """Build the neighbour graph of ``transactions`` under threshold ``theta``.
+
+    Parameters
+    ----------
+    transactions:
+        Item sets (one per point).
+    theta:
+        Similarity threshold in ``[0, 1]``; a pair with similarity >= theta
+        is connected.
+    measure:
+        Similarity measure; defaults to the Jaccard coefficient.
+    strategy:
+        ``"bruteforce"``, ``"vectorized"`` or ``"auto"``.  ``"vectorized"``
+        requires the Jaccard measure; ``"auto"`` picks it when possible.
+
+    Returns
+    -------
+    NeighborGraph
+    """
+    theta = _validate_theta(theta)
+    transactions = _as_transaction_list(transactions)
+    if measure is None:
+        measure = JaccardSimilarity()
+    if strategy not in NEIGHBOR_STRATEGIES:
+        raise ConfigurationError(
+            "unknown neighbour strategy %r; expected one of %s"
+            % (strategy, ", ".join(NEIGHBOR_STRATEGIES))
+        )
+
+    is_jaccard = getattr(measure, "name", "") == "jaccard"
+    if strategy == "vectorized" and not is_jaccard:
+        raise ConfigurationError(
+            "the vectorized strategy only supports the Jaccard measure, got %r"
+            % getattr(measure, "name", measure)
+        )
+
+    if strategy == "bruteforce" or (strategy == "auto" and not is_jaccard):
+        adjacency = _bruteforce_adjacency(transactions, theta, measure)
+    else:
+        adjacency = _vectorized_jaccard_adjacency(transactions, theta)
+
+    return NeighborGraph(
+        adjacency=adjacency,
+        theta=theta,
+        measure_name=getattr(measure, "name", measure.__class__.__name__),
+    )

@@ -1,0 +1,326 @@
+"""End-to-end ROCK pipeline: sample, cluster, label, handle outliers.
+
+This module composes the pieces exactly as the paper's overview figure does:
+
+1. draw a random sample (optional — small data sets are clustered whole);
+2. optionally discard isolated points (outlier pre-filtering);
+3. run the agglomerative ROCK algorithm on the (filtered) sample;
+4. optionally prune tiny clusters (late-outlier handling);
+5. label every point that was not clustered — the rest of the sample and
+   the non-sampled remainder — against the sampled clusters.
+
+The result exposes labels over the *full* input, cluster membership, the
+intermediate artefacts and per-phase timings, which is what the scalability
+benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.goodness import ExponentFunction
+from repro.core.labeling import LabelingResult, label_points
+from repro.core.neighbors import compute_neighbors
+from repro.core.outliers import drop_small_clusters, partition_isolated_points
+from repro.core.rock import RockClustering, RockResult, as_transactions
+from repro.core.sampling import draw_sample
+from repro.errors import ConfigurationError
+from repro.similarity.base import SetSimilarity
+from repro.types import ClusterSummary
+
+
+@dataclass
+class RockPipelineResult:
+    """Outcome of the full ROCK pipeline on a data set.
+
+    Attributes
+    ----------
+    labels:
+        One label per input point (over the *full* data set); ``-1`` marks
+        outliers.
+    clusters:
+        For each label, the tuple of member indices into the full data set,
+        ordered by decreasing size.
+    sample_indices:
+        Indices of the points that formed the clustered sample.
+    rock_result:
+        The :class:`RockResult` of the agglomeration on the sample.
+    labeling_result:
+        The :class:`LabelingResult` of the final labelling pass, or ``None``
+        when every point was part of the clustered sample.
+    n_outliers:
+        Number of points with label ``-1``.
+    timings:
+        Wall-clock seconds per phase (``"sampling"``, ``"neighbors"``,
+        ``"clustering"``, ``"labeling"``, ``"total"``).
+    parameters:
+        The key parameters the pipeline ran with (for reporting).
+    """
+
+    labels: np.ndarray
+    clusters: list[tuple]
+    sample_indices: list[int]
+    rock_result: RockResult
+    labeling_result: LabelingResult | None
+    n_outliers: int
+    timings: dict[str, float] = field(default_factory=dict)
+    parameters: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters in the final labelling."""
+        return len(self.clusters)
+
+    def cluster_sizes(self) -> list[int]:
+        """Cluster sizes in label order (decreasing)."""
+        return [len(members) for members in self.clusters]
+
+    def summaries(self) -> list[ClusterSummary]:
+        """Return a :class:`ClusterSummary` per cluster."""
+        return [
+            ClusterSummary(cluster_id=i, size=len(members), member_indices=tuple(members))
+            for i, members in enumerate(self.clusters)
+        ]
+
+
+class RockPipeline:
+    """Configurable sample/cluster/label ROCK pipeline.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters requested from the agglomeration phase.
+    theta:
+        Similarity threshold.
+    sample_size:
+        Number of points to sample for the clustering phase; ``None`` (the
+        default) clusters the whole data set.
+    measure:
+        Set-similarity measure; defaults to Jaccard.
+    min_neighbors:
+        Points with fewer neighbours than this within the sample are set
+        aside before agglomeration (outlier pre-filter).  ``0`` disables the
+        filter.
+    min_cluster_size:
+        Clusters smaller than this after agglomeration are dissolved and
+        their points handed to the labelling pass (late-outlier handling).
+        ``1`` disables the pruning.
+    labeling_fraction:
+        Fraction of each cluster used when labelling leftover points.
+    exponent_function:
+        ``f(theta)``; defaults to the paper's.
+    assign_outliers:
+        When ``True``, points the labelling pass could not place (no
+        neighbours in any cluster) are left with label ``-1``; when
+        ``False`` they are also labelled ``-1`` — the flag exists so callers
+        can request that such points instead join the cluster with the
+        highest raw neighbour count even if zero (which places them with the
+        largest cluster); the paper leaves them as outliers, so ``True`` is
+        the default and recommended setting.
+    rng:
+        Random generator or seed used for sampling and labelling fractions.
+    strict:
+        Propagated to :class:`RockClustering`.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        theta: float = 0.5,
+        sample_size: int | None = None,
+        measure: SetSimilarity | None = None,
+        min_neighbors: int = 0,
+        min_cluster_size: int = 1,
+        labeling_fraction: float = 1.0,
+        exponent_function: ExponentFunction | None = None,
+        assign_outliers: bool = True,
+        neighbor_strategy: str = "auto",
+        link_strategy: str = "auto",
+        include_self_links: bool = True,
+        rng: np.random.Generator | int | None = None,
+        strict: bool = False,
+    ) -> None:
+        if sample_size is not None and sample_size < 1:
+            raise ConfigurationError("sample_size must be positive or None")
+        if min_neighbors < 0:
+            raise ConfigurationError("min_neighbors must be non-negative")
+        if min_cluster_size < 1:
+            raise ConfigurationError("min_cluster_size must be at least 1")
+        self.n_clusters = int(n_clusters)
+        self.theta = float(theta)
+        self.sample_size = sample_size
+        self.measure = measure
+        self.min_neighbors = int(min_neighbors)
+        self.min_cluster_size = int(min_cluster_size)
+        self.labeling_fraction = float(labeling_fraction)
+        self.exponent_function = exponent_function
+        self.assign_outliers = bool(assign_outliers)
+        self.neighbor_strategy = neighbor_strategy
+        self.link_strategy = link_strategy
+        self.include_self_links = bool(include_self_links)
+        self.rng = np.random.default_rng(rng)
+        self.strict = bool(strict)
+
+    # ------------------------------------------------------------------ #
+    def run(self, data) -> RockPipelineResult:
+        """Execute the pipeline on ``data`` and return the full result."""
+        total_start = time.perf_counter()
+        transactions = as_transactions(data)
+        n_points = len(transactions)
+        timings: dict[str, float] = {}
+
+        # ---- Phase 1: sampling -------------------------------------- #
+        phase_start = time.perf_counter()
+        if self.sample_size is None or self.sample_size >= n_points:
+            sample_indices = list(range(n_points))
+            remainder_indices: list[int] = []
+        else:
+            sample_indices, remainder_indices = draw_sample(
+                transactions, self.sample_size, rng=self.rng
+            )
+        sample = [transactions[i] for i in sample_indices]
+        timings["sampling"] = time.perf_counter() - phase_start
+
+        # ---- Phase 2: outlier pre-filter ----------------------------- #
+        phase_start = time.perf_counter()
+        if self.min_neighbors > 0:
+            graph = compute_neighbors(
+                sample,
+                theta=self.theta,
+                measure=self.measure,
+                strategy=self.neighbor_strategy,
+            )
+            participating, isolated = partition_isolated_points(
+                graph, min_neighbors=self.min_neighbors
+            )
+            if not participating:
+                # Every sampled point is isolated: fall back to clustering all.
+                participating, isolated = list(range(len(sample))), []
+        else:
+            participating, isolated = list(range(len(sample))), []
+        clustered_sample = [sample[i] for i in participating]
+        timings["neighbors"] = time.perf_counter() - phase_start
+
+        # ---- Phase 3: agglomeration ---------------------------------- #
+        phase_start = time.perf_counter()
+        model = RockClustering(
+            n_clusters=self.n_clusters,
+            theta=self.theta,
+            measure=self.measure,
+            neighbor_strategy=self.neighbor_strategy,
+            link_strategy=self.link_strategy,
+            include_self_links=self.include_self_links,
+            exponent_function=self.exponent_function,
+            strict=self.strict,
+        )
+        rock_result = model.fit(clustered_sample).result_
+        timings["clustering"] = time.perf_counter() - phase_start
+
+        # ---- Phase 4: late-outlier pruning --------------------------- #
+        kept_clusters, pruned_points = drop_small_clusters(
+            rock_result.clusters, self.min_cluster_size
+        )
+        if not kept_clusters:
+            kept_clusters = [tuple(range(len(clustered_sample)))]
+            pruned_points = []
+
+        # ---- Phase 5: labelling -------------------------------------- #
+        phase_start = time.perf_counter()
+        # Points needing labels: the non-sampled remainder, the isolated
+        # points set aside in phase 2 and the members of pruned clusters.
+        # Clustered-sample indices refer to `clustered_sample`; map back to
+        # positions in the full data set.
+        sample_position_of = {j: sample_indices[i] for j, i in enumerate(participating)}
+        cluster_members_full = [
+            tuple(sorted(sample_position_of[j] for j in members))
+            for members in kept_clusters
+        ]
+
+        pending_full_indices: list[int] = []
+        pending_full_indices.extend(remainder_indices)
+        pending_full_indices.extend(sample_indices[i] for i in isolated)
+        pending_full_indices.extend(sample_position_of[j] for j in pruned_points)
+        pending_full_indices = sorted(set(pending_full_indices))
+
+        labeling_result: LabelingResult | None = None
+        labels = np.full(n_points, -1, dtype=int)
+        for label, members in enumerate(cluster_members_full):
+            labels[list(members)] = label
+
+        if pending_full_indices:
+            labeling_result = label_points(
+                [transactions[i] for i in pending_full_indices],
+                clustered_sample,
+                kept_clusters,
+                theta=self.theta,
+                measure=self.measure,
+                exponent_function=self.exponent_function,
+                labeling_fraction=self.labeling_fraction,
+                rng=self.rng,
+            )
+            for position, full_index in enumerate(pending_full_indices):
+                labels[full_index] = labeling_result.labels[position]
+        timings["labeling"] = time.perf_counter() - phase_start
+
+        # ---- Assemble the final clusters over the full data set ------ #
+        final_clusters: list[list[int]] = [[] for _ in range(len(cluster_members_full))]
+        for index, label in enumerate(labels):
+            if label >= 0:
+                final_clusters[label].append(index)
+        ordered = sorted(
+            (tuple(members) for members in final_clusters if members),
+            key=lambda members: (-len(members), members[0]),
+        )
+        labels = np.full(n_points, -1, dtype=int)
+        for label, members in enumerate(ordered):
+            labels[list(members)] = label
+
+        timings["total"] = time.perf_counter() - total_start
+        return RockPipelineResult(
+            labels=labels,
+            clusters=list(ordered),
+            sample_indices=list(sample_indices),
+            rock_result=rock_result,
+            labeling_result=labeling_result,
+            n_outliers=int(np.sum(labels == -1)),
+            timings=timings,
+            parameters={
+                "n_clusters": self.n_clusters,
+                "theta": self.theta,
+                "sample_size": self.sample_size,
+                "min_neighbors": self.min_neighbors,
+                "min_cluster_size": self.min_cluster_size,
+                "labeling_fraction": self.labeling_fraction,
+            },
+        )
+
+
+def rock_cluster(
+    data,
+    n_clusters: int,
+    theta: float = 0.5,
+    **pipeline_kwargs,
+) -> RockPipelineResult:
+    """Convenience function: run the ROCK pipeline with one call.
+
+    Parameters
+    ----------
+    data:
+        Transactions, a dataset object or a binary matrix (see
+        :func:`repro.core.rock.as_transactions`).
+    n_clusters:
+        Number of clusters requested.
+    theta:
+        Similarity threshold.
+    **pipeline_kwargs:
+        Any other :class:`RockPipeline` constructor argument.
+
+    Returns
+    -------
+    RockPipelineResult
+    """
+    pipeline = RockPipeline(n_clusters=n_clusters, theta=theta, **pipeline_kwargs)
+    return pipeline.run(data)

@@ -1,0 +1,125 @@
+"""Chernoff-bound random sampling (ROCK Section 4.3).
+
+For large data sets ROCK clusters a random sample and later labels the
+remaining points.  The sample must be large enough that, with high
+probability, every cluster contributes at least a fixed fraction of its
+points.  The bound (borrowed from the CURE paper and reused by ROCK) states
+that a sample of size
+
+    ``s >= f * N + (N / u) * log(1 / delta)
+          + (N / u) * sqrt(log(1 / delta)^2 + 2 * f * u * log(1 / delta))``
+
+contains, with probability at least ``1 - delta``, more than ``f * u``
+points of any cluster of size ``u``, where ``N`` is the data set size.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset, TransactionDataset
+from repro.errors import ConfigurationError
+
+
+def chernoff_sample_size(
+    n_total: int,
+    min_cluster_size: int,
+    fraction: float = 0.05,
+    delta: float = 0.01,
+) -> int:
+    """Minimum sample size guaranteeing cluster representation.
+
+    Parameters
+    ----------
+    n_total:
+        Size ``N`` of the full data set.
+    min_cluster_size:
+        Size ``u`` of the smallest cluster that must be represented.
+    fraction:
+        Fraction ``f`` of the cluster that the sample should capture.
+    delta:
+        Allowed probability of under-representing some cluster.
+
+    Returns
+    -------
+    int
+        The sample size (at most ``n_total``; at least 1).
+    """
+    if n_total < 1:
+        raise ConfigurationError("n_total must be positive, got %r" % n_total)
+    if not 1 <= min_cluster_size <= n_total:
+        raise ConfigurationError(
+            "min_cluster_size must lie in [1, n_total], got %r" % min_cluster_size
+        )
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError("fraction must lie in (0, 1], got %r" % fraction)
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError("delta must lie in (0, 1), got %r" % delta)
+
+    log_term = math.log(1.0 / delta)
+    size = (
+        fraction * n_total
+        + (n_total / min_cluster_size) * log_term
+        + (n_total / min_cluster_size)
+        * math.sqrt(log_term * log_term + 2.0 * fraction * min_cluster_size * log_term)
+    )
+    return int(max(1, min(n_total, math.ceil(size))))
+
+
+def draw_sample(
+    data,
+    sample_size: int,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[list[int], list[int]]:
+    """Draw a uniform random sample of indices without replacement.
+
+    Parameters
+    ----------
+    data:
+        Anything with a length (a dataset or a plain sequence).
+    sample_size:
+        Number of indices to draw; must not exceed ``len(data)``.
+    rng:
+        NumPy random generator or seed.
+
+    Returns
+    -------
+    (sample_indices, remainder_indices):
+        Both sorted in increasing order; together they partition
+        ``range(len(data))``.
+    """
+    n_total = len(data)
+    if not 1 <= sample_size <= n_total:
+        raise ConfigurationError(
+            "sample_size must lie in [1, %d], got %r" % (n_total, sample_size)
+        )
+    generator = np.random.default_rng(rng)
+    chosen = np.sort(generator.choice(n_total, size=sample_size, replace=False))
+    mask = np.zeros(n_total, dtype=bool)
+    mask[chosen] = True
+    remainder = np.nonzero(~mask)[0]
+    return chosen.tolist(), remainder.tolist()
+
+
+def split_dataset(
+    dataset,
+    sample_indices: Sequence[int],
+    remainder_indices: Sequence[int],
+):
+    """Materialise the sample/remainder datasets for either dataset type."""
+    if not isinstance(dataset, (CategoricalDataset, TransactionDataset)):
+        raise ConfigurationError(
+            "split_dataset expects a CategoricalDataset or TransactionDataset, got %r"
+            % type(dataset).__name__
+        )
+    sample = dataset.subset(list(sample_indices), name="%s[sample]" % dataset.name)
+    if remainder_indices:
+        remainder = dataset.subset(
+            list(remainder_indices), name="%s[remainder]" % dataset.name
+        )
+    else:
+        remainder = None
+    return sample, remainder

@@ -1,0 +1,429 @@
+"""Dataset containers for categorical records and market-basket transactions.
+
+The ROCK paper evaluates on two data shapes:
+
+* tabular categorical data (Congressional Votes, Mushroom) where every
+  record has the same attributes and values are drawn from small domains;
+* market-basket / transaction data where every record is a set of items.
+
+Both are represented here as immutable-ish containers with a small, explicit
+API.  The containers keep optional ground-truth class labels because the
+paper's evaluation reports class compositions of the discovered clusters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import (
+    DataValidationError,
+    EmptyDatasetError,
+    SchemaMismatchError,
+)
+from repro.types import AttributeSpec, CategoricalValue
+
+
+def _as_tuple_record(record: Sequence[CategoricalValue]) -> tuple:
+    """Normalise a record to a plain tuple (defensive copy, hashable)."""
+    if isinstance(record, (str, bytes)):
+        raise DataValidationError(
+            "a record must be a sequence of attribute values, got a string: %r"
+            % (record,)
+        )
+    return tuple(record)
+
+
+class CategoricalDataset:
+    """A table of fixed-arity categorical records.
+
+    Parameters
+    ----------
+    records:
+        Iterable of records; each record is a sequence of attribute values.
+        ``None`` denotes a missing value.
+    attribute_names:
+        Optional attribute names.  When omitted, names ``a0 .. a{m-1}`` are
+        generated.
+    labels:
+        Optional ground-truth class labels, one per record.  Used only for
+        evaluation, never by the clustering algorithms.
+    name:
+        Optional human-readable dataset name.
+
+    Examples
+    --------
+    >>> ds = CategoricalDataset([["y", "n"], ["y", "y"]], labels=["r", "d"])
+    >>> ds.n_records, ds.n_attributes
+    (2, 2)
+    >>> ds.record(0)
+    ('y', 'n')
+    """
+
+    def __init__(
+        self,
+        records: Iterable[Sequence[CategoricalValue]],
+        attribute_names: Sequence[str] | None = None,
+        labels: Sequence[Hashable] | None = None,
+        name: str = "categorical-dataset",
+    ) -> None:
+        self._records: list[tuple] = [_as_tuple_record(r) for r in records]
+        if not self._records:
+            raise EmptyDatasetError("a CategoricalDataset requires at least one record")
+
+        arities = {len(r) for r in self._records}
+        if len(arities) != 1:
+            raise SchemaMismatchError(
+                "all records must have the same number of attributes, got arities %s"
+                % sorted(arities)
+            )
+        self._n_attributes = arities.pop()
+        if self._n_attributes == 0:
+            raise SchemaMismatchError("records must have at least one attribute")
+
+        if attribute_names is None:
+            attribute_names = ["a%d" % i for i in range(self._n_attributes)]
+        attribute_names = [str(n) for n in attribute_names]
+        if len(attribute_names) != self._n_attributes:
+            raise SchemaMismatchError(
+                "expected %d attribute names, got %d"
+                % (self._n_attributes, len(attribute_names))
+            )
+        if len(set(attribute_names)) != len(attribute_names):
+            raise SchemaMismatchError("attribute names must be unique")
+        self._attribute_names = tuple(attribute_names)
+
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != len(self._records):
+                raise DataValidationError(
+                    "expected %d labels, got %d" % (len(self._records), len(labels))
+                )
+        self._labels = labels
+        self.name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> tuple:
+        return self._records[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CategoricalDataset(name=%r, n_records=%d, n_attributes=%d)" % (
+            self.name,
+            self.n_records,
+            self.n_attributes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_records(self) -> int:
+        """Number of records in the dataset."""
+        return len(self._records)
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes (columns) of every record."""
+        return self._n_attributes
+
+    @property
+    def attribute_names(self) -> tuple:
+        """Names of the attributes, in column order."""
+        return self._attribute_names
+
+    @property
+    def records(self) -> list[tuple]:
+        """A copy of the record list."""
+        return list(self._records)
+
+    @property
+    def labels(self) -> list | None:
+        """Ground-truth class labels, or ``None`` when not provided."""
+        return None if self._labels is None else list(self._labels)
+
+    @property
+    def has_labels(self) -> bool:
+        """``True`` when ground-truth labels were supplied."""
+        return self._labels is not None
+
+    # ------------------------------------------------------------------ #
+    # Record / column access
+    # ------------------------------------------------------------------ #
+    def record(self, index: int) -> tuple:
+        """Return the record at ``index``."""
+        return self._records[index]
+
+    def label(self, index: int) -> Hashable:
+        """Return the ground-truth label of record ``index``.
+
+        Raises
+        ------
+        DataValidationError
+            If the dataset carries no labels.
+        """
+        if self._labels is None:
+            raise DataValidationError("this dataset has no ground-truth labels")
+        return self._labels[index]
+
+    def column(self, attribute: int | str) -> list:
+        """Return all values of one attribute as a list."""
+        idx = self._attribute_index(attribute)
+        return [record[idx] for record in self._records]
+
+    def _attribute_index(self, attribute: int | str) -> int:
+        if isinstance(attribute, str):
+            try:
+                return self._attribute_names.index(attribute)
+            except ValueError:
+                raise SchemaMismatchError(
+                    "unknown attribute name %r (known: %s)"
+                    % (attribute, ", ".join(self._attribute_names))
+                ) from None
+        index = int(attribute)
+        if not 0 <= index < self._n_attributes:
+            raise SchemaMismatchError(
+                "attribute index %d out of range [0, %d)" % (index, self._n_attributes)
+            )
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Schema / statistics
+    # ------------------------------------------------------------------ #
+    def domain(self, attribute: int | str, include_missing: bool = False) -> set:
+        """Return the set of values observed for one attribute.
+
+        Parameters
+        ----------
+        attribute:
+            Attribute index or name.
+        include_missing:
+            When ``True``, a ``None`` entry is included if missing values
+            occur in the column.
+        """
+        values = set(self.column(attribute))
+        if not include_missing:
+            values.discard(None)
+        return values
+
+    def schema(self) -> list[AttributeSpec]:
+        """Return the inferred schema as a list of :class:`AttributeSpec`."""
+        specs = []
+        for i, attr_name in enumerate(self._attribute_names):
+            domain = tuple(sorted(self.domain(i), key=repr))
+            specs.append(AttributeSpec(name=attr_name, domain=domain))
+        return specs
+
+    def value_frequencies(self, attribute: int | str) -> Counter:
+        """Return a :class:`collections.Counter` of the values of a column.
+
+        Missing values (``None``) are counted under the key ``None``.
+        """
+        return Counter(self.column(attribute))
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean array of shape ``(n_records, n_attributes)``; ``True`` = missing."""
+        mask = np.zeros((self.n_records, self.n_attributes), dtype=bool)
+        for i, record in enumerate(self._records):
+            for j, value in enumerate(record):
+                if value is None:
+                    mask[i, j] = True
+        return mask
+
+    def class_distribution(self) -> Counter:
+        """Counter of ground-truth class labels (empty when unlabelled)."""
+        if self._labels is None:
+            return Counter()
+        return Counter(self._labels)
+
+    # ------------------------------------------------------------------ #
+    # Derivations
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "CategoricalDataset":
+        """Return a new dataset containing only the records at ``indices``."""
+        indices = list(indices)
+        if not indices:
+            raise EmptyDatasetError("cannot build an empty subset")
+        records = [self._records[i] for i in indices]
+        labels = None if self._labels is None else [self._labels[i] for i in indices]
+        return CategoricalDataset(
+            records,
+            attribute_names=self._attribute_names,
+            labels=labels,
+            name=name or ("%s[subset]" % self.name),
+        )
+
+    def shuffled(self, rng: np.random.Generator | int | None = None) -> "CategoricalDataset":
+        """Return a copy with records (and labels) in a random order."""
+        generator = np.random.default_rng(rng)
+        order = generator.permutation(self.n_records)
+        return self.subset(order.tolist(), name="%s[shuffled]" % self.name)
+
+    def drop_attributes(self, attributes: Sequence[int | str]) -> "CategoricalDataset":
+        """Return a copy with the given attributes removed."""
+        drop = {self._attribute_index(a) for a in attributes}
+        keep = [i for i in range(self.n_attributes) if i not in drop]
+        if not keep:
+            raise SchemaMismatchError("cannot drop every attribute")
+        records = [tuple(r[i] for i in keep) for r in self._records]
+        names = [self._attribute_names[i] for i in keep]
+        return CategoricalDataset(
+            records, attribute_names=names, labels=self._labels, name=self.name
+        )
+
+
+class TransactionDataset:
+    """A collection of market-basket transactions (item sets).
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of item collections.  Duplicate items within a transaction
+        are collapsed (a transaction is a *set* of items).
+    labels:
+        Optional ground-truth class labels, one per transaction.
+    name:
+        Optional human-readable dataset name.
+
+    Examples
+    --------
+    >>> ds = TransactionDataset([{1, 2, 3}, {2, 3, 4}])
+    >>> sorted(ds.items())
+    [1, 2, 3, 4]
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[Iterable[Hashable]],
+        labels: Sequence[Hashable] | None = None,
+        name: str = "transaction-dataset",
+    ) -> None:
+        normalised: list[frozenset] = []
+        for transaction in transactions:
+            if isinstance(transaction, (str, bytes)):
+                raise DataValidationError(
+                    "a transaction must be an iterable of items, got a string: %r"
+                    % (transaction,)
+                )
+            normalised.append(frozenset(transaction))
+        if not normalised:
+            raise EmptyDatasetError("a TransactionDataset requires at least one transaction")
+        self._transactions = normalised
+
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != len(normalised):
+                raise DataValidationError(
+                    "expected %d labels, got %d" % (len(normalised), len(labels))
+                )
+        self._labels = labels
+        self.name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[frozenset]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> frozenset:
+        return self._transactions[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TransactionDataset(name=%r, n_transactions=%d, n_items=%d)" % (
+            self.name,
+            self.n_transactions,
+            len(self.items()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_transactions(self) -> int:
+        """Number of transactions."""
+        return len(self._transactions)
+
+    @property
+    def transactions(self) -> list[frozenset]:
+        """A copy of the transaction list."""
+        return list(self._transactions)
+
+    @property
+    def labels(self) -> list | None:
+        """Ground-truth class labels, or ``None`` when not provided."""
+        return None if self._labels is None else list(self._labels)
+
+    @property
+    def has_labels(self) -> bool:
+        """``True`` when ground-truth labels were supplied."""
+        return self._labels is not None
+
+    # ------------------------------------------------------------------ #
+    # Access and statistics
+    # ------------------------------------------------------------------ #
+    def transaction(self, index: int) -> frozenset:
+        """Return the transaction at ``index``."""
+        return self._transactions[index]
+
+    def label(self, index: int) -> Hashable:
+        """Return the ground-truth label of transaction ``index``."""
+        if self._labels is None:
+            raise DataValidationError("this dataset has no ground-truth labels")
+        return self._labels[index]
+
+    def items(self) -> set:
+        """Return the set of distinct items appearing in any transaction."""
+        universe: set = set()
+        for transaction in self._transactions:
+            universe.update(transaction)
+        return universe
+
+    def item_frequencies(self) -> Counter:
+        """Return a Counter mapping each item to its transaction frequency."""
+        counter: Counter = Counter()
+        for transaction in self._transactions:
+            counter.update(transaction)
+        return counter
+
+    def average_size(self) -> float:
+        """Mean number of items per transaction."""
+        return float(np.mean([len(t) for t in self._transactions]))
+
+    def class_distribution(self) -> Counter:
+        """Counter of ground-truth class labels (empty when unlabelled)."""
+        if self._labels is None:
+            return Counter()
+        return Counter(self._labels)
+
+    # ------------------------------------------------------------------ #
+    # Derivations
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "TransactionDataset":
+        """Return a new dataset containing only the transactions at ``indices``."""
+        indices = list(indices)
+        if not indices:
+            raise EmptyDatasetError("cannot build an empty subset")
+        transactions = [self._transactions[i] for i in indices]
+        labels = None if self._labels is None else [self._labels[i] for i in indices]
+        return TransactionDataset(
+            transactions, labels=labels, name=name or ("%s[subset]" % self.name)
+        )
+
+    def shuffled(self, rng: np.random.Generator | int | None = None) -> "TransactionDataset":
+        """Return a copy with transactions (and labels) in a random order."""
+        generator = np.random.default_rng(rng)
+        order = generator.permutation(self.n_transactions)
+        return self.subset(order.tolist(), name="%s[shuffled]" % self.name)

@@ -1,0 +1,219 @@
+"""Plain-text readers and writers for categorical and transaction data.
+
+Two on-disk formats are supported:
+
+* *UCI-style CSV* — one record per line, values separated by a delimiter,
+  optionally with the class label in a fixed column (the UCI Votes data has
+  the label first, Mushroom has it first as well).  A configurable token
+  (``"?"`` by default) denotes a missing value.
+* *transaction files* — one transaction per line, items separated by
+  whitespace or a delimiter.
+
+These readers intentionally avoid pandas: the library's only runtime
+dependencies are NumPy and SciPy.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.data.dataset import CategoricalDataset, TransactionDataset
+from repro.errors import DataValidationError, DatasetUnavailableError
+
+
+def _require_file(path: str | os.PathLike) -> Path:
+    resolved = Path(path)
+    if not resolved.is_file():
+        raise DatasetUnavailableError("data file not found: %s" % resolved)
+    return resolved
+
+
+def read_categorical_csv(
+    path: str | os.PathLike,
+    delimiter: str = ",",
+    label_column: int | None = None,
+    missing_token: str = "?",
+    attribute_names: Sequence[str] | None = None,
+    has_header: bool = False,
+    strip_values: bool = True,
+    name: str | None = None,
+) -> CategoricalDataset:
+    """Read a UCI-style categorical data file.
+
+    Parameters
+    ----------
+    path:
+        Path of the text file.
+    delimiter:
+        Value separator (default ``","``).
+    label_column:
+        Index of the class-label column, or ``None`` when the file has no
+        labels.  Negative indices count from the end.
+    missing_token:
+        Token that denotes a missing value (converted to ``None``).
+    attribute_names:
+        Optional attribute names for the non-label columns.
+    has_header:
+        When ``True``, the first line holds attribute names (the label
+        column's header is dropped).
+    strip_values:
+        Strip surrounding whitespace from every value.
+    name:
+        Dataset name; defaults to the file stem.
+
+    Returns
+    -------
+    CategoricalDataset
+    """
+    resolved = _require_file(path)
+    records: list[list] = []
+    labels: list = []
+    header: list[str] | None = None
+
+    with resolved.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.rstrip("\n").rstrip("\r")
+            if not line.strip():
+                continue
+            values = line.split(delimiter)
+            if strip_values:
+                values = [value.strip() for value in values]
+            if has_header and header is None:
+                header = values
+                continue
+            if label_column is not None:
+                try:
+                    label = values[label_column]
+                except IndexError:
+                    raise DataValidationError(
+                        "line %d of %s has no column %d"
+                        % (line_number, resolved, label_column)
+                    ) from None
+                remaining = list(values)
+                del remaining[label_column]
+                labels.append(label)
+                values = remaining
+            records.append(
+                [None if value == missing_token else value for value in values]
+            )
+
+    if not records:
+        raise DataValidationError("no records found in %s" % resolved)
+
+    if attribute_names is None and header is not None:
+        header_names = list(header)
+        if label_column is not None and len(header_names) == len(records[0]) + 1:
+            del header_names[label_column]
+        attribute_names = header_names
+
+    return CategoricalDataset(
+        records,
+        attribute_names=attribute_names,
+        labels=labels if label_column is not None else None,
+        name=name or resolved.stem,
+    )
+
+
+def write_categorical_csv(
+    dataset: CategoricalDataset,
+    path: str | os.PathLike,
+    delimiter: str = ",",
+    missing_token: str = "?",
+    include_labels: bool = True,
+    label_column: int = 0,
+) -> Path:
+    """Write a :class:`CategoricalDataset` in the UCI-style CSV format.
+
+    The inverse of :func:`read_categorical_csv` for the same parameters.
+    Returns the path written.
+    """
+    resolved = Path(path)
+    resolved.parent.mkdir(parents=True, exist_ok=True)
+    with resolved.open("w", encoding="utf-8") as handle:
+        for i, record in enumerate(dataset):
+            values = [
+                missing_token if value is None else str(value) for value in record
+            ]
+            if include_labels and dataset.has_labels:
+                values.insert(label_column, str(dataset.label(i)))
+            handle.write(delimiter.join(values))
+            handle.write("\n")
+    return resolved
+
+
+def read_transactions(
+    path: str | os.PathLike,
+    delimiter: str | None = None,
+    label_prefix: str | None = None,
+    name: str | None = None,
+) -> TransactionDataset:
+    """Read a transaction file (one transaction per line).
+
+    Parameters
+    ----------
+    path:
+        Path of the text file.
+    delimiter:
+        Item separator; ``None`` splits on arbitrary whitespace.
+    label_prefix:
+        When given, any item starting with this prefix is interpreted as the
+        transaction's class label (for example ``"class="``) instead of a
+        regular item.
+    name:
+        Dataset name; defaults to the file stem.
+    """
+    resolved = _require_file(path)
+    transactions: list[frozenset] = []
+    labels: list = []
+    any_label = False
+
+    with resolved.open("r", encoding="utf-8") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line:
+                continue
+            tokens = line.split(delimiter) if delimiter else line.split()
+            label = None
+            items = []
+            for token in tokens:
+                if label_prefix and token.startswith(label_prefix):
+                    label = token[len(label_prefix):]
+                    any_label = True
+                else:
+                    items.append(token)
+            transactions.append(frozenset(items))
+            labels.append(label)
+
+    if not transactions:
+        raise DataValidationError("no transactions found in %s" % resolved)
+
+    return TransactionDataset(
+        transactions,
+        labels=labels if any_label else None,
+        name=name or resolved.stem,
+    )
+
+
+def write_transactions(
+    dataset: TransactionDataset,
+    path: str | os.PathLike,
+    delimiter: str = " ",
+    label_prefix: str | None = None,
+) -> Path:
+    """Write a :class:`TransactionDataset` one transaction per line.
+
+    Items are sorted within each line so output is deterministic.  Returns
+    the path written.
+    """
+    resolved = Path(path)
+    resolved.parent.mkdir(parents=True, exist_ok=True)
+    with resolved.open("w", encoding="utf-8") as handle:
+        for i, transaction in enumerate(dataset):
+            tokens = sorted(str(item) for item in transaction)
+            if label_prefix is not None and dataset.has_labels:
+                tokens.append("%s%s" % (label_prefix, dataset.label(i)))
+            handle.write(delimiter.join(tokens))
+            handle.write("\n")
+    return resolved

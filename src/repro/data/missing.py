@@ -1,0 +1,110 @@
+"""Missing-value policies for categorical data.
+
+The ROCK paper handles the ``?`` entries in the Congressional Votes data by
+simply not generating items for them (a missing vote neither matches nor
+mismatches).  Other common treatments are to keep the missing marker as its
+own category or to impute the most frequent value of the column.  All three
+are implemented here behind a small enumeration so experiments can state
+their policy explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.data.dataset import CategoricalDataset
+from repro.errors import MissingValueError
+
+
+class MissingValuePolicy(str, enum.Enum):
+    """How missing attribute values are treated.
+
+    Attributes
+    ----------
+    IGNORE:
+        Missing values contribute no items to the record's item set (the
+        ROCK paper's treatment of the Votes data).
+    AS_CATEGORY:
+        A missing value becomes an ordinary category of its attribute.
+    IMPUTE_MODE:
+        A missing value is replaced by the most frequent value of its column.
+    FORBID:
+        Any missing value raises :class:`~repro.errors.MissingValueError`.
+    """
+
+    IGNORE = "ignore"
+    AS_CATEGORY = "as-category"
+    IMPUTE_MODE = "impute-mode"
+    FORBID = "forbid"
+
+
+#: Sentinel category used by :attr:`MissingValuePolicy.AS_CATEGORY`.
+MISSING_CATEGORY = "__missing__"
+
+
+def count_missing(dataset: CategoricalDataset) -> int:
+    """Return the total number of missing cells in ``dataset``."""
+    return int(dataset.missing_mask().sum())
+
+
+def apply_missing_policy(
+    dataset: CategoricalDataset,
+    policy: MissingValuePolicy | str = MissingValuePolicy.IGNORE,
+) -> CategoricalDataset:
+    """Return a dataset transformed according to ``policy``.
+
+    ``IGNORE`` returns the dataset unchanged (downstream encoders skip
+    ``None`` cells themselves); the other policies materialise a new dataset.
+
+    Raises
+    ------
+    MissingValueError
+        Under :attr:`MissingValuePolicy.FORBID` when any cell is missing.
+    """
+    policy = MissingValuePolicy(policy)
+
+    if policy is MissingValuePolicy.IGNORE:
+        return dataset
+
+    if policy is MissingValuePolicy.FORBID:
+        n_missing = count_missing(dataset)
+        if n_missing:
+            raise MissingValueError(
+                "dataset %r contains %d missing values but the policy forbids them"
+                % (dataset.name, n_missing)
+            )
+        return dataset
+
+    if policy is MissingValuePolicy.AS_CATEGORY:
+        records = [
+            tuple(MISSING_CATEGORY if value is None else value for value in record)
+            for record in dataset
+        ]
+        return CategoricalDataset(
+            records,
+            attribute_names=dataset.attribute_names,
+            labels=dataset.labels,
+            name=dataset.name,
+        )
+
+    # IMPUTE_MODE: replace None with the most frequent non-missing value of
+    # the column; if the whole column is missing, fall back to the sentinel.
+    modes = []
+    for j in range(dataset.n_attributes):
+        frequencies = dataset.value_frequencies(j)
+        frequencies.pop(None, None)
+        if frequencies:
+            mode_value = max(frequencies.items(), key=lambda kv: (kv[1], repr(kv[0])))[0]
+        else:
+            mode_value = MISSING_CATEGORY
+        modes.append(mode_value)
+    records = [
+        tuple(modes[j] if value is None else value for j, value in enumerate(record))
+        for record in dataset
+    ]
+    return CategoricalDataset(
+        records,
+        attribute_names=dataset.attribute_names,
+        labels=dataset.labels,
+        name=dataset.name,
+    )

@@ -1,0 +1,41 @@
+"""Data sets of the ROCK evaluation: loaders and faithful synthetic generators.
+
+Every experiment data set has two entry points:
+
+* ``load_<name>(path)`` — read the genuine UCI (or price) file when it is
+  available on disk;
+* ``generate_<name>_like(...)`` — synthesise a data set with the same shape
+  and the same latent cluster structure, used when the real file is absent
+  (this offline reproduction environment).  The substitutions are documented
+  in ``DESIGN.md`` §4.
+
+``fetch_<name>()`` helpers pick the real file when a known path exists and
+fall back to the generator otherwise, so examples and benchmarks run
+unmodified in both situations.
+"""
+
+from repro.datasets.market_basket import (
+    MarketBasketConfig,
+    example_transactions,
+    generate_market_baskets,
+)
+from repro.datasets.mushroom import fetch_mushroom, generate_mushroom_like, load_mushroom
+from repro.datasets.mutual_funds import FundFamily, generate_mutual_funds
+from repro.datasets.registry import available_datasets, fetch_dataset
+from repro.datasets.votes import fetch_votes, generate_votes_like, load_votes
+
+__all__ = [
+    "MarketBasketConfig",
+    "example_transactions",
+    "generate_market_baskets",
+    "fetch_mushroom",
+    "generate_mushroom_like",
+    "load_mushroom",
+    "FundFamily",
+    "generate_mutual_funds",
+    "available_datasets",
+    "fetch_dataset",
+    "fetch_votes",
+    "generate_votes_like",
+    "load_votes",
+]

@@ -1,0 +1,49 @@
+"""Name-based access to the experiment data sets.
+
+The benchmark harness refers to data sets by short names; this registry maps
+those names to the fetch/generate functions so experiment definitions stay
+declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.market_basket import example_transactions, generate_market_baskets
+from repro.datasets.mushroom import fetch_mushroom
+from repro.datasets.mutual_funds import generate_mutual_funds
+from repro.datasets.votes import fetch_votes
+from repro.errors import ConfigurationError
+
+_REGISTRY: dict[str, Callable] = {
+    "votes": fetch_votes,
+    "mushroom": fetch_mushroom,
+    "basket-example": example_transactions,
+    "market-basket": generate_market_baskets,
+    "mutual-funds": generate_mutual_funds,
+}
+
+
+def available_datasets() -> list[str]:
+    """Return the sorted list of registered data-set names."""
+    return sorted(_REGISTRY)
+
+
+def fetch_dataset(name: str, **kwargs):
+    """Fetch (load or generate) the data set registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registered data-set name (case-insensitive).
+    **kwargs:
+        Forwarded to the underlying loader/generator.
+    """
+    key = name.strip().lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown dataset %r; available: %s" % (name, ", ".join(available_datasets()))
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single base class.  Sub-classes are deliberately
+fine-grained: configuration mistakes, data problems and algorithmic failure
+modes (such as running out of links during agglomeration) are distinct
+conditions a caller may want to handle differently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter value or combination of parameters was supplied."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Input data does not satisfy the structural requirements of a routine."""
+
+
+class EmptyDatasetError(DataValidationError):
+    """An operation that requires at least one record received none."""
+
+
+class SchemaMismatchError(DataValidationError):
+    """Records do not agree with the dataset schema (wrong arity or domain)."""
+
+
+class MissingValueError(DataValidationError):
+    """A missing value was encountered under a policy that forbids them."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model attribute was requested before :meth:`fit` was called."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its iteration budget."""
+
+
+class InsufficientLinksError(ReproError, RuntimeError):
+    """Agglomeration stopped early because no cross-cluster links remain.
+
+    ROCK merges clusters only while pairs with non-zero links exist; when the
+    requested number of clusters cannot be reached the caller can either
+    accept the larger clustering or treat this as an error.  The library
+    raises this exception only when ``strict=True`` is requested.
+    """
+
+
+class DatasetUnavailableError(ReproError, FileNotFoundError):
+    """A real-world data file was requested but is not present on disk."""

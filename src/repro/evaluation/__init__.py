@@ -1,0 +1,32 @@
+"""Clustering quality metrics and the class-composition tables of the paper."""
+
+from repro.evaluation.composition import (
+    ClusterComposition,
+    composition_table,
+    impure_cluster_count,
+    pure_cluster_count,
+)
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    clustering_error,
+    confusion_matrix,
+    normalized_mutual_information,
+    purity,
+)
+from repro.evaluation.reporting import format_composition_table, format_table
+
+__all__ = [
+    "ClusterComposition",
+    "composition_table",
+    "impure_cluster_count",
+    "pure_cluster_count",
+    "adjusted_rand_index",
+    "clustering_accuracy",
+    "clustering_error",
+    "confusion_matrix",
+    "normalized_mutual_information",
+    "purity",
+    "format_composition_table",
+    "format_table",
+]

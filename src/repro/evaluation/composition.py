@@ -1,0 +1,133 @@
+"""Class-composition tables: the shape of the paper's result tables.
+
+The ROCK paper reports its Votes and Mushroom results as tables listing, for
+every discovered cluster, how many records of each true class it contains
+(for example "Cluster 1: 144 Republicans, 22 Democrats").  This module
+builds that table from a label array and ground-truth labels, and provides
+the purity summaries the reproduction checks ("how many clusters are pure?",
+"what is the dominant-class share of each cluster?").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataValidationError
+
+
+@dataclass(frozen=True)
+class ClusterComposition:
+    """Class composition of a single cluster.
+
+    Attributes
+    ----------
+    cluster_id:
+        The cluster label (``-1`` collects outliers when present).
+    size:
+        Number of records in the cluster.
+    class_counts:
+        Mapping ``class value -> count`` within the cluster.
+    dominant_class:
+        The most frequent class value.
+    dominant_share:
+        Fraction of the cluster belonging to the dominant class.
+    """
+
+    cluster_id: int
+    size: int
+    class_counts: dict
+    dominant_class: object
+    dominant_share: float
+
+    @property
+    def is_pure(self) -> bool:
+        """``True`` when every record in the cluster has the same class."""
+        return len(self.class_counts) == 1
+
+
+def composition_table(
+    labels_pred: Sequence[int],
+    labels_true: Sequence,
+    include_outliers: bool = True,
+) -> list[ClusterComposition]:
+    """Build the per-cluster class-composition table.
+
+    Parameters
+    ----------
+    labels_pred:
+        Predicted cluster label per record (``-1`` marks outliers).
+    labels_true:
+        Ground-truth class per record.
+    include_outliers:
+        When ``False`` the outlier pseudo-cluster is omitted from the table.
+
+    Returns
+    -------
+    list[ClusterComposition]
+        Ordered by decreasing cluster size (outliers last).
+    """
+    predicted = np.asarray(list(labels_pred))
+    truth = list(labels_true)
+    if len(predicted) != len(truth):
+        raise DataValidationError(
+            "predicted and true label lengths differ: %d vs %d" % (len(predicted), len(truth))
+        )
+    if len(predicted) == 0:
+        raise DataValidationError("cannot build a composition table from empty labels")
+
+    per_cluster: dict[int, Counter] = {}
+    for cluster, klass in zip(predicted.tolist(), truth):
+        per_cluster.setdefault(int(cluster), Counter())[klass] += 1
+
+    rows: list[ClusterComposition] = []
+    for cluster_id, counts in per_cluster.items():
+        if cluster_id == -1 and not include_outliers:
+            continue
+        size = sum(counts.values())
+        dominant_class, dominant_count = max(
+            counts.items(), key=lambda kv: (kv[1], repr(kv[0]))
+        )
+        rows.append(
+            ClusterComposition(
+                cluster_id=cluster_id,
+                size=size,
+                class_counts=dict(counts),
+                dominant_class=dominant_class,
+                dominant_share=dominant_count / size,
+            )
+        )
+    rows.sort(key=lambda row: (row.cluster_id == -1, -row.size, row.cluster_id))
+    return rows
+
+
+def pure_cluster_count(
+    table: Sequence[ClusterComposition], threshold: float = 1.0
+) -> int:
+    """Number of clusters whose dominant-class share is at least ``threshold``.
+
+    Outlier pseudo-clusters (``cluster_id == -1``) are not counted.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise DataValidationError("threshold must lie in (0, 1]")
+    return sum(
+        1
+        for row in table
+        if row.cluster_id != -1 and row.dominant_share >= threshold
+    )
+
+
+def impure_cluster_count(
+    table: Sequence[ClusterComposition], threshold: float = 1.0
+) -> int:
+    """Number of non-outlier clusters below the purity ``threshold``."""
+    total = sum(1 for row in table if row.cluster_id != -1)
+    return total - pure_cluster_count(table, threshold)
+
+
+def dominant_share_by_cluster(table: Sequence[ClusterComposition]) -> dict[int, float]:
+    """Mapping ``cluster_id -> dominant-class share`` (excluding outliers)."""
+    return {row.cluster_id: row.dominant_share for row in table if row.cluster_id != -1}

@@ -1,0 +1,141 @@
+"""External clustering quality metrics.
+
+The ROCK paper evaluates against known class labels (party affiliation,
+edible/poisonous, fund family), so the metrics here are all *external*:
+they compare a predicted label array with a ground-truth label sequence.
+Outlier points (predicted label ``-1``) are kept and counted as their own
+singleton "cluster" unless the caller filters them first; this is the
+conservative choice (outliers can only hurt the reported quality).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import DataValidationError
+
+
+def _validate(labels_pred: Sequence[int], labels_true: Sequence) -> tuple[np.ndarray, list]:
+    predicted = np.asarray(list(labels_pred))
+    truth = list(labels_true)
+    if len(predicted) != len(truth):
+        raise DataValidationError(
+            "predicted and true label lengths differ: %d vs %d" % (len(predicted), len(truth))
+        )
+    if len(predicted) == 0:
+        raise DataValidationError("cannot evaluate empty label arrays")
+    return predicted, truth
+
+
+def confusion_matrix(
+    labels_pred: Sequence[int], labels_true: Sequence
+) -> tuple[np.ndarray, list, list]:
+    """Contingency table between predicted clusters and true classes.
+
+    Returns
+    -------
+    (matrix, cluster_ids, class_values):
+        ``matrix[i, j]`` counts points with predicted cluster
+        ``cluster_ids[i]`` and true class ``class_values[j]``.
+    """
+    predicted, truth = _validate(labels_pred, labels_true)
+    cluster_ids = sorted(set(predicted.tolist()))
+    class_values = sorted(set(truth), key=repr)
+    cluster_index = {c: i for i, c in enumerate(cluster_ids)}
+    class_index = {c: j for j, c in enumerate(class_values)}
+    matrix = np.zeros((len(cluster_ids), len(class_values)), dtype=int)
+    for cluster, klass in zip(predicted.tolist(), truth):
+        matrix[cluster_index[cluster], class_index[klass]] += 1
+    return matrix, cluster_ids, class_values
+
+
+def purity(labels_pred: Sequence[int], labels_true: Sequence) -> float:
+    """Weighted fraction of points belonging to their cluster's majority class."""
+    matrix, _, _ = confusion_matrix(labels_pred, labels_true)
+    return float(matrix.max(axis=1).sum() / matrix.sum())
+
+
+def clustering_accuracy(labels_pred: Sequence[int], labels_true: Sequence) -> float:
+    """The paper's accuracy ``r``: sum of per-cluster majority counts over ``n``.
+
+    Identical to :func:`purity`; exposed under the paper's name so that
+    experiment code reads like the paper.
+    """
+    return purity(labels_pred, labels_true)
+
+
+def clustering_error(labels_pred: Sequence[int], labels_true: Sequence) -> float:
+    """The paper's clustering error ``e = 1 - r``."""
+    return 1.0 - clustering_accuracy(labels_pred, labels_true)
+
+
+def adjusted_rand_index(labels_pred: Sequence[int], labels_true: Sequence) -> float:
+    """Adjusted Rand index between the predicted and true partitions."""
+    matrix, _, _ = confusion_matrix(labels_pred, labels_true)
+    n = matrix.sum()
+
+    def _comb2(value: np.ndarray) -> np.ndarray:
+        return value * (value - 1) / 2.0
+
+    sum_cells = _comb2(matrix.astype(float)).sum()
+    sum_rows = _comb2(matrix.sum(axis=1).astype(float)).sum()
+    sum_cols = _comb2(matrix.sum(axis=0).astype(float)).sum()
+    total_pairs = _comb2(np.array(float(n)))
+    expected = sum_rows * sum_cols / total_pairs if total_pairs else 0.0
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        return 1.0 if sum_cells == expected else 0.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def normalized_mutual_information(
+    labels_pred: Sequence[int], labels_true: Sequence
+) -> float:
+    """NMI (arithmetic normalisation) between predicted and true partitions."""
+    matrix, _, _ = confusion_matrix(labels_pred, labels_true)
+    n = matrix.sum()
+    row_totals = matrix.sum(axis=1)
+    col_totals = matrix.sum(axis=0)
+
+    mutual_information = 0.0
+    for i in range(matrix.shape[0]):
+        for j in range(matrix.shape[1]):
+            count = matrix[i, j]
+            if count == 0:
+                continue
+            mutual_information += (count / n) * math.log(
+                (count * n) / (row_totals[i] * col_totals[j])
+            )
+
+    def _entropy(totals: np.ndarray) -> float:
+        probabilities = totals[totals > 0] / n
+        return float(-(probabilities * np.log(probabilities)).sum())
+
+    entropy_pred = _entropy(row_totals)
+    entropy_true = _entropy(col_totals)
+    normaliser = 0.5 * (entropy_pred + entropy_true)
+    if normaliser == 0:
+        return 1.0
+    return float(mutual_information / normaliser)
+
+
+def cluster_size_distribution(labels_pred: Sequence[int]) -> Counter:
+    """Counter mapping each predicted cluster label to its size."""
+    return Counter(int(label) for label in labels_pred)
+
+
+def balance(labels_pred: Sequence[int]) -> float:
+    """Ratio of the smallest to the largest cluster size (ignoring label -1).
+
+    1.0 means perfectly balanced clusters; values near 0 mean highly skewed
+    sizes (which is what ROCK produces on Mushroom, matching the natural
+    structure).
+    """
+    sizes = [size for label, size in cluster_size_distribution(labels_pred).items() if label >= 0]
+    if not sizes:
+        raise DataValidationError("no non-outlier clusters to measure balance on")
+    return min(sizes) / max(sizes)

@@ -1,0 +1,90 @@
+"""Plain-text rendering of result tables.
+
+The benchmark harness prints the same rows the paper's tables report; these
+helpers keep that formatting in one place (simple fixed-width text, no
+third-party table libraries).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.evaluation.composition import ClusterComposition
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row values (converted with ``str``).
+    title:
+        Optional title printed above the table.
+    """
+    headers = [str(h) for h in headers]
+    text_rows = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for column, value in enumerate(row):
+            if column < len(widths):
+                widths[column] = max(widths[column], len(value))
+            else:
+                widths.append(len(value))
+
+    def _format_row(values: Sequence[str]) -> str:
+        padded = [value.ljust(widths[i]) for i, value in enumerate(values)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(_format_row(headers))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(_format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def format_composition_table(
+    table: Sequence[ClusterComposition],
+    class_order: Sequence | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a class-composition table in the style of the paper's tables.
+
+    Parameters
+    ----------
+    table:
+        Output of :func:`repro.evaluation.composition.composition_table`.
+    class_order:
+        Optional explicit column order of the class values; defaults to the
+        sorted union of classes appearing in the table.
+    title:
+        Optional title.
+    """
+    if class_order is None:
+        classes: set = set()
+        for row in table:
+            classes.update(row.class_counts)
+        class_order = sorted(classes, key=repr)
+    headers = ["cluster", "size"] + [str(c) for c in class_order] + ["dominant", "share"]
+    rows = []
+    for row in table:
+        label = "outliers" if row.cluster_id == -1 else str(row.cluster_id)
+        counts = [row.class_counts.get(c, 0) for c in class_order]
+        rows.append(
+            [label, row.size]
+            + counts
+            + [str(row.dominant_class), "%.3f" % row.dominant_share]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,21 @@
+"""Follow-on and convenience extensions built on top of the core algorithm.
+
+* :mod:`repro.extensions.qrock` — QROCK-style shortcut: when the number of
+  clusters is not fixed in advance, the clusters ROCK would eventually
+  produce are exactly the connected components of the neighbour graph, which
+  can be computed directly in near-linear time.
+* :mod:`repro.extensions.auto_theta` — simple threshold-selection helpers
+  (sweep ``theta`` and pick the value optimising an internal criterion),
+  covering the "how do I choose theta?" question the paper leaves to the
+  user.
+"""
+
+from repro.extensions.auto_theta import ThetaSweepEntry, sweep_theta
+from repro.extensions.qrock import QRock, connected_component_clusters
+
+__all__ = [
+    "ThetaSweepEntry",
+    "sweep_theta",
+    "QRock",
+    "connected_component_clusters",
+]

@@ -1,0 +1,59 @@
+"""Similarity protocol and shared helpers.
+
+A *set similarity* maps two item sets to a value in ``[0, 1]`` where 1 means
+identical and 0 means disjoint.  ROCK only ever thresholds similarities, so
+the protocol is intentionally tiny: a callable plus a name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import DataValidationError
+
+
+@runtime_checkable
+class SetSimilarity(Protocol):
+    """Protocol implemented by all set-similarity measures."""
+
+    #: Short machine-readable name used by the registry.
+    name: str
+
+    def __call__(self, left: frozenset, right: frozenset) -> float:
+        """Return the similarity of ``left`` and ``right`` in ``[0, 1]``."""
+        ...  # pragma: no cover - protocol definition
+
+
+def validate_similarity_value(value: float, measure_name: str = "similarity") -> float:
+    """Clamp tiny floating-point drift and reject out-of-range similarities."""
+    if value < -1e-9 or value > 1 + 1e-9:
+        raise DataValidationError(
+            "%s produced an out-of-range value %r (expected [0, 1])"
+            % (measure_name, value)
+        )
+    return float(min(1.0, max(0.0, value)))
+
+
+def pairwise_similarity_matrix(
+    transactions: Sequence[frozenset],
+    measure: SetSimilarity,
+) -> np.ndarray:
+    """Compute the dense ``(n, n)`` similarity matrix under ``measure``.
+
+    The matrix is symmetric with ones on the diagonal.  This helper is meant
+    for small inputs (tests, examples, the motivating basket example); the
+    core algorithm uses vectorised neighbour computation instead.
+    """
+    n = len(transactions)
+    matrix = np.eye(n, dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = validate_similarity_value(
+                measure(transactions[i], transactions[j]), measure_name=measure.name
+            )
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix

@@ -1,0 +1,72 @@
+"""Name-based registry of similarity measures.
+
+Experiments and configuration files refer to measures by short names
+(``"jaccard"``, ``"dice"`` ...), so the registry maps names to factories.
+Measures that need constructor arguments (for example
+:class:`~repro.similarity.overlap.SimpleMatchingSimilarity`) accept them via
+``get_measure(name, **kwargs)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.similarity.base import SetSimilarity
+from repro.similarity.jaccard import (
+    DiceSimilarity,
+    JaccardSimilarity,
+    OverlapCoefficientSimilarity,
+    SetCosineSimilarity,
+)
+from repro.similarity.overlap import SimpleMatchingSimilarity
+
+_REGISTRY: dict[str, Callable[..., SetSimilarity]] = {}
+
+
+def register_measure(name: str, factory: Callable[..., SetSimilarity]) -> None:
+    """Register a similarity-measure factory under ``name``.
+
+    Re-registering an existing name raises
+    :class:`~repro.errors.ConfigurationError` to avoid silent overrides.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("a measure name must be a non-empty string")
+    if key in _REGISTRY:
+        raise ConfigurationError("similarity measure %r is already registered" % key)
+    _REGISTRY[key] = factory
+
+
+def available_measures() -> list[str]:
+    """Return the sorted list of registered measure names."""
+    return sorted(_REGISTRY)
+
+
+def get_measure(name: str, **kwargs) -> SetSimilarity:
+    """Instantiate the measure registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registered measure name (case-insensitive).
+    **kwargs:
+        Passed to the measure's factory (for example ``n_attributes=16`` for
+        ``"simple-matching"``).
+    """
+    key = name.strip().lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown similarity measure %r; available: %s"
+            % (name, ", ".join(available_measures()))
+        ) from None
+    return factory(**kwargs)
+
+
+register_measure("jaccard", JaccardSimilarity)
+register_measure("dice", DiceSimilarity)
+register_measure("overlap-coefficient", OverlapCoefficientSimilarity)
+register_measure("set-cosine", SetCosineSimilarity)
+register_measure("simple-matching", SimpleMatchingSimilarity)

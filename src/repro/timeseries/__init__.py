@@ -1,0 +1,24 @@
+"""Time-series support for the mutual-funds experiment.
+
+The paper treats each fund's daily closing prices as a categorical record:
+for every pair of consecutive trading days the fund either went *Up* or
+*Down*, and the resulting ``(day, direction)`` items feed the ordinary
+Jaccard/link machinery.  :mod:`repro.timeseries.categorize` implements the
+conversion; :mod:`repro.timeseries.funds` wraps the end-to-end fund
+clustering used by the example script and the benchmark.
+"""
+
+from repro.timeseries.categorize import (
+    Direction,
+    daily_directions,
+    to_updown_transactions,
+)
+from repro.timeseries.funds import FundClusteringResult, cluster_funds
+
+__all__ = [
+    "Direction",
+    "daily_directions",
+    "to_updown_transactions",
+    "FundClusteringResult",
+    "cluster_funds",
+]

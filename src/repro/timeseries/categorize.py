@@ -1,0 +1,116 @@
+"""Conversion of numeric time series to categorical Up/Down transactions."""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.dataset import TransactionDataset
+from repro.errors import ConfigurationError, DataValidationError
+
+
+class Direction(str, enum.Enum):
+    """Daily movement categories."""
+
+    UP = "Up"
+    DOWN = "Down"
+    FLAT = "Flat"
+
+
+def daily_directions(
+    prices: Sequence[float],
+    flat_tolerance: float = 0.0,
+) -> list[Direction]:
+    """Classify each day-over-day move of one price series.
+
+    Parameters
+    ----------
+    prices:
+        The price series (at least two points).
+    flat_tolerance:
+        Relative change below which a move counts as ``FLAT``.  The paper
+        uses a plain Up/Down split, i.e. tolerance 0 (ties count as Down
+        only in the degenerate case of an exactly unchanged price, which the
+        conversion treats as Flat and skips).
+
+    Returns
+    -------
+    list[Direction]
+        One entry per consecutive-day pair.
+    """
+    series = np.asarray(list(prices), dtype=float)
+    if series.ndim != 1 or series.size < 2:
+        raise DataValidationError("a price series needs at least two points")
+    if flat_tolerance < 0:
+        raise ConfigurationError("flat_tolerance must be non-negative")
+    directions: list[Direction] = []
+    for previous, current in zip(series[:-1], series[1:]):
+        if previous == 0:
+            relative = current - previous
+        else:
+            relative = (current - previous) / abs(previous)
+        if abs(relative) <= flat_tolerance:
+            directions.append(Direction.FLAT)
+        elif relative > 0:
+            directions.append(Direction.UP)
+        else:
+            directions.append(Direction.DOWN)
+    return directions
+
+
+def to_updown_transactions(
+    prices: np.ndarray,
+    series_names: Sequence[str] | None = None,
+    labels: Sequence | None = None,
+    flat_tolerance: float = 0.0,
+    include_flat: bool = False,
+) -> TransactionDataset:
+    """Convert a matrix of price series to ``(day, direction)`` transactions.
+
+    Parameters
+    ----------
+    prices:
+        Array of shape ``(n_series, n_days)``.
+    series_names:
+        Optional names (kept only for the dataset name; transactions stay
+        positional).
+    labels:
+        Optional ground-truth labels (for example fund families).
+    flat_tolerance:
+        Passed to :func:`daily_directions`.
+    include_flat:
+        When ``False`` (default, the paper's behaviour) flat days simply do
+        not generate items; when ``True`` they generate ``(day, Flat)``
+        items.
+
+    Returns
+    -------
+    TransactionDataset
+        One transaction per series; items are ``(day_index, direction.value)``
+        tuples.
+    """
+    matrix = np.asarray(prices, dtype=float)
+    if matrix.ndim != 2:
+        raise DataValidationError("prices must be a (n_series, n_days) matrix")
+    if matrix.shape[1] < 2:
+        raise DataValidationError("price series need at least two days")
+    if series_names is not None and len(series_names) != matrix.shape[0]:
+        raise DataValidationError("series_names length does not match the price matrix")
+
+    transactions: list[frozenset] = []
+    for row in matrix:
+        directions = daily_directions(row, flat_tolerance=flat_tolerance)
+        items = []
+        for day, direction in enumerate(directions):
+            if direction is Direction.FLAT and not include_flat:
+                continue
+            items.append((day, direction.value))
+        transactions.append(frozenset(items))
+
+    return TransactionDataset(
+        transactions,
+        labels=list(labels) if labels is not None else None,
+        name="updown-transactions",
+    )

@@ -1,0 +1,108 @@
+"""End-to-end mutual-fund clustering (the paper's time-series experiment)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import RockPipelineResult, rock_cluster
+from repro.errors import DataValidationError
+from repro.timeseries.categorize import to_updown_transactions
+
+
+@dataclass
+class FundClusteringResult:
+    """Clusters of funds with their family composition.
+
+    Attributes
+    ----------
+    pipeline_result:
+        The underlying :class:`RockPipelineResult`.
+    fund_names:
+        Names of the funds, aligned with the labels.
+    clusters:
+        For each cluster: the list of fund names it contains.
+    family_composition:
+        For each cluster: a Counter of the ground-truth family labels.
+    """
+
+    pipeline_result: RockPipelineResult
+    fund_names: list[str]
+    clusters: list[list[str]]
+    family_composition: list[Counter]
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters found."""
+        return len(self.clusters)
+
+    def dominant_families(self) -> list[str]:
+        """The most common family label of each cluster."""
+        dominants = []
+        for counter in self.family_composition:
+            if counter:
+                dominants.append(counter.most_common(1)[0][0])
+            else:
+                dominants.append("")
+        return dominants
+
+
+def cluster_funds(
+    prices: np.ndarray,
+    fund_names: Sequence[str],
+    families: Sequence[str] | None = None,
+    n_clusters: int = 8,
+    theta: float = 0.8,
+    flat_tolerance: float = 0.0,
+    **pipeline_kwargs,
+) -> FundClusteringResult:
+    """Cluster funds from their price series, as in the paper's experiment.
+
+    Parameters
+    ----------
+    prices:
+        ``(n_funds, n_days)`` price matrix.
+    fund_names:
+        One name per fund.
+    families:
+        Optional ground-truth family labels (used only for reporting).
+    n_clusters:
+        Number of clusters requested from ROCK.
+    theta:
+        Similarity threshold (the paper uses 0.8).
+    flat_tolerance:
+        Relative move below which a day is ignored.
+    **pipeline_kwargs:
+        Forwarded to :func:`repro.core.pipeline.rock_cluster`.
+
+    Returns
+    -------
+    FundClusteringResult
+    """
+    fund_names = list(fund_names)
+    matrix = np.asarray(prices, dtype=float)
+    if matrix.shape[0] != len(fund_names):
+        raise DataValidationError("fund_names length does not match the price matrix")
+    transactions = to_updown_transactions(
+        matrix, series_names=fund_names, labels=families, flat_tolerance=flat_tolerance
+    )
+    result = rock_cluster(transactions, n_clusters=n_clusters, theta=theta, **pipeline_kwargs)
+
+    clusters: list[list[str]] = []
+    composition: list[Counter] = []
+    for members in result.clusters:
+        clusters.append([fund_names[i] for i in members])
+        if families is not None:
+            composition.append(Counter(families[i] for i in members))
+        else:
+            composition.append(Counter())
+
+    return FundClusteringResult(
+        pipeline_result=result,
+        fund_names=fund_names,
+        clusters=clusters,
+        family_composition=composition,
+    )

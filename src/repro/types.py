@@ -1,0 +1,106 @@
+"""Shared type aliases and small value objects used across the library.
+
+The library manipulates two logical data shapes:
+
+* *categorical records* — fixed-arity tuples of attribute values (possibly
+  missing), as in the UCI Votes and Mushroom data sets;
+* *transactions* — variable-size sets of items, as in market-basket data.
+
+Both shapes are reduced to item sets before similarity computation (a
+categorical record becomes the set of its ``(attribute, value)`` pairs), so
+most of the core algorithm only ever sees ``frozenset`` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+#: A single categorical attribute value.  ``None`` encodes a missing value.
+CategoricalValue = Hashable | None
+
+#: A fixed-arity categorical record.
+Record = Sequence[CategoricalValue]
+
+#: A market-basket transaction: a collection of hashable items.
+Transaction = frozenset
+
+#: Integer cluster labels, aligned with the records of a dataset.
+Labels = np.ndarray
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Schema entry describing a single categorical attribute.
+
+    Parameters
+    ----------
+    name:
+        Human-readable attribute name (for example ``"cap-shape"``).
+    domain:
+        The attribute values that may appear.  An empty tuple means the
+        domain is open (any hashable value is accepted).
+    """
+
+    name: str
+    domain: tuple = ()
+
+    def allows(self, value: CategoricalValue) -> bool:
+        """Return ``True`` when ``value`` is permitted for this attribute."""
+        if value is None:
+            return True
+        if not self.domain:
+            return True
+        return value in self.domain
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Lightweight description of a single cluster in a clustering result.
+
+    Attributes
+    ----------
+    cluster_id:
+        The integer label of the cluster.
+    size:
+        The number of records assigned to the cluster.
+    member_indices:
+        Indices (into the originating dataset) of the cluster members.
+    """
+
+    cluster_id: int
+    size: int
+    member_indices: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.size != len(self.member_indices):
+            raise ValueError(
+                "size (%d) does not match the number of member indices (%d)"
+                % (self.size, len(self.member_indices))
+            )
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One merge performed by an agglomerative algorithm.
+
+    Attributes
+    ----------
+    step:
+        Zero-based index of the merge in execution order.
+    left, right:
+        Identifiers of the clusters that were merged.
+    goodness:
+        Value of the goodness measure (or, for distance-based baselines, the
+        negated distance) at the time of the merge.
+    new_size:
+        Size of the merged cluster.
+    """
+
+    step: int
+    left: int
+    right: int
+    goodness: float
+    new_size: int

@@ -1,0 +1,103 @@
+"""Tests for repro.baselines.hierarchical."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hierarchical import (
+    TraditionalHierarchicalClustering,
+    centroid_distance_matrix,
+)
+from repro.errors import ConfigurationError, DataValidationError, NotFittedError
+from repro.evaluation.metrics import clustering_error
+
+
+class TestCentroidDistanceMatrix:
+    def test_known_values(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = centroid_distance_matrix(points)
+        assert distances[0, 1] == pytest.approx(25.0)
+        assert distances[0, 0] == 0.0
+
+    def test_symmetry_and_nonnegativity(self, rng):
+        points = rng.normal(size=(20, 5))
+        distances = centroid_distance_matrix(points)
+        assert np.allclose(distances, distances.T)
+        assert np.all(distances >= 0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DataValidationError):
+            centroid_distance_matrix(np.array([1.0, 2.0]))
+
+
+class TestTraditionalHierarchical:
+    def test_separates_numeric_blobs(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [5.0, 5.0], [5.1, 5.0], [5.0, 5.1]])
+        model = TraditionalHierarchicalClustering(n_clusters=2).fit(points)
+        assert sorted(len(c) for c in model.clusters_) == [3, 3]
+
+    @pytest.mark.parametrize("linkage", ["centroid", "single", "complete", "average"])
+    def test_all_linkages_work(self, linkage):
+        points = np.array([[0.0, 0.0], [0.2, 0.0], [9.0, 9.0], [9.2, 9.0]])
+        model = TraditionalHierarchicalClustering(n_clusters=2, linkage=linkage).fit(points)
+        assert model.labels_[0] == model.labels_[1]
+        assert model.labels_[2] == model.labels_[3]
+        assert model.labels_[0] != model.labels_[2]
+
+    def test_accepts_categorical_dataset(self, small_categorical_dataset):
+        model = TraditionalHierarchicalClustering(n_clusters=2).fit(small_categorical_dataset)
+        assert len(model.labels_) == 5
+        assert model.labels_.max() == 1
+
+    def test_accepts_transaction_dataset(self, small_transaction_dataset):
+        model = TraditionalHierarchicalClustering(n_clusters=2).fit(small_transaction_dataset)
+        error = clustering_error(model.labels_, small_transaction_dataset.labels)
+        assert error == 0.0
+
+    def test_merge_history_length(self):
+        points = np.random.default_rng(0).normal(size=(10, 3))
+        model = TraditionalHierarchicalClustering(n_clusters=3).fit(points)
+        assert len(model.merge_history_) == 7
+        assert [step.step for step in model.merge_history_] == list(range(7))
+
+    def test_clusters_ordered_by_size(self, votes_small):
+        model = TraditionalHierarchicalClustering(n_clusters=3).fit(votes_small)
+        sizes = [len(c) for c in model.clusters_]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_n_clusters_equal_to_points(self):
+        points = np.eye(4)
+        model = TraditionalHierarchicalClustering(n_clusters=4).fit(points)
+        assert len(model.clusters_) == 4
+
+    def test_fit_predict(self):
+        points = np.array([[0.0], [0.1], [9.0], [9.1]])
+        labels = TraditionalHierarchicalClustering(n_clusters=2).fit_predict(points)
+        assert len(labels) == 4
+
+    def test_not_fitted_errors(self):
+        model = TraditionalHierarchicalClustering(n_clusters=2)
+        with pytest.raises(NotFittedError):
+            model.labels_
+        with pytest.raises(NotFittedError):
+            model.clusters_
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TraditionalHierarchicalClustering(n_clusters=0)
+        with pytest.raises(ConfigurationError):
+            TraditionalHierarchicalClustering(n_clusters=2, linkage="ward")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DataValidationError):
+            TraditionalHierarchicalClustering(n_clusters=1).fit(np.empty((0, 3)))
+
+    def test_deterministic(self, votes_small):
+        first = TraditionalHierarchicalClustering(n_clusters=2).fit(votes_small).labels_
+        second = TraditionalHierarchicalClustering(n_clusters=2).fit(votes_small).labels_
+        assert np.array_equal(first, second)
+
+    def test_votes_like_data_reasonable_quality(self, votes_small):
+        model = TraditionalHierarchicalClustering(n_clusters=2).fit(votes_small)
+        # The centroid-based baseline should do clearly better than chance on
+        # well-separated synthetic votes, but is not required to be perfect.
+        assert clustering_error(model.labels_, votes_small.labels) < 0.5

@@ -1,0 +1,177 @@
+"""Tests for repro.baselines.kmodes and repro.baselines.squeezer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmodes import KModes, matching_dissimilarity
+from repro.baselines.squeezer import ClusterHistogram, Squeezer
+from repro.errors import ConfigurationError, DataValidationError, NotFittedError
+from repro.evaluation.metrics import clustering_error
+
+
+class TestMatchingDissimilarity:
+    def test_counts_mismatches(self):
+        assert matching_dissimilarity(("a", "b", "c"), ("a", "x", "c")) == 1
+        assert matching_dissimilarity(("a", "b"), ("a", "b")) == 0
+
+    def test_missing_matches_only_missing(self):
+        assert matching_dissimilarity((None, "a"), (None, "a")) == 0
+        assert matching_dissimilarity((None, "a"), ("b", "a")) == 1
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(DataValidationError):
+            matching_dissimilarity(("a",), ("a", "b"))
+
+
+class TestKModes:
+    def test_separates_obvious_groups(self):
+        records = [("a", "x", "1")] * 5 + [("b", "y", "2")] * 5
+        model = KModes(n_clusters=2).fit(records)
+        assert sorted(np.bincount(model.labels_).tolist()) == [5, 5]
+        assert model.cost_ == 0.0
+
+    def test_modes_are_cluster_representatives(self):
+        records = [("a", "x"), ("a", "x"), ("a", "y"), ("b", "z"), ("b", "z")]
+        model = KModes(n_clusters=2).fit(records)
+        assert ("a", "x") in model.modes_ or ("a", "y") in model.modes_
+
+    def test_votes_like_quality(self, votes_small):
+        model = KModes(n_clusters=2, rng=0).fit(votes_small)
+        assert clustering_error(model.labels_, votes_small.labels) < 0.25
+
+    def test_first_distinct_init_is_deterministic(self, votes_small):
+        first = KModes(n_clusters=2).fit(votes_small).labels_
+        second = KModes(n_clusters=2).fit(votes_small).labels_
+        assert np.array_equal(first, second)
+
+    def test_random_init_with_seed_is_reproducible(self, votes_small):
+        first = KModes(n_clusters=2, init="random", rng=3).fit(votes_small).labels_
+        second = KModes(n_clusters=2, init="random", rng=3).fit(votes_small).labels_
+        assert np.array_equal(first, second)
+
+    def test_clusters_property(self):
+        records = [("a",)] * 3 + [("b",)] * 2
+        model = KModes(n_clusters=2).fit(records)
+        clusters = model.clusters_
+        assert [len(c) for c in clusters] == [3, 2]
+
+    def test_accepts_categorical_dataset(self, small_categorical_dataset):
+        model = KModes(n_clusters=2).fit(small_categorical_dataset)
+        assert len(model.labels_) == small_categorical_dataset.n_records
+
+    def test_n_iterations_positive(self, votes_small):
+        model = KModes(n_clusters=2).fit(votes_small)
+        assert model.n_iterations_ >= 1
+
+    def test_too_many_clusters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=5).fit([("a",), ("b",)])
+
+    def test_not_enough_distinct_records_rejected(self):
+        with pytest.raises(DataValidationError):
+            KModes(n_clusters=3).fit([("a",), ("a",), ("a",)])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=0)
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=2, init="bogus")
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=2, max_iterations=0)
+
+    def test_not_fitted_errors(self):
+        model = KModes(n_clusters=2)
+        with pytest.raises(NotFittedError):
+            model.labels_
+        with pytest.raises(NotFittedError):
+            model.modes_
+        with pytest.raises(NotFittedError):
+            model.cost_
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DataValidationError):
+            KModes(n_clusters=1).fit([])
+
+
+class TestClusterHistogram:
+    def test_add_and_similarity(self):
+        histogram = ClusterHistogram(2)
+        histogram.add(("a", "x"))
+        histogram.add(("a", "y"))
+        assert histogram.size == 2
+        assert histogram.similarity(("a", "x")) == pytest.approx(1.0 + 0.5)
+        assert histogram.similarity(("b", "z")) == 0.0
+
+    def test_missing_values_skipped(self):
+        histogram = ClusterHistogram(2)
+        histogram.add(("a", None))
+        assert histogram.similarity((None, "x")) == 0.0
+        assert histogram.n_entries() == 1
+
+    def test_arity_mismatch_rejected(self):
+        histogram = ClusterHistogram(2)
+        with pytest.raises(DataValidationError):
+            histogram.add(("a",))
+
+    def test_empty_histogram_similarity_zero(self):
+        assert ClusterHistogram(3).similarity(("a", "b", "c")) == 0.0
+
+
+class TestSqueezer:
+    def test_separates_obvious_groups(self):
+        records = [("a", "x")] * 5 + [("b", "y")] * 5
+        model = Squeezer(similarity_threshold=1.0).fit(records)
+        assert model.n_clusters_ == 2
+        assert clustering_error(model.labels_, [0] * 5 + [1] * 5) == 0.0
+
+    def test_low_threshold_gives_one_cluster(self):
+        records = [("a", "x"), ("b", "y"), ("c", "z")]
+        model = Squeezer(similarity_threshold=0.0).fit(records)
+        assert model.n_clusters_ == 1
+
+    def test_high_threshold_gives_many_clusters(self):
+        records = [("a", "x"), ("b", "y"), ("c", "z")]
+        model = Squeezer(similarity_threshold=10.0).fit(records)
+        assert model.n_clusters_ == 3
+
+    def test_max_clusters_cap(self):
+        records = [("a", "x"), ("b", "y"), ("c", "z"), ("d", "w")]
+        model = Squeezer(similarity_threshold=10.0, max_clusters=2).fit(records)
+        assert model.n_clusters_ == 2
+
+    def test_clusters_property_and_total_entries(self):
+        records = [("a", "x")] * 3 + [("b", "y")] * 2
+        model = Squeezer(similarity_threshold=1.0).fit(records)
+        assert [len(c) for c in model.clusters_] == [3, 2]
+        assert model.total_entries() == 4
+
+    def test_votes_like_quality(self, votes_small):
+        model = Squeezer(similarity_threshold=9.0).fit(votes_small)
+        assert clustering_error(model.labels_, votes_small.labels) < 0.35
+
+    def test_accepts_categorical_dataset(self, small_categorical_dataset):
+        model = Squeezer(similarity_threshold=1.5).fit(small_categorical_dataset)
+        assert len(model.labels_) == small_categorical_dataset.n_records
+
+    def test_order_dependence_is_single_pass(self):
+        # The first record always founds cluster 0.
+        records = [("b", "y"), ("a", "x"), ("b", "y")]
+        model = Squeezer(similarity_threshold=1.0).fit(records)
+        assert model.labels_[0] == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Squeezer(similarity_threshold=-1.0)
+        with pytest.raises(ConfigurationError):
+            Squeezer(similarity_threshold=1.0, max_clusters=0)
+
+    def test_not_fitted_errors(self):
+        model = Squeezer(similarity_threshold=1.0)
+        with pytest.raises(NotFittedError):
+            model.labels_
+        with pytest.raises(NotFittedError):
+            model.histograms_
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DataValidationError):
+            Squeezer(similarity_threshold=1.0).fit([])

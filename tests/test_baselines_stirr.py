@@ -1,0 +1,93 @@
+"""Tests for repro.baselines.stirr."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.stirr import Stirr, StirrResult
+from repro.errors import ConfigurationError, ConvergenceError, DataValidationError
+from repro.evaluation.metrics import clustering_error
+
+
+@pytest.fixture
+def polarised_records():
+    """Records with two obvious value blocks (like a tiny Votes data set)."""
+    return [("y", "y", "y", "n")] * 8 + [("n", "n", "n", "y")] * 8
+
+
+class TestStirr:
+    def test_revised_variant_converges(self, polarised_records):
+        result = Stirr(revised=True, rng=0).fit(polarised_records)
+        assert isinstance(result, StirrResult)
+        assert result.converged
+        assert result.n_iterations < 100
+
+    def test_two_way_split_recovers_blocks(self, polarised_records):
+        result = Stirr(revised=True, rng=0).fit(polarised_records)
+        truth = [0] * 8 + [1] * 8
+        assert clustering_error(result.labels, truth) == 0.0
+
+    def test_value_weights_have_opposite_signs(self, polarised_records):
+        result = Stirr(revised=True, rng=0).fit(polarised_records)
+        weight_y = result.value_weights[(0, "y")]
+        weight_n = result.value_weights[(0, "n")]
+        assert weight_y * weight_n < 0
+
+    def test_votes_like_quality(self, votes_small):
+        result = Stirr(revised=True, rng=0).fit(votes_small)
+        assert clustering_error(result.labels, votes_small.labels) < 0.3
+
+    def test_fit_predict_returns_labels(self, polarised_records):
+        labels = Stirr(revised=True, rng=0).fit_predict(polarised_records)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_label_zero_is_majority_group(self):
+        records = [("y", "y")] * 10 + [("n", "n")] * 3
+        result = Stirr(revised=True, rng=0).fit(records)
+        assert np.sum(result.labels == 0) >= np.sum(result.labels == 1)
+
+    def test_history_records_changes(self, polarised_records):
+        result = Stirr(revised=True, rng=0).fit(polarised_records)
+        assert len(result.history) == result.n_iterations
+        assert all(change >= 0 for change in result.history)
+
+    def test_classic_iteration_runs(self, polarised_records):
+        result = Stirr(revised=False, max_iterations=20, rng=0).fit(polarised_records)
+        assert result.n_iterations <= 20
+
+    def test_product_combiner_supported(self, polarised_records):
+        result = Stirr(combiner="product", revised=True, rng=0, max_iterations=50).fit(
+            polarised_records
+        )
+        assert len(result.labels) == len(polarised_records)
+
+    def test_strict_raises_without_convergence(self, polarised_records):
+        with pytest.raises(ConvergenceError):
+            Stirr(revised=False, max_iterations=1, strict=True, rng=0, tolerance=1e-15).fit(
+                polarised_records
+            )
+
+    def test_missing_values_ignored(self):
+        records = [("y", None), ("y", "y"), (None, "n"), ("n", "n")]
+        result = Stirr(revised=True, rng=0).fit(records)
+        assert len(result.labels) == 4
+
+    def test_reproducible_with_seed(self, polarised_records):
+        first = Stirr(revised=True, rng=5).fit(polarised_records).labels
+        second = Stirr(revised=True, rng=5).fit(polarised_records).labels
+        assert np.array_equal(first, second)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Stirr(combiner="bogus")
+        with pytest.raises(ConfigurationError):
+            Stirr(max_iterations=0)
+        with pytest.raises(ConfigurationError):
+            Stirr(tolerance=0.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DataValidationError):
+            Stirr().fit([])
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(DataValidationError):
+            Stirr().fit([(None, None)])

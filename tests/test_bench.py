@@ -1,0 +1,144 @@
+"""Tests for the repro.bench experiment harness (small, fast configurations)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_basket_example,
+    run_funds_experiment,
+    run_mushroom_experiment,
+    run_votes_experiment,
+)
+from repro.bench.harness import (
+    ExperimentRecord,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.bench.scalability import ScalabilityPoint, run_scalability_sweep
+from repro.errors import ConfigurationError
+
+
+class TestHarness:
+    def test_all_paper_experiments_registered(self):
+        registered = available_experiments()
+        for experiment_id in ("E1", "E2-E3", "E4-E5", "E6", "E7"):
+            assert experiment_id in registered
+
+    def test_get_experiment_returns_callable(self):
+        assert callable(get_experiment("E1"))
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("e1") is get_experiment("E1")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("E99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_experiment("E1", lambda: None)
+
+    def test_record_render_contains_sections(self):
+        record = ExperimentRecord(
+            experiment_id="X1",
+            title="demo",
+            parameters={"theta": 0.5},
+            metrics={"error": 0.25, "count": 3},
+            tables={"main": "a | b"},
+            series={"line": [(1, 2.0)]},
+            notes=["remark"],
+        )
+        text = record.render()
+        assert "[X1] demo" in text
+        assert "theta" in text
+        assert "error = 0.2500" in text
+        assert "count = 3" in text
+        assert "a | b" in text
+        assert "series line:" in text
+        assert "note: remark" in text
+
+
+class TestBasketExperiment:
+    def test_rock_separates_example_perfectly(self):
+        record = run_basket_example()
+        assert record.metrics["rock_error"] == 0.0
+        assert record.metrics["rock_error"] <= record.metrics["traditional_error"]
+        assert "rock" in record.tables and "traditional" in record.tables
+
+
+class TestVotesExperiment:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return run_votes_experiment(rng=0, include_kmodes=False)
+
+    def test_rock_beats_traditional(self, record):
+        assert record.metrics["rock_error"] < record.metrics["traditional_error"]
+
+    def test_rock_error_is_low(self, record):
+        assert record.metrics["rock_error"] < 0.2
+
+    def test_tables_present(self, record):
+        assert "ROCK" in record.tables["rock"]
+        assert "republican" in record.tables["rock"]
+
+
+class TestMushroomExperiment:
+    @pytest.fixture(scope="class")
+    def record(self):
+        # A very small scale keeps the test fast while preserving the shape.
+        return run_mushroom_experiment(scale=0.03, rng=0)
+
+    def test_rock_clusters_are_almost_all_pure(self, record):
+        pure = record.metrics["rock_pure_clusters"]
+        total = record.metrics["rock_n_clusters"]
+        assert pure >= total - 2
+
+    def test_rock_error_small(self, record):
+        assert record.metrics["rock_error"] < 0.1
+
+    def test_rock_at_least_as_pure_as_traditional(self, record):
+        rock_share = record.metrics["rock_pure_clusters"] / max(record.metrics["rock_n_clusters"], 1)
+        traditional_share = record.metrics["traditional_pure_clusters"] / max(
+            record.metrics["traditional_n_clusters"], 1
+        )
+        assert rock_share >= traditional_share - 1e-9
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_mushroom_experiment(scale=0.0)
+
+
+class TestFundsExperiment:
+    def test_families_cocluster(self):
+        record = run_funds_experiment(n_days=200, rng=0)
+        assert record.metrics["purity_vs_family"] > 0.9
+        assert "funds" in record.tables
+
+
+class TestScalability:
+    def test_sweep_grid_size(self, mushroom_small):
+        dataset, _ = mushroom_small
+        points = run_scalability_sweep(
+            data=dataset, sample_sizes=(40, 80), thetas=(0.7, 0.8), n_clusters=8, rng=0
+        )
+        assert len(points) == 4
+        assert all(isinstance(point, ScalabilityPoint) for point in points)
+        assert all(point.seconds >= 0 for point in points)
+
+    def test_larger_samples_take_longer(self, mushroom_small):
+        dataset, _ = mushroom_small
+        points = run_scalability_sweep(
+            data=dataset, sample_sizes=(30, 150), thetas=(0.8,), n_clusters=8, rng=0
+        )
+        by_size = {point.sample_size: point.seconds for point in points}
+        assert by_size[150] > by_size[30]
+
+    def test_sample_larger_than_data_rejected(self, mushroom_small):
+        dataset, _ = mushroom_small
+        with pytest.raises(ConfigurationError):
+            run_scalability_sweep(data=dataset, sample_sizes=(10_000,), thetas=(0.8,))
+
+    def test_empty_grid_rejected(self, mushroom_small):
+        dataset, _ = mushroom_small
+        with pytest.raises(ConfigurationError):
+            run_scalability_sweep(data=dataset, sample_sizes=(), thetas=(0.8,))

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import write_categorical_csv, write_transactions
+from repro.datasets.market_basket import generate_market_baskets
+from repro.datasets.votes import generate_votes_like
+
+
+@pytest.fixture
+def votes_csv(tmp_path):
+    votes = generate_votes_like(n_republicans=40, n_democrats=60, rng=7)
+    path = tmp_path / "votes.csv"
+    write_categorical_csv(votes, path)
+    return path
+
+
+@pytest.fixture
+def basket_file(tmp_path):
+    baskets = generate_market_baskets(rng=0, n_transactions=80, n_clusters=2)
+    path = tmp_path / "baskets.txt"
+    write_transactions(baskets, path, label_prefix="class=")
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_requires_clusters(self, votes_csv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", str(votes_csv)])
+
+    def test_parses_full_cluster_invocation(self, votes_csv):
+        arguments = build_parser().parse_args(
+            ["cluster", str(votes_csv), "--clusters", "2", "--theta", "0.65",
+             "--label-column", "0", "--min-cluster-size", "3"]
+        )
+        assert arguments.clusters == 2
+        assert arguments.theta == 0.65
+
+
+class TestClusterCommand:
+    def test_cluster_labeled_csv(self, votes_csv, capsys, tmp_path):
+        output = tmp_path / "labels.txt"
+        code = main([
+            "cluster", str(votes_csv), "--clusters", "2", "--theta", "0.65",
+            "--label-column", "0", "--min-cluster-size", "3",
+            "--output", str(output),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "clusters" in captured
+        assert "clustering error" in captured
+        assert output.is_file()
+        labels = output.read_text().split()
+        assert len(labels) == 100
+
+    def test_cluster_unlabeled_csv(self, tmp_path, capsys):
+        votes = generate_votes_like(n_republicans=20, n_democrats=20, rng=1)
+        path = tmp_path / "unlabeled.csv"
+        write_categorical_csv(votes, path, include_labels=False)
+        code = main(["cluster", str(path), "--clusters", "2", "--theta", "0.6"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Cluster sizes" in captured
+
+    def test_cluster_transactions_file(self, basket_file, capsys):
+        code = main([
+            "cluster", str(basket_file), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "2", "--theta", "0.2",
+            "--min-cluster-size", "3",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Cluster composition" in captured
+
+    def test_missing_file_returns_error_code(self, tmp_path, capsys):
+        code = main(["cluster", str(tmp_path / "absent.csv"), "--clusters", "2"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_datasets_lists_registrations(self, capsys):
+        assert main(["datasets"]) == 0
+        captured = capsys.readouterr().out
+        assert "votes" in captured
+        assert "E2-E3" in captured
+
+    def test_experiment_runs_basket_example(self, capsys):
+        assert main(["experiment", "E1"]) == 0
+        captured = capsys.readouterr().out
+        assert "[E1]" in captured
+        assert "rock_error" in captured
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_command(self, votes_csv, capsys):
+        code = main([
+            "sweep", str(votes_csv), "--clusters", "2", "--label-column", "0",
+            "--thetas", "0.6", "0.7",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "theta sweep" in captured
+        assert "recommended theta" in captured

@@ -1,0 +1,105 @@
+"""Tests for repro.core.goodness."""
+
+import numpy as np
+import pytest
+
+from repro.core.goodness import (
+    criterion_function,
+    default_expected_links_exponent,
+    expected_pairwise_links,
+    goodness,
+    theta_power,
+)
+from repro.core.links import links_from_neighbors
+from repro.core.neighbors import compute_neighbors
+from repro.errors import ConfigurationError
+
+
+class TestExponentFunction:
+    def test_endpoints(self):
+        assert default_expected_links_exponent(0.0) == 1.0
+        assert default_expected_links_exponent(1.0) == 0.0
+
+    def test_paper_value(self):
+        assert default_expected_links_exponent(0.5) == pytest.approx(1 / 3)
+
+    def test_monotonically_decreasing(self):
+        thetas = np.linspace(0, 1, 11)
+        values = [default_expected_links_exponent(t) for t in thetas]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_expected_links_exponent(1.2)
+
+
+class TestThetaPower:
+    def test_matches_formula(self):
+        theta = 0.5
+        exponent = 1 + 2 * default_expected_links_exponent(theta)
+        assert theta_power(10, theta) == pytest.approx(10 ** exponent)
+
+    def test_expected_pairwise_links_alias(self):
+        assert expected_pairwise_links(7, 0.6) == theta_power(7, 0.6)
+
+    def test_custom_exponent_function(self):
+        assert theta_power(4, 0.9, f=lambda theta: 0.5) == pytest.approx(4 ** 2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            theta_power(-1, 0.5)
+
+
+class TestGoodness:
+    def test_zero_links_zero_goodness(self):
+        assert goodness(0, 5, 5, 0.5) == 0.0
+
+    def test_positive_for_positive_links(self):
+        assert goodness(10, 5, 5, 0.5) > 0
+
+    def test_scales_linearly_in_links(self):
+        assert goodness(20, 5, 5, 0.5) == pytest.approx(2 * goodness(10, 5, 5, 0.5))
+
+    def test_prefers_small_clusters_for_equal_links(self):
+        # The same number of cross links is stronger evidence for merging
+        # small clusters than large ones.
+        assert goodness(6, 3, 3, 0.5) > goodness(6, 30, 30, 0.5)
+
+    def test_symmetric_in_cluster_sizes(self):
+        assert goodness(5, 4, 9, 0.5) == pytest.approx(goodness(5, 9, 4, 0.5))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            goodness(1, 0, 5, 0.5)
+
+    def test_negative_links_rejected(self):
+        with pytest.raises(ConfigurationError):
+            goodness(-1, 2, 2, 0.5)
+
+
+class TestCriterionFunction:
+    @pytest.fixture
+    def links(self, two_group_transactions):
+        graph = compute_neighbors(two_group_transactions, theta=0.4)
+        return links_from_neighbors(graph)
+
+    def test_correct_partition_beats_split_partition(self, links):
+        theta = 0.4
+        good = criterion_function(links, [[0, 1, 2], [3, 4, 5]], theta)
+        split = criterion_function(links, [[0, 1], [2], [3, 4], [5]], theta)
+        assert good > split
+
+    def test_correct_partition_beats_mixed_partition(self, links):
+        theta = 0.4
+        good = criterion_function(links, [[0, 1, 2], [3, 4, 5]], theta)
+        mixed = criterion_function(links, [[0, 1, 3], [2, 4, 5]], theta)
+        assert good > mixed
+
+    def test_empty_clusters_ignored(self, links):
+        theta = 0.4
+        with_empty = criterion_function(links, [[0, 1, 2], [], [3, 4, 5]], theta)
+        without = criterion_function(links, [[0, 1, 2], [3, 4, 5]], theta)
+        assert with_empty == pytest.approx(without)
+
+    def test_singletons_contribute_zero(self, links):
+        assert criterion_function(links, [[0], [1], [2], [3], [4], [5]], 0.4) == 0.0

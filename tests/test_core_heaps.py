@@ -1,0 +1,154 @@
+"""Tests for repro.core.heaps.AddressableMaxHeap."""
+
+import numpy as np
+import pytest
+
+from repro.core.heaps import AddressableMaxHeap
+from repro.errors import ConfigurationError
+
+
+class TestBasicOperations:
+    def test_push_peek_pop(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 3.0)
+        heap.push("c", 2.0)
+        assert heap.peek() == ("b", 3.0)
+        assert heap.pop() == ("b", 3.0)
+        assert heap.pop() == ("c", 2.0)
+        assert heap.pop() == ("a", 1.0)
+        assert len(heap) == 0
+
+    def test_len_contains_bool(self):
+        heap = AddressableMaxHeap()
+        assert not heap
+        heap.push(1, 5.0)
+        assert heap
+        assert 1 in heap
+        assert 2 not in heap
+        assert len(heap) == 1
+
+    def test_duplicate_push_rejected(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(ConfigurationError):
+            heap.push("a", 2.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableMaxHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableMaxHeap().peek()
+
+    def test_priority_of(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 4.5)
+        assert heap.priority_of("a") == 4.5
+        with pytest.raises(KeyError):
+            heap.priority_of("missing")
+
+    def test_clear(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.clear()
+        assert len(heap) == 0
+        assert "a" not in heap
+
+
+class TestUpdateAndDelete:
+    def test_update_increases_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.update("a", 10.0)
+        assert heap.peek() == ("a", 10.0)
+
+    def test_update_decreases_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 10.0)
+        heap.push("b", 2.0)
+        heap.update("a", 1.0)
+        assert heap.peek() == ("b", 2.0)
+
+    def test_update_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            AddressableMaxHeap().update("a", 1.0)
+
+    def test_push_or_update(self):
+        heap = AddressableMaxHeap()
+        heap.push_or_update("a", 1.0)
+        heap.push_or_update("a", 5.0)
+        assert len(heap) == 1
+        assert heap.peek() == ("a", 5.0)
+
+    def test_delete_returns_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert heap.delete("a") == 1.0
+        assert "a" not in heap
+        assert heap.pop() == ("b", 2.0)
+
+    def test_delete_missing_raises_discard_does_not(self):
+        heap = AddressableMaxHeap()
+        with pytest.raises(KeyError):
+            heap.delete("a")
+        heap.discard("a")  # no exception
+
+    def test_delete_root(self):
+        heap = AddressableMaxHeap()
+        for key, priority in (("a", 5.0), ("b", 3.0), ("c", 4.0)):
+            heap.push(key, priority)
+        heap.delete("a")
+        assert heap.peek() == ("c", 4.0)
+
+
+class TestOrderingInvariants:
+    def test_items_sorted_by_priority(self):
+        heap = AddressableMaxHeap()
+        for key, priority in (("a", 2.0), ("b", 5.0), ("c", 3.0)):
+            heap.push(key, priority)
+        assert heap.items() == [("b", 5.0), ("c", 3.0), ("a", 2.0)]
+
+    def test_ties_broken_by_insertion_order(self):
+        heap = AddressableMaxHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        heap.push("third", 1.0)
+        assert heap.pop()[0] == "first"
+        assert heap.pop()[0] == "second"
+        assert heap.pop()[0] == "third"
+
+    def test_pops_always_non_increasing_random(self):
+        rng = np.random.default_rng(42)
+        heap = AddressableMaxHeap()
+        for key in range(300):
+            heap.push(key, float(rng.normal()))
+        # Interleave updates and deletions.
+        for key in range(0, 300, 7):
+            heap.update(key, float(rng.normal()))
+        for key in range(0, 300, 13):
+            heap.discard(key)
+        values = []
+        while heap:
+            values.append(heap.pop()[1])
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_reference_sort(self):
+        rng = np.random.default_rng(7)
+        priorities = {i: float(rng.uniform(-10, 10)) for i in range(100)}
+        heap = AddressableMaxHeap()
+        for key, priority in priorities.items():
+            heap.push(key, priority)
+        expected = sorted(priorities, key=lambda k: -priorities[k])
+        drained = [heap.pop()[0] for _ in range(len(priorities))]
+        assert drained == expected
+
+    def test_iteration_yields_all_keys(self):
+        heap = AddressableMaxHeap()
+        for key in "abcde":
+            heap.push(key, ord(key))
+        assert sorted(heap) == list("abcde")

@@ -1,0 +1,96 @@
+"""Tests for repro.core.links."""
+
+import numpy as np
+import pytest
+
+from repro.core.links import (
+    LINK_STRATEGIES,
+    compute_links,
+    cross_cluster_links,
+    intra_cluster_links,
+    links_from_neighbors,
+)
+from repro.core.neighbors import compute_neighbors
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def graph(two_group_transactions):
+    return compute_neighbors(two_group_transactions, theta=0.4)
+
+
+class TestLinkComputation:
+    def test_links_within_triangle(self, graph):
+        # Each group is a triangle: without self, points i and j share exactly
+        # one other common neighbour; with self they gain two more.
+        links_excl = links_from_neighbors(graph, include_self=False)
+        links_incl = links_from_neighbors(graph, include_self=True)
+        assert links_excl[0, 1] == 1
+        assert links_incl[0, 1] == 3
+
+    def test_no_links_across_groups(self, graph):
+        links = links_from_neighbors(graph)
+        assert links[0, 3] == 0
+        assert links[2, 5] == 0
+
+    def test_strategies_agree(self, rng):
+        transactions = [
+            frozenset(rng.choice(15, size=rng.integers(1, 6), replace=False).tolist())
+            for _ in range(35)
+        ]
+        graph = compute_neighbors(transactions, theta=0.3)
+        for include_self in (True, False):
+            by_lists = links_from_neighbors(
+                graph, strategy="neighbor-lists", include_self=include_self
+            )
+            by_matmul = links_from_neighbors(
+                graph, strategy="sparse-matmul", include_self=include_self
+            )
+            assert (by_lists != by_matmul).nnz == 0
+
+    def test_diagonal_always_zero(self, graph):
+        for include_self in (True, False):
+            links = links_from_neighbors(graph, include_self=include_self)
+            assert np.all(links.diagonal() == 0)
+
+    def test_symmetry(self, graph):
+        links = links_from_neighbors(graph)
+        assert (links != links.T).nnz == 0
+
+    def test_compute_links_alias(self, graph):
+        assert (compute_links(graph) != links_from_neighbors(graph)).nnz == 0
+
+    def test_unknown_strategy_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            links_from_neighbors(graph, strategy="bogus")
+
+    def test_strategies_constant(self):
+        assert set(LINK_STRATEGIES) == {"auto", "neighbor-lists", "sparse-matmul"}
+
+    def test_isolated_points_have_no_links(self):
+        graph = compute_neighbors([{1, 2}, {1, 2, 3}, {9, 10}], theta=0.6)
+        links = links_from_neighbors(graph)
+        assert links[0, 2] == 0
+        assert links[1, 2] == 0
+
+    def test_empty_graph_gives_empty_links(self):
+        graph = compute_neighbors([{1}, {2}, {3}], theta=0.5)
+        links = links_from_neighbors(graph, include_self=False)
+        assert links.nnz == 0
+
+
+class TestClusterLinkHelpers:
+    def test_cross_cluster_links(self, graph):
+        links = links_from_neighbors(graph)
+        assert cross_cluster_links(links, [0, 1, 2], [3, 4, 5]) == 0
+        within = cross_cluster_links(links, [0], [1, 2])
+        assert within == int(links[0, 1] + links[0, 2])
+
+    def test_intra_cluster_links_counts_unordered_pairs(self, graph):
+        links = links_from_neighbors(graph, include_self=False)
+        # Triangle: three pairs, each with one common neighbour.
+        assert intra_cluster_links(links, np.array([0, 1, 2])) == 3
+
+    def test_intra_cluster_single_point_is_zero(self, graph):
+        links = links_from_neighbors(graph)
+        assert intra_cluster_links(links, np.array([0])) == 0

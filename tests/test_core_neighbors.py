@@ -1,0 +1,103 @@
+"""Tests for repro.core.neighbors."""
+
+import numpy as np
+import pytest
+
+from repro.core.neighbors import NEIGHBOR_STRATEGIES, compute_neighbors
+from repro.errors import ConfigurationError, DataValidationError
+from repro.similarity.jaccard import DiceSimilarity, JaccardSimilarity
+
+
+class TestComputeNeighbors:
+    def test_two_group_structure(self, two_group_transactions):
+        graph = compute_neighbors(two_group_transactions, theta=0.4)
+        # Within each group every pair shares 2 of 4 items -> Jaccard 0.5.
+        assert graph.adjacency[0, 1]
+        assert graph.adjacency[1, 2]
+        assert graph.adjacency[3, 4]
+        # Across groups there are no shared items.
+        assert not graph.adjacency[0, 3]
+        assert graph.n_edges() == 6
+
+    def test_theta_one_keeps_only_identical(self):
+        graph = compute_neighbors([{1, 2}, {1, 2}, {1, 3}], theta=1.0)
+        assert graph.adjacency[0, 1]
+        assert not graph.adjacency[0, 2]
+
+    def test_theta_zero_connects_everything(self, two_group_transactions):
+        graph = compute_neighbors(two_group_transactions, theta=0.0)
+        n = len(two_group_transactions)
+        assert graph.n_edges() == n * (n - 1) // 2
+
+    def test_diagonal_is_empty(self, two_group_transactions):
+        graph = compute_neighbors(two_group_transactions, theta=0.2)
+        assert graph.adjacency.diagonal().sum() == 0
+
+    def test_bruteforce_and_vectorized_agree(self, two_group_transactions, rng):
+        transactions = [
+            frozenset(rng.choice(20, size=rng.integers(1, 8), replace=False).tolist())
+            for _ in range(40)
+        ]
+        for theta in (0.1, 0.3, 0.5, 0.8):
+            brute = compute_neighbors(transactions, theta, strategy="bruteforce")
+            fast = compute_neighbors(transactions, theta, strategy="vectorized")
+            assert (brute.adjacency != fast.adjacency).nnz == 0
+
+    def test_empty_transactions_are_mutually_similar(self):
+        graph = compute_neighbors([frozenset(), frozenset(), frozenset({1})], theta=0.9)
+        assert graph.adjacency[0, 1]
+        assert not graph.adjacency[0, 2]
+
+    def test_neighbors_of_and_counts(self, two_group_transactions):
+        graph = compute_neighbors(two_group_transactions, theta=0.4)
+        assert graph.neighbors_of(0).tolist() == [1, 2]
+        assert graph.neighbor_counts().tolist() == [2, 2, 2, 2, 2, 2]
+
+    def test_degree_histogram(self, two_group_transactions):
+        graph = compute_neighbors(two_group_transactions, theta=0.4)
+        assert graph.degree_histogram() == {2: 6}
+
+    def test_subgraph(self, two_group_transactions):
+        graph = compute_neighbors(two_group_transactions, theta=0.4)
+        sub = graph.subgraph([0, 1, 3])
+        assert sub.n_points == 3
+        assert sub.adjacency[0, 1]
+        assert not sub.adjacency[0, 2]
+
+    def test_non_jaccard_measure_uses_bruteforce(self, two_group_transactions):
+        graph = compute_neighbors(two_group_transactions, theta=0.4, measure=DiceSimilarity())
+        assert graph.measure_name == "dice"
+        assert graph.n_edges() > 0
+
+    def test_vectorized_with_non_jaccard_rejected(self, two_group_transactions):
+        with pytest.raises(ConfigurationError):
+            compute_neighbors(
+                two_group_transactions, 0.4, measure=DiceSimilarity(), strategy="vectorized"
+            )
+
+    def test_invalid_theta_rejected(self, two_group_transactions):
+        with pytest.raises(ConfigurationError):
+            compute_neighbors(two_group_transactions, theta=1.5)
+        with pytest.raises(ConfigurationError):
+            compute_neighbors(two_group_transactions, theta=-0.1)
+
+    def test_unknown_strategy_rejected(self, two_group_transactions):
+        with pytest.raises(ConfigurationError):
+            compute_neighbors(two_group_transactions, 0.5, strategy="bogus")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DataValidationError):
+            compute_neighbors([], theta=0.5)
+
+    def test_single_point(self):
+        graph = compute_neighbors([{1, 2}], theta=0.5)
+        assert graph.n_points == 1
+        assert graph.n_edges() == 0
+
+    def test_strategies_constant_is_consistent(self):
+        assert set(NEIGHBOR_STRATEGIES) == {"auto", "bruteforce", "vectorized"}
+
+    def test_jaccard_threshold_boundary_included(self):
+        # Jaccard({1,2,3},{2,3,4}) == 0.5 exactly; theta=0.5 must include it.
+        graph = compute_neighbors([{1, 2, 3}, {2, 3, 4}], theta=0.5)
+        assert graph.adjacency[0, 1]

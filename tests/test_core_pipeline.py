@@ -1,0 +1,127 @@
+"""Tests for repro.core.pipeline (the sample/cluster/label pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RockPipeline, RockPipelineResult, rock_cluster
+from repro.data.encoding import records_to_transactions
+from repro.errors import ConfigurationError
+from repro.evaluation.metrics import clustering_error
+
+
+class TestRockPipelineBasics:
+    def test_full_data_clustering(self, two_group_transactions, two_group_labels):
+        result = rock_cluster(two_group_transactions, n_clusters=2, theta=0.4)
+        assert isinstance(result, RockPipelineResult)
+        assert result.n_clusters == 2
+        assert result.n_outliers == 0
+        assert clustering_error(result.labels, two_group_labels) == 0.0
+
+    def test_labels_align_with_clusters(self, two_group_transactions):
+        result = rock_cluster(two_group_transactions, n_clusters=2, theta=0.4)
+        for label, members in enumerate(result.clusters):
+            for index in members:
+                assert result.labels[index] == label
+
+    def test_cluster_sizes_ordered(self, two_group_transactions):
+        result = rock_cluster(two_group_transactions, n_clusters=2, theta=0.4)
+        sizes = result.cluster_sizes()
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_timings_recorded(self, two_group_transactions):
+        result = rock_cluster(two_group_transactions, n_clusters=2, theta=0.4)
+        for phase in ("sampling", "neighbors", "clustering", "labeling", "total"):
+            assert phase in result.timings
+            assert result.timings[phase] >= 0
+
+    def test_parameters_recorded(self, two_group_transactions):
+        result = rock_cluster(two_group_transactions, n_clusters=2, theta=0.4)
+        assert result.parameters["n_clusters"] == 2
+        assert result.parameters["theta"] == 0.4
+
+    def test_summaries(self, two_group_transactions):
+        result = rock_cluster(two_group_transactions, n_clusters=2, theta=0.4)
+        assert [s.size for s in result.summaries()] == result.cluster_sizes()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RockPipeline(n_clusters=2, sample_size=0)
+        with pytest.raises(ConfigurationError):
+            RockPipeline(n_clusters=2, min_neighbors=-1)
+        with pytest.raises(ConfigurationError):
+            RockPipeline(n_clusters=2, min_cluster_size=0)
+
+
+class TestSamplingAndLabeling:
+    def test_sampled_run_labels_every_point(self, mushroom_small):
+        dataset, groups = mushroom_small
+        transactions = records_to_transactions(dataset)
+        result = rock_cluster(
+            transactions, n_clusters=8, theta=0.8, sample_size=90, rng=0
+        )
+        assert len(result.labels) == dataset.n_records
+        assert len(result.sample_indices) == 90
+        # The overwhelming majority of points must be assigned (not outliers).
+        assert result.n_outliers < 0.1 * dataset.n_records
+
+    def test_sampled_run_recovers_groups(self, mushroom_small):
+        dataset, groups = mushroom_small
+        transactions = records_to_transactions(dataset)
+        result = rock_cluster(
+            transactions, n_clusters=8, theta=0.8, sample_size=100,
+            min_cluster_size=2, rng=3,
+        )
+        error = clustering_error(result.labels, dataset.labels)
+        assert error < 0.15
+
+    def test_sample_larger_than_data_clusters_everything(self, two_group_transactions):
+        result = rock_cluster(
+            two_group_transactions, n_clusters=2, theta=0.4, sample_size=100
+        )
+        assert result.sample_indices == list(range(6))
+
+    def test_reproducible_with_seed(self, mushroom_small):
+        dataset, _ = mushroom_small
+        transactions = records_to_transactions(dataset)
+        first = rock_cluster(transactions, n_clusters=8, theta=0.8, sample_size=80, rng=7)
+        second = rock_cluster(transactions, n_clusters=8, theta=0.8, sample_size=80, rng=7)
+        assert np.array_equal(first.labels, second.labels)
+
+
+class TestOutlierHandling:
+    def test_isolated_points_become_outliers(self):
+        transactions = [
+            {1, 2, 3}, {1, 2, 4}, {1, 3, 4},
+            {7, 8, 9}, {7, 8, 10}, {7, 9, 10},
+            {100, 101},  # isolated noise point
+        ]
+        result = rock_cluster(
+            transactions, n_clusters=2, theta=0.4, min_neighbors=1
+        )
+        assert result.labels[6] == -1
+        assert result.n_outliers == 1
+        assert result.n_clusters == 2
+
+    def test_min_cluster_size_prunes_tiny_clusters(self):
+        transactions = [
+            {1, 2, 3}, {1, 2, 4}, {1, 3, 4},
+            {7, 8, 9}, {7, 8, 10}, {7, 9, 10},
+            {50, 51}, {50, 52},  # a tiny pair far from both groups
+        ]
+        result = rock_cluster(
+            transactions, n_clusters=3, theta=0.4, min_cluster_size=3
+        )
+        assert result.n_clusters == 2
+        assert result.labels[6] == -1
+        assert result.labels[7] == -1
+
+    def test_all_points_isolated_falls_back_gracefully(self):
+        transactions = [{1}, {2}, {3}]
+        result = rock_cluster(
+            transactions, n_clusters=2, theta=0.9, min_neighbors=1
+        )
+        assert len(result.labels) == 3
+
+    def test_without_min_neighbors_no_prefilter(self, two_group_transactions):
+        result = rock_cluster(two_group_transactions, n_clusters=2, theta=0.4, min_neighbors=0)
+        assert result.n_outliers == 0

@@ -1,0 +1,214 @@
+"""Tests for repro.core.sampling, repro.core.labeling and repro.core.outliers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import LabelingResult, label_points, select_labeling_fractions
+from repro.core.neighbors import compute_neighbors
+from repro.core.outliers import (
+    drop_small_clusters,
+    isolated_point_mask,
+    partition_isolated_points,
+    relabel_after_dropping,
+)
+from repro.core.sampling import chernoff_sample_size, draw_sample, split_dataset
+from repro.data.dataset import TransactionDataset
+from repro.errors import ConfigurationError, DataValidationError
+
+
+class TestChernoffSampleSize:
+    def test_matches_closed_form(self):
+        n, u, f, delta = 10_000, 500, 0.1, 0.01
+        log_term = math.log(1 / delta)
+        expected = (
+            f * n
+            + (n / u) * log_term
+            + (n / u) * math.sqrt(log_term ** 2 + 2 * f * u * log_term)
+        )
+        assert chernoff_sample_size(n, u, f, delta) == math.ceil(expected)
+
+    def test_capped_at_population_size(self):
+        assert chernoff_sample_size(100, 5, fraction=0.9, delta=0.001) <= 100
+
+    def test_smaller_clusters_need_bigger_samples(self):
+        big = chernoff_sample_size(10_000, 2_000)
+        small = chernoff_sample_size(10_000, 100)
+        assert small > big
+
+    def test_lower_delta_needs_bigger_samples(self):
+        lax = chernoff_sample_size(10_000, 500, delta=0.1)
+        strict = chernoff_sample_size(10_000, 500, delta=0.001)
+        assert strict > lax
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chernoff_sample_size(0, 1)
+        with pytest.raises(ConfigurationError):
+            chernoff_sample_size(10, 20)
+        with pytest.raises(ConfigurationError):
+            chernoff_sample_size(10, 5, fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            chernoff_sample_size(10, 5, delta=1.5)
+
+
+class TestDrawSample:
+    def test_partition_of_indices(self):
+        sample, remainder = draw_sample(list(range(50)), 20, rng=0)
+        assert len(sample) == 20
+        assert len(remainder) == 30
+        assert sorted(sample + remainder) == list(range(50))
+
+    def test_reproducible_with_seed(self):
+        first, _ = draw_sample(list(range(100)), 10, rng=5)
+        second, _ = draw_sample(list(range(100)), 10, rng=5)
+        assert first == second
+
+    def test_full_sample(self):
+        sample, remainder = draw_sample(list(range(10)), 10, rng=0)
+        assert sample == list(range(10))
+        assert remainder == []
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            draw_sample(list(range(5)), 0)
+        with pytest.raises(ConfigurationError):
+            draw_sample(list(range(5)), 6)
+
+    def test_split_dataset(self, small_transaction_dataset):
+        sample_idx, rest_idx = draw_sample(small_transaction_dataset, 4, rng=1)
+        sample, rest = split_dataset(small_transaction_dataset, sample_idx, rest_idx)
+        assert sample.n_transactions == 4
+        assert rest.n_transactions == 2
+
+    def test_split_dataset_full_sample_gives_none_remainder(self, small_transaction_dataset):
+        sample, rest = split_dataset(
+            small_transaction_dataset, list(range(6)), []
+        )
+        assert rest is None
+        assert sample.n_transactions == 6
+
+    def test_split_dataset_rejects_plain_lists(self):
+        with pytest.raises(ConfigurationError):
+            split_dataset([{1}, {2}], [0], [1])
+
+
+class TestLabeling:
+    @pytest.fixture
+    def sample_clusters(self, two_group_transactions):
+        # The first two of each triple form the clustered "sample".
+        sample = [
+            two_group_transactions[0],
+            two_group_transactions[1],
+            two_group_transactions[3],
+            two_group_transactions[4],
+        ]
+        clusters = [[0, 1], [2, 3]]
+        return sample, clusters
+
+    def test_unlabeled_points_join_their_group(self, two_group_transactions, sample_clusters):
+        sample, clusters = sample_clusters
+        unlabeled = [two_group_transactions[2], two_group_transactions[5]]
+        result = label_points(unlabeled, sample, clusters, theta=0.4)
+        assert isinstance(result, LabelingResult)
+        assert result.labels.tolist() == [0, 1]
+        assert result.n_outliers == 0
+
+    def test_point_with_no_neighbors_is_outlier(self, sample_clusters):
+        sample, clusters = sample_clusters
+        result = label_points([frozenset({99, 100})], sample, clusters, theta=0.4)
+        assert result.labels.tolist() == [-1]
+        assert result.n_outliers == 1
+
+    def test_neighbor_counts_shape(self, two_group_transactions, sample_clusters):
+        sample, clusters = sample_clusters
+        unlabeled = [two_group_transactions[2], two_group_transactions[5], frozenset({42})]
+        result = label_points(unlabeled, sample, clusters, theta=0.4)
+        assert result.neighbor_counts.shape == (3, 2)
+
+    def test_empty_unlabeled_is_fine(self, sample_clusters):
+        sample, clusters = sample_clusters
+        result = label_points([], sample, clusters, theta=0.4)
+        assert result.labels.size == 0
+        assert result.n_outliers == 0
+
+    def test_normalisation_prefers_smaller_cluster_on_equal_counts(self):
+        # One neighbour in a tiny cluster outweighs one neighbour in a huge
+        # cluster because of the (n + 1) ** f(theta) normaliser.
+        sample = [frozenset({1, 2})] + [frozenset({5, 6})] + [frozenset({50, 60})] * 8
+        clusters = [[0], list(range(1, 10))]
+        point = frozenset({1, 2, 5, 6})
+        result = label_points([point], sample, clusters, theta=0.4)
+        assert result.neighbor_counts[0, 0] == 1
+        assert result.neighbor_counts[0, 1] == 1
+        assert result.labels[0] == 0
+
+    def test_requires_clusters(self, sample_clusters):
+        sample, _ = sample_clusters
+        with pytest.raises(DataValidationError):
+            label_points([frozenset({1})], sample, [], theta=0.5)
+
+    def test_invalid_theta_rejected(self, sample_clusters):
+        sample, clusters = sample_clusters
+        with pytest.raises(ConfigurationError):
+            label_points([], sample, clusters, theta=2.0)
+
+    def test_labeling_fraction_selection(self):
+        clusters = [list(range(10)), list(range(10, 14))]
+        fractions = select_labeling_fractions(clusters, fraction=0.5, rng=0)
+        assert len(fractions[0]) == 5
+        assert len(fractions[1]) == 2
+        assert set(fractions[0]) <= set(clusters[0])
+
+    def test_labeling_fraction_keeps_at_least_one(self):
+        fractions = select_labeling_fractions([[3]], fraction=0.01, rng=0)
+        assert fractions == [[3]]
+
+    def test_labeling_fraction_invalid(self):
+        with pytest.raises(ConfigurationError):
+            select_labeling_fractions([[1]], fraction=0.0)
+
+
+class TestOutliers:
+    def test_isolated_point_mask(self):
+        graph = compute_neighbors([{1, 2}, {1, 2, 3}, {9}], theta=0.5)
+        mask = isolated_point_mask(graph, min_neighbors=1)
+        assert mask.tolist() == [False, False, True]
+
+    def test_partition_isolated_points(self):
+        graph = compute_neighbors([{1, 2}, {1, 2, 3}, {9}], theta=0.5)
+        participating, isolated = partition_isolated_points(graph)
+        assert participating == [0, 1]
+        assert isolated == [2]
+
+    def test_min_neighbors_zero_keeps_everything(self):
+        graph = compute_neighbors([{1}, {2}, {3}], theta=0.5)
+        participating, isolated = partition_isolated_points(graph, min_neighbors=0)
+        assert participating == [0, 1, 2]
+        assert isolated == []
+
+    def test_negative_min_neighbors_rejected(self):
+        graph = compute_neighbors([{1}, {2}], theta=0.5)
+        with pytest.raises(ConfigurationError):
+            isolated_point_mask(graph, min_neighbors=-1)
+
+    def test_drop_small_clusters(self):
+        clusters = [(0, 1, 2, 3), (4, 5), (6,)]
+        kept, outliers = drop_small_clusters(clusters, min_size=2)
+        assert kept == [(0, 1, 2, 3), (4, 5)]
+        assert outliers == [6]
+
+    def test_drop_small_clusters_min_one_keeps_all(self):
+        clusters = [(0,), (1, 2)]
+        kept, outliers = drop_small_clusters(clusters, min_size=1)
+        assert kept == [(0,), (1, 2)]
+        assert outliers == []
+
+    def test_drop_small_clusters_invalid_min(self):
+        with pytest.raises(ConfigurationError):
+            drop_small_clusters([(0,)], min_size=0)
+
+    def test_relabel_after_dropping(self):
+        labels = relabel_after_dropping(5, [(0, 2), (4,)])
+        assert labels.tolist() == [0, -1, 0, -1, 1]

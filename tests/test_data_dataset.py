@@ -1,0 +1,188 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CategoricalDataset, TransactionDataset
+from repro.errors import (
+    DataValidationError,
+    EmptyDatasetError,
+    SchemaMismatchError,
+)
+
+
+class TestCategoricalDataset:
+    def test_basic_properties(self, small_categorical_dataset):
+        ds = small_categorical_dataset
+        assert ds.n_records == 5
+        assert ds.n_attributes == 3
+        assert len(ds) == 5
+        assert ds.attribute_names == ("v1", "v2", "v3")
+        assert ds.has_labels
+
+    def test_record_access_and_iteration(self, small_categorical_dataset):
+        ds = small_categorical_dataset
+        assert ds.record(0) == ("y", "n", "y")
+        assert ds[1] == ("y", "n", "n")
+        assert list(ds)[3] == ("n", "y", "n")
+
+    def test_labels_are_copies(self, small_categorical_dataset):
+        labels = small_categorical_dataset.labels
+        labels.append("x")
+        assert len(small_categorical_dataset.labels) == 5
+
+    def test_label_access(self, small_categorical_dataset):
+        assert small_categorical_dataset.label(0) == "r"
+        assert small_categorical_dataset.label(4) == "d"
+
+    def test_label_without_labels_raises(self):
+        ds = CategoricalDataset([("a",), ("b",)])
+        assert not ds.has_labels
+        with pytest.raises(DataValidationError):
+            ds.label(0)
+
+    def test_column_by_index_and_name(self, small_categorical_dataset):
+        assert small_categorical_dataset.column(0) == ["y", "y", "y", "n", "n"]
+        assert small_categorical_dataset.column("v1") == ["y", "y", "y", "n", "n"]
+
+    def test_column_unknown_name_raises(self, small_categorical_dataset):
+        with pytest.raises(SchemaMismatchError):
+            small_categorical_dataset.column("nope")
+
+    def test_column_out_of_range_raises(self, small_categorical_dataset):
+        with pytest.raises(SchemaMismatchError):
+            small_categorical_dataset.column(7)
+
+    def test_domain_excludes_missing_by_default(self, small_categorical_dataset):
+        assert small_categorical_dataset.domain(1) == {"n", "y"}
+        assert small_categorical_dataset.domain(1, include_missing=True) == {"n", "y", None}
+
+    def test_schema(self, small_categorical_dataset):
+        specs = small_categorical_dataset.schema()
+        assert [s.name for s in specs] == ["v1", "v2", "v3"]
+        assert set(specs[0].domain) == {"y", "n"}
+        assert specs[0].allows("y")
+        assert specs[0].allows(None)
+
+    def test_value_frequencies(self, small_categorical_dataset):
+        freq = small_categorical_dataset.value_frequencies(0)
+        assert freq["y"] == 3
+        assert freq["n"] == 2
+
+    def test_missing_mask(self, small_categorical_dataset):
+        mask = small_categorical_dataset.missing_mask()
+        assert mask.shape == (5, 3)
+        assert mask.sum() == 1
+        assert mask[2, 1]
+
+    def test_class_distribution(self, small_categorical_dataset):
+        assert small_categorical_dataset.class_distribution() == {"r": 3, "d": 2}
+
+    def test_subset_keeps_labels_and_names(self, small_categorical_dataset):
+        sub = small_categorical_dataset.subset([0, 3])
+        assert sub.n_records == 2
+        assert sub.labels == ["r", "d"]
+        assert sub.attribute_names == ("v1", "v2", "v3")
+
+    def test_subset_empty_raises(self, small_categorical_dataset):
+        with pytest.raises(EmptyDatasetError):
+            small_categorical_dataset.subset([])
+
+    def test_shuffled_preserves_record_label_pairs(self, small_categorical_dataset):
+        shuffled = small_categorical_dataset.shuffled(rng=3)
+        pairs = set(zip(shuffled.records, shuffled.labels))
+        original = set(zip(small_categorical_dataset.records, small_categorical_dataset.labels))
+        assert pairs == original
+
+    def test_drop_attributes(self, small_categorical_dataset):
+        reduced = small_categorical_dataset.drop_attributes(["v2"])
+        assert reduced.n_attributes == 2
+        assert reduced.attribute_names == ("v1", "v3")
+        assert reduced.record(0) == ("y", "y")
+
+    def test_drop_all_attributes_raises(self, small_categorical_dataset):
+        with pytest.raises(SchemaMismatchError):
+            small_categorical_dataset.drop_attributes(["v1", "v2", "v3"])
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            CategoricalDataset([])
+
+    def test_ragged_records_raise(self):
+        with pytest.raises(SchemaMismatchError):
+            CategoricalDataset([("a", "b"), ("a",)])
+
+    def test_string_record_rejected(self):
+        with pytest.raises(DataValidationError):
+            CategoricalDataset(["ab", "cd"])
+
+    def test_duplicate_attribute_names_raise(self):
+        with pytest.raises(SchemaMismatchError):
+            CategoricalDataset([("a", "b")], attribute_names=["x", "x"])
+
+    def test_wrong_label_count_raises(self):
+        with pytest.raises(DataValidationError):
+            CategoricalDataset([("a",), ("b",)], labels=["only-one"])
+
+    def test_zero_attribute_records_raise(self):
+        with pytest.raises(SchemaMismatchError):
+            CategoricalDataset([(), ()])
+
+
+class TestTransactionDataset:
+    def test_basic_properties(self, small_transaction_dataset):
+        ds = small_transaction_dataset
+        assert ds.n_transactions == 6
+        assert len(ds) == 6
+        assert ds.has_labels
+        assert ds.items() == {1, 2, 3, 4, 7, 8, 9, 10}
+
+    def test_transactions_are_frozensets(self, small_transaction_dataset):
+        assert all(isinstance(t, frozenset) for t in small_transaction_dataset)
+
+    def test_duplicates_within_transaction_collapse(self):
+        ds = TransactionDataset([[1, 1, 2]])
+        assert ds.transaction(0) == frozenset({1, 2})
+
+    def test_item_frequencies(self, small_transaction_dataset):
+        freq = small_transaction_dataset.item_frequencies()
+        assert freq[1] == 3
+        assert freq[7] == 3
+        assert freq[4] == 2
+
+    def test_average_size(self, small_transaction_dataset):
+        assert small_transaction_dataset.average_size() == pytest.approx(3.0)
+
+    def test_class_distribution(self, small_transaction_dataset):
+        assert small_transaction_dataset.class_distribution() == {"a": 3, "b": 3}
+
+    def test_subset_and_shuffle(self, small_transaction_dataset):
+        sub = small_transaction_dataset.subset([0, 5])
+        assert sub.n_transactions == 2
+        assert sub.labels == ["a", "b"]
+        shuffled = small_transaction_dataset.shuffled(rng=0)
+        assert sorted(map(sorted, shuffled.transactions)) == sorted(
+            map(sorted, small_transaction_dataset.transactions)
+        )
+
+    def test_label_access_and_errors(self, small_transaction_dataset):
+        assert small_transaction_dataset.label(0) == "a"
+        unlabeled = TransactionDataset([{1}, {2}])
+        with pytest.raises(DataValidationError):
+            unlabeled.label(0)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            TransactionDataset([])
+
+    def test_string_transaction_rejected(self):
+        with pytest.raises(DataValidationError):
+            TransactionDataset(["abc"])
+
+    def test_wrong_label_count_raises(self):
+        with pytest.raises(DataValidationError):
+            TransactionDataset([{1}, {2}], labels=["x"])
+
+    def test_empty_subset_raises(self, small_transaction_dataset):
+        with pytest.raises(EmptyDatasetError):
+            small_transaction_dataset.subset([])

@@ -1,0 +1,110 @@
+"""Tests for repro.data.io (round-trips through temporary files)."""
+
+import pytest
+
+from repro.data.dataset import CategoricalDataset, TransactionDataset
+from repro.data.io import (
+    read_categorical_csv,
+    read_transactions,
+    write_categorical_csv,
+    write_transactions,
+)
+from repro.errors import DataValidationError, DatasetUnavailableError
+
+
+class TestCategoricalCsv:
+    def test_roundtrip_with_labels_and_missing(self, tmp_path, small_categorical_dataset):
+        path = tmp_path / "data.csv"
+        write_categorical_csv(small_categorical_dataset, path)
+        loaded = read_categorical_csv(
+            path, label_column=0, attribute_names=["v1", "v2", "v3"]
+        )
+        assert loaded.records == small_categorical_dataset.records
+        assert loaded.labels == small_categorical_dataset.labels
+
+    def test_read_without_labels(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a,b\nc,d\n")
+        loaded = read_categorical_csv(path)
+        assert loaded.n_records == 2
+        assert loaded.labels is None
+
+    def test_missing_token_becomes_none(self, tmp_path):
+        path = tmp_path / "missing.csv"
+        path.write_text("a,?\n?,b\n")
+        loaded = read_categorical_csv(path)
+        assert loaded.record(0) == ("a", None)
+        assert loaded.record(1) == (None, "b")
+
+    def test_header_supplies_attribute_names(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("class,color,size\nr,red,big\nd,blue,small\n")
+        loaded = read_categorical_csv(path, label_column=0, has_header=True)
+        assert loaded.attribute_names == ("color", "size")
+        assert loaded.labels == ["r", "d"]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("a,b\n\n\nc,d\n")
+        assert read_categorical_csv(path).n_records == 2
+
+    def test_negative_label_column(self, tmp_path):
+        path = tmp_path / "tail-label.csv"
+        path.write_text("red,big,r\nblue,small,d\n")
+        loaded = read_categorical_csv(path, label_column=-1)
+        assert loaded.labels == ["r", "d"]
+        assert loaded.record(0) == ("red", "big")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetUnavailableError):
+            read_categorical_csv(tmp_path / "absent.csv")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n\n")
+        with pytest.raises(DataValidationError):
+            read_categorical_csv(path)
+
+    def test_writer_creates_parent_directories(self, tmp_path, small_categorical_dataset):
+        path = tmp_path / "deep" / "nested" / "out.csv"
+        written = write_categorical_csv(small_categorical_dataset, path)
+        assert written.is_file()
+
+
+class TestTransactionIo:
+    def test_roundtrip_with_labels(self, tmp_path, small_transaction_dataset):
+        path = tmp_path / "trans.txt"
+        write_transactions(small_transaction_dataset, path, label_prefix="class=")
+        loaded = read_transactions(path, label_prefix="class=")
+        assert loaded.labels == small_transaction_dataset.labels
+        # Items are written as strings, so compare stringified sets.
+        expected = [frozenset(map(str, t)) for t in small_transaction_dataset]
+        assert loaded.transactions == expected
+
+    def test_read_whitespace_delimited(self, tmp_path):
+        path = tmp_path / "basket.txt"
+        path.write_text("milk bread\nbeer chips salsa\n")
+        loaded = read_transactions(path)
+        assert loaded.n_transactions == 2
+        assert loaded.transaction(1) == frozenset({"beer", "chips", "salsa"})
+
+    def test_read_custom_delimiter(self, tmp_path):
+        path = tmp_path / "basket.csv"
+        path.write_text("milk,bread\nbeer,chips\n")
+        loaded = read_transactions(path, delimiter=",")
+        assert loaded.transaction(0) == frozenset({"milk", "bread"})
+
+    def test_no_labels_when_prefix_absent(self, tmp_path):
+        path = tmp_path / "basket.txt"
+        path.write_text("a b\nc d\n")
+        assert read_transactions(path, label_prefix="class=").labels is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetUnavailableError):
+            read_transactions(tmp_path / "absent.txt")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("   \n")
+        with pytest.raises(DataValidationError):
+            read_transactions(path)

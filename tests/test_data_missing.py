@@ -1,0 +1,69 @@
+"""Tests for repro.data.missing."""
+
+import pytest
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.missing import (
+    MISSING_CATEGORY,
+    MissingValuePolicy,
+    apply_missing_policy,
+    count_missing,
+)
+from repro.errors import MissingValueError
+
+
+@pytest.fixture
+def dataset_with_missing():
+    return CategoricalDataset(
+        [("a", None), ("a", "x"), (None, "x"), ("b", "y")],
+        labels=[1, 1, 2, 2],
+    )
+
+
+class TestCountMissing:
+    def test_counts_cells(self, dataset_with_missing):
+        assert count_missing(dataset_with_missing) == 2
+
+    def test_zero_when_complete(self):
+        assert count_missing(CategoricalDataset([("a", "b")])) == 0
+
+
+class TestPolicies:
+    def test_ignore_returns_same_object(self, dataset_with_missing):
+        assert apply_missing_policy(dataset_with_missing, "ignore") is dataset_with_missing
+
+    def test_forbid_raises_on_missing(self, dataset_with_missing):
+        with pytest.raises(MissingValueError):
+            apply_missing_policy(dataset_with_missing, MissingValuePolicy.FORBID)
+
+    def test_forbid_passes_complete_data(self):
+        ds = CategoricalDataset([("a", "b")])
+        assert apply_missing_policy(ds, "forbid") is ds
+
+    def test_as_category_replaces_none(self, dataset_with_missing):
+        converted = apply_missing_policy(dataset_with_missing, "as-category")
+        assert converted.record(0) == ("a", MISSING_CATEGORY)
+        assert converted.record(2) == (MISSING_CATEGORY, "x")
+        assert count_missing(converted) == 0
+        assert converted.labels == dataset_with_missing.labels
+
+    def test_impute_mode_uses_most_frequent_value(self, dataset_with_missing):
+        converted = apply_missing_policy(dataset_with_missing, "impute-mode")
+        # Column 0 mode is "a" (2 occurrences), column 1 mode is "x".
+        assert converted.record(2) == ("a", "x")
+        assert converted.record(0) == ("a", "x")
+        assert count_missing(converted) == 0
+
+    def test_impute_mode_all_missing_column_uses_sentinel(self):
+        ds = CategoricalDataset([(None, "a"), (None, "b")])
+        converted = apply_missing_policy(ds, "impute-mode")
+        assert converted.record(0)[0] == MISSING_CATEGORY
+
+    def test_policy_accepts_enum_and_string(self, dataset_with_missing):
+        by_enum = apply_missing_policy(dataset_with_missing, MissingValuePolicy.AS_CATEGORY)
+        by_string = apply_missing_policy(dataset_with_missing, "as-category")
+        assert by_enum.records == by_string.records
+
+    def test_unknown_policy_raises(self, dataset_with_missing):
+        with pytest.raises(ValueError):
+            apply_missing_policy(dataset_with_missing, "bogus")

@@ -1,0 +1,261 @@
+"""Tests for the repro.datasets subpackage (generators, loaders, registry)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CategoricalDataset, TransactionDataset
+from repro.datasets.market_basket import (
+    MarketBasketConfig,
+    example_transactions,
+    generate_market_baskets,
+)
+from repro.datasets.mushroom import (
+    MUSHROOM_ATTRIBUTES,
+    fetch_mushroom,
+    generate_mushroom_like,
+    load_mushroom,
+)
+from repro.datasets.mutual_funds import FundFamily, generate_mutual_funds
+from repro.datasets.registry import available_datasets, fetch_dataset
+from repro.datasets.votes import (
+    VOTE_ATTRIBUTES,
+    fetch_votes,
+    generate_votes_like,
+    load_votes,
+)
+from repro.errors import ConfigurationError, DatasetUnavailableError
+
+
+class TestVotes:
+    def test_default_shape_matches_real_data(self):
+        ds = generate_votes_like(rng=0)
+        assert ds.n_records == 435
+        assert ds.n_attributes == 16
+        assert ds.class_distribution() == {"republican": 168, "democrat": 267}
+        assert ds.attribute_names == VOTE_ATTRIBUTES
+
+    def test_values_are_yes_no_or_missing(self):
+        ds = generate_votes_like(n_republicans=20, n_democrats=20, rng=0)
+        values = {value for record in ds for value in record}
+        assert values <= {"y", "n", None}
+
+    def test_missing_rate_roughly_respected(self):
+        ds = generate_votes_like(rng=0, missing_rate=0.1)
+        rate = ds.missing_mask().mean()
+        assert 0.05 < rate < 0.15
+
+    def test_missing_rate_zero(self):
+        ds = generate_votes_like(n_republicans=10, n_democrats=10, missing_rate=0.0, rng=0)
+        assert ds.missing_mask().sum() == 0
+
+    def test_parties_are_separable(self):
+        ds = generate_votes_like(rng=0)
+        # Republicans should say "y" to physician-fee-freeze far more often.
+        column = ds.column("physician-fee-freeze")
+        labels = ds.labels
+        rep_yes = sum(1 for v, l in zip(column, labels) if l == "republican" and v == "y")
+        dem_yes = sum(1 for v, l in zip(column, labels) if l == "democrat" and v == "y")
+        assert rep_yes > dem_yes
+
+    def test_reproducible_with_seed(self):
+        assert generate_votes_like(rng=4).records == generate_votes_like(rng=4).records
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_votes_like(n_republicans=0)
+        with pytest.raises(ConfigurationError):
+            generate_votes_like(missing_rate=1.5)
+
+    def test_load_votes_real_format(self, tmp_path):
+        path = tmp_path / "house-votes-84.data"
+        path.write_text(
+            "republican," + ",".join(["y"] * 16) + "\n"
+            "democrat," + ",".join(["n"] * 15 + ["?"]) + "\n"
+        )
+        ds = load_votes(path)
+        assert ds.n_records == 2
+        assert ds.labels == ["republican", "democrat"]
+        assert ds.record(1)[-1] is None
+
+    def test_fetch_votes_missing_explicit_path_raises(self, tmp_path):
+        with pytest.raises(DatasetUnavailableError):
+            fetch_votes(path=tmp_path / "nope.data")
+
+    def test_fetch_votes_falls_back_to_generator(self):
+        ds = fetch_votes(rng=0)
+        assert isinstance(ds, CategoricalDataset)
+        assert ds.n_records == 435
+
+
+class TestMushroom:
+    def test_small_generator_shape(self, mushroom_small):
+        dataset, groups = mushroom_small
+        assert dataset.n_attributes == 22
+        assert dataset.attribute_names == MUSHROOM_ATTRIBUTES
+        assert dataset.n_records == len(groups)
+        assert set(dataset.labels) == {"edible", "poisonous"}
+
+    def test_default_shape_matches_real_data(self):
+        ds = generate_mushroom_like(rng=0)
+        assert ds.n_records == 8124
+        assert ds.class_distribution() == {"edible": 4208, "poisonous": 3916}
+
+    def test_groups_are_class_consistent(self, mushroom_small):
+        dataset, groups = mushroom_small
+        for group in np.unique(groups):
+            labels_in_group = {dataset.label(i) for i in np.nonzero(groups == group)[0]}
+            assert len(labels_in_group) == 1
+
+    def test_groups_are_internally_similar(self, mushroom_small):
+        dataset, groups = mushroom_small
+        group = np.nonzero(groups == groups[0])[0][:5]
+        records = [dataset.record(i) for i in group]
+        agreements = [
+            sum(1 for a, b in zip(records[0], r) if a == b) for r in records[1:]
+        ]
+        assert all(a >= 17 for a in agreements)
+
+    def test_sibling_groups_share_most_attributes(self):
+        ds, groups = generate_mushroom_like(
+            group_sizes_edible=(10,),
+            group_sizes_poisonous=(10,),
+            noise=0.0,
+            sibling_overlap=5,
+            rng=0,
+            return_groups=True,
+        )
+        edible_record = ds.record(int(np.nonzero(groups == 0)[0][0]))
+        poisonous_record = ds.record(int(np.nonzero(groups == 1)[0][0]))
+        shared = sum(1 for a, b in zip(edible_record, poisonous_record) if a == b)
+        assert shared == 22 - 5
+
+    def test_sibling_overlap_zero_gives_independent_templates(self):
+        ds, groups = generate_mushroom_like(
+            group_sizes_edible=(10,),
+            group_sizes_poisonous=(10,),
+            noise=0.0,
+            sibling_overlap=0,
+            rng=0,
+            return_groups=True,
+        )
+        edible_record = ds.record(int(np.nonzero(groups == 0)[0][0]))
+        poisonous_record = ds.record(int(np.nonzero(groups == 1)[0][0]))
+        shared = sum(1 for a, b in zip(edible_record, poisonous_record) if a == b)
+        assert shared < 15
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_mushroom_like(noise=1.0)
+        with pytest.raises(ConfigurationError):
+            generate_mushroom_like(group_sizes_edible=())
+        with pytest.raises(ConfigurationError):
+            generate_mushroom_like(sibling_overlap=-1)
+
+    def test_load_mushroom_real_format(self, tmp_path):
+        path = tmp_path / "agaricus-lepiota.data"
+        row = ",".join(["x"] * 22)
+        path.write_text("e,%s\np,%s\n" % (row, row))
+        ds = load_mushroom(path)
+        assert ds.labels == ["edible", "poisonous"]
+        assert ds.n_attributes == 22
+
+    def test_fetch_mushroom_generator_fallback(self):
+        ds = fetch_mushroom(rng=0, group_sizes_edible=(5,), group_sizes_poisonous=(5,))
+        assert ds.n_records == 10
+
+
+class TestMarketBasket:
+    def test_example_transactions_structure(self):
+        baskets = example_transactions()
+        assert isinstance(baskets, TransactionDataset)
+        assert baskets.has_labels
+        assert set(baskets.labels) == {"A", "B"}
+        assert baskets.n_transactions == 40
+
+    def test_generator_shape_and_labels(self):
+        baskets = generate_market_baskets(rng=0, n_transactions=200, n_clusters=3)
+        assert baskets.n_transactions == 200
+        assert set(baskets.labels) <= {0, 1, 2}
+
+    def test_generator_baskets_have_minimum_size(self):
+        baskets = generate_market_baskets(rng=0, n_transactions=100)
+        assert min(len(t) for t in baskets) >= 2
+
+    def test_config_override_merge(self):
+        baskets = generate_market_baskets(
+            MarketBasketConfig(n_transactions=50), rng=0, n_clusters=2
+        )
+        assert baskets.n_transactions == 50
+
+    def test_cluster_pools_mostly_disjoint(self):
+        baskets = generate_market_baskets(
+            rng=0, n_transactions=300, n_clusters=2, cross_pool_rate=0.0, shared_rate=0.0
+        )
+        items_by_label: dict = {0: set(), 1: set()}
+        for transaction, label in zip(baskets.transactions, baskets.labels):
+            items_by_label[label] |= transaction
+        assert not (items_by_label[0] & items_by_label[1])
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_market_baskets(rng=0, n_transactions=0)
+        with pytest.raises(ConfigurationError):
+            MarketBasketConfig(basket_size_mean=1.0).validate()
+
+
+class TestMutualFunds:
+    def test_shape_and_labels(self):
+        names, prices, families = generate_mutual_funds(n_days=100, rng=0)
+        assert prices.shape == (len(names), 100)
+        assert len(families) == len(names)
+        assert len(set(families)) == 6
+
+    def test_prices_positive(self):
+        _, prices, _ = generate_mutual_funds(n_days=50, rng=0)
+        assert np.all(prices > 0)
+
+    def test_same_family_funds_correlate(self):
+        _, prices, families = generate_mutual_funds(n_days=300, rng=0)
+        returns = np.diff(np.log(prices), axis=1)
+        families = np.array(families)
+        bond = returns[families == "bond"]
+        metals = returns[families == "precious-metals"]
+        within = np.corrcoef(bond[0], bond[1])[0, 1]
+        across = np.corrcoef(bond[0], metals[0])[0, 1]
+        assert within > 0.5
+        assert within > across
+
+    def test_custom_families(self):
+        families = (FundFamily("test", n_funds=3),)
+        names, prices, labels = generate_mutual_funds(families=families, n_days=10, rng=0)
+        assert len(names) == 3
+        assert set(labels) == {"test"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_mutual_funds(n_days=1)
+        with pytest.raises(ConfigurationError):
+            generate_mutual_funds(initial_price=0.0)
+        with pytest.raises(ConfigurationError):
+            generate_mutual_funds(families=())
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        names = available_datasets()
+        for expected in ("votes", "mushroom", "basket-example", "market-basket", "mutual-funds"):
+            assert expected in names
+
+    def test_fetch_by_name(self):
+        baskets = fetch_dataset("basket-example")
+        assert baskets.n_transactions == 40
+
+    def test_fetch_with_kwargs(self):
+        ds = fetch_dataset("votes", rng=0)
+        assert ds.n_records == 435
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fetch_dataset("iris")

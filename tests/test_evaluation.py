@@ -1,0 +1,181 @@
+"""Tests for the repro.evaluation subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataValidationError
+from repro.evaluation.composition import (
+    composition_table,
+    dominant_share_by_cluster,
+    impure_cluster_count,
+    pure_cluster_count,
+)
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    balance,
+    clustering_accuracy,
+    clustering_error,
+    cluster_size_distribution,
+    confusion_matrix,
+    normalized_mutual_information,
+    purity,
+)
+from repro.evaluation.reporting import format_composition_table, format_table
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix, clusters, classes = confusion_matrix([0, 0, 1, 1], ["a", "b", "b", "b"])
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+        assert clusters == [0, 1]
+        assert classes == ["a", "b"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataValidationError):
+            confusion_matrix([0, 1], ["a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataValidationError):
+            confusion_matrix([], [])
+
+
+class TestPurityAndError:
+    def test_perfect_clustering(self):
+        assert purity([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+        assert clustering_error([0, 0, 1, 1], ["a", "a", "b", "b"]) == 0.0
+
+    def test_paper_definition(self):
+        # Cluster 0: 3 a's and 1 b -> majority 3; cluster 1: 2 b's -> majority 2.
+        labels_pred = [0, 0, 0, 0, 1, 1]
+        labels_true = ["a", "a", "a", "b", "b", "b"]
+        assert clustering_accuracy(labels_pred, labels_true) == pytest.approx(5 / 6)
+        assert clustering_error(labels_pred, labels_true) == pytest.approx(1 / 6)
+
+    def test_accuracy_is_purity_alias(self):
+        labels_pred = [0, 1, 1, 0]
+        labels_true = ["a", "a", "b", "b"]
+        assert clustering_accuracy(labels_pred, labels_true) == purity(labels_pred, labels_true)
+
+    def test_label_permutation_invariance(self):
+        truth = ["a", "a", "b", "b", "c", "c"]
+        assert purity([0, 0, 1, 1, 2, 2], truth) == purity([2, 2, 0, 0, 1, 1], truth)
+
+    def test_all_in_one_cluster(self):
+        assert purity([0, 0, 0, 0], ["a", "a", "b", "b"]) == 0.5
+
+
+class TestAdjustedRandIndex:
+    def test_perfect_agreement(self):
+        assert adjusted_rand_index([0, 0, 1, 1], ["x", "x", "y", "y"]) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        assert adjusted_rand_index([5, 5, 2, 2], ["x", "x", "y", "y"]) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self, rng):
+        pred = rng.integers(0, 3, size=600)
+        true = rng.integers(0, 3, size=600).tolist()
+        assert abs(adjusted_rand_index(pred, true)) < 0.05
+
+    def test_worse_than_perfect_is_lower(self):
+        truth = ["a"] * 5 + ["b"] * 5
+        perfect = adjusted_rand_index([0] * 5 + [1] * 5, truth)
+        noisy = adjusted_rand_index([0, 0, 0, 1, 1, 1, 1, 0, 0, 1], truth)
+        assert perfect > noisy
+
+
+class TestNmi:
+    def test_perfect_agreement(self):
+        assert normalized_mutual_information([0, 0, 1, 1], ["x", "x", "y", "y"]) == pytest.approx(1.0)
+
+    def test_independent_labels_near_zero(self, rng):
+        pred = rng.integers(0, 4, size=800)
+        true = rng.integers(0, 4, size=800).tolist()
+        assert normalized_mutual_information(pred, true) < 0.05
+
+    def test_single_cluster_single_class(self):
+        assert normalized_mutual_information([0, 0], ["a", "a"]) == 1.0
+
+    def test_bounded(self, rng):
+        pred = rng.integers(0, 5, size=200)
+        true = rng.integers(0, 3, size=200).tolist()
+        value = normalized_mutual_information(pred, true)
+        assert 0.0 <= value <= 1.0
+
+
+class TestSizeHelpers:
+    def test_cluster_size_distribution(self):
+        assert cluster_size_distribution([0, 0, 1, -1]) == {0: 2, 1: 1, -1: 1}
+
+    def test_balance(self):
+        assert balance([0, 0, 0, 1]) == pytest.approx(1 / 3)
+        assert balance([0, 1]) == 1.0
+
+    def test_balance_ignores_outliers(self):
+        assert balance([0, 0, -1, 1, 1]) == 1.0
+
+    def test_balance_requires_clusters(self):
+        with pytest.raises(DataValidationError):
+            balance([-1, -1])
+
+
+class TestCompositionTable:
+    @pytest.fixture
+    def table(self):
+        labels_pred = [0, 0, 0, 1, 1, -1]
+        labels_true = ["a", "a", "b", "b", "b", "a"]
+        return composition_table(labels_pred, labels_true)
+
+    def test_rows_ordered_by_size_outliers_last(self, table):
+        assert [row.cluster_id for row in table] == [0, 1, -1]
+
+    def test_counts_and_dominants(self, table):
+        first = table[0]
+        assert first.size == 3
+        assert first.class_counts == {"a": 2, "b": 1}
+        assert first.dominant_class == "a"
+        assert first.dominant_share == pytest.approx(2 / 3)
+        assert not first.is_pure
+        assert table[1].is_pure
+
+    def test_exclude_outliers(self):
+        table = composition_table([0, -1], ["a", "a"], include_outliers=False)
+        assert [row.cluster_id for row in table] == [0]
+
+    def test_pure_and_impure_counts(self, table):
+        assert pure_cluster_count(table) == 1
+        assert impure_cluster_count(table) == 1
+        assert pure_cluster_count(table, threshold=0.6) == 2
+
+    def test_dominant_share_by_cluster(self, table):
+        shares = dominant_share_by_cluster(table)
+        assert set(shares) == {0, 1}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataValidationError):
+            composition_table([0], ["a", "b"])
+
+    def test_pure_threshold_validation(self, table):
+        with pytest.raises(DataValidationError):
+            pure_cluster_count(table, threshold=0.0)
+
+
+class TestReporting:
+    def test_format_table_contains_all_cells(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["beta", 22]], title="demo")
+        assert "demo" in text
+        assert "alpha" in text
+        assert "22" in text
+        assert text.count("+-") >= 3
+
+    def test_format_composition_table(self):
+        table = composition_table([0, 0, 1, -1], ["a", "b", "b", "a"])
+        text = format_composition_table(table, title="clusters")
+        assert "clusters" in text
+        assert "outliers" in text
+        assert "dominant" in text
+
+    def test_format_composition_table_with_class_order(self):
+        table = composition_table([0, 0], ["x", "y"])
+        text = format_composition_table(table, class_order=["y", "x"])
+        header = text.splitlines()[1]
+        assert header.index("y") < header.index("x")

@@ -1,0 +1,123 @@
+"""End-to-end integration tests across the public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    CategoricalDataset,
+    KModes,
+    QRock,
+    RockClustering,
+    Squeezer,
+    Stirr,
+    TraditionalHierarchicalClustering,
+    clustering_error,
+    composition_table,
+    purity,
+    records_to_transactions,
+    rock_cluster,
+)
+from repro.datasets.market_basket import generate_market_baskets
+from repro.datasets.votes import generate_votes_like
+from repro.evaluation.composition import pure_cluster_count
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestVotesEndToEnd:
+    @pytest.fixture(scope="class")
+    def votes(self):
+        # Full-size synthetic twin of the 435-record Congressional Votes data,
+        # so the paper's theta = 0.73 applies unchanged.
+        return generate_votes_like(rng=0)
+
+    def test_rock_pipeline_beats_traditional(self, votes):
+        transactions = records_to_transactions(votes)
+        rock_result = rock_cluster(transactions, n_clusters=2, theta=0.73, min_cluster_size=5)
+        traditional = TraditionalHierarchicalClustering(n_clusters=2).fit(votes)
+        rock_error = clustering_error(rock_result.labels, votes.labels)
+        traditional_error = clustering_error(traditional.labels_, votes.labels)
+        assert rock_error < 0.2
+        assert rock_error <= traditional_error + 1e-9
+
+    def test_rock_clusters_are_party_dominated(self, votes):
+        transactions = records_to_transactions(votes)
+        result = rock_cluster(transactions, n_clusters=2, theta=0.73, min_cluster_size=5)
+        table = composition_table(result.labels, votes.labels, include_outliers=False)
+        assert len(table) == 2
+        assert all(row.dominant_share > 0.8 for row in table)
+        dominant_classes = {row.dominant_class for row in table}
+        assert dominant_classes == {"republican", "democrat"}
+
+    def test_all_algorithms_run_on_votes(self, votes):
+        n = votes.n_records
+        assert len(KModes(n_clusters=2).fit(votes).labels_) == n
+        assert len(Squeezer(similarity_threshold=9.0).fit(votes).labels_) == n
+        assert len(Stirr(revised=True, rng=0).fit(votes).labels) == n
+        assert len(TraditionalHierarchicalClustering(n_clusters=2).fit(votes).labels_) == n
+        assert len(RockClustering(n_clusters=2, theta=0.73).fit(votes).labels_) == n
+
+
+class TestMarketBasketEndToEnd:
+    def test_rock_recovers_latent_clusters(self):
+        baskets = generate_market_baskets(
+            rng=0, n_transactions=300, n_clusters=3, cross_pool_rate=0.02, shared_rate=0.1
+        )
+        result = rock_cluster(baskets, n_clusters=3, theta=0.2, min_cluster_size=5)
+        error = clustering_error(result.labels, baskets.labels)
+        assert error < 0.15
+
+    def test_qrock_and_rock_consistent_on_clean_data(self):
+        baskets = generate_market_baskets(
+            rng=1, n_transactions=150, n_clusters=2, cross_pool_rate=0.0, shared_rate=0.0
+        )
+        qrock = QRock(theta=0.1).fit(baskets)
+        rock = RockClustering(n_clusters=2, theta=0.1).fit(baskets)
+        assert purity(qrock.labels_, baskets.labels) > 0.95
+        assert purity(rock.labels_, baskets.labels) > 0.95
+
+
+class TestMushroomEndToEnd:
+    def test_sampled_pipeline_produces_pure_clusters(self, mushroom_small):
+        dataset, groups = mushroom_small
+        transactions = records_to_transactions(dataset)
+        result = rock_cluster(
+            transactions,
+            n_clusters=8,
+            theta=0.8,
+            sample_size=120,
+            min_cluster_size=2,
+            min_neighbors=1,
+            rng=0,
+        )
+        table = composition_table(result.labels, dataset.labels, include_outliers=False)
+        assert pure_cluster_count(table, threshold=0.95) >= len(table) - 1
+        assert clustering_error(result.labels, dataset.labels) < 0.1
+
+    def test_labels_and_clusters_consistent(self, mushroom_small):
+        dataset, _ = mushroom_small
+        transactions = records_to_transactions(dataset)
+        result = rock_cluster(transactions, n_clusters=8, theta=0.8, rng=0)
+        for label, members in enumerate(result.clusters):
+            assert all(result.labels[i] == label for i in members)
+        outliers = set(np.nonzero(result.labels == -1)[0].tolist())
+        clustered = {i for members in result.clusters for i in members}
+        assert outliers.isdisjoint(clustered)
+        assert outliers | clustered == set(range(dataset.n_records))
+
+
+class TestCategoricalDatasetDirectInput:
+    def test_rock_accepts_dataset_without_manual_encoding(self):
+        records = [("a", "x", "1")] * 6 + [("b", "y", "2")] * 6
+        dataset = CategoricalDataset(records, labels=[0] * 6 + [1] * 6)
+        model = RockClustering(n_clusters=2, theta=0.5).fit(dataset)
+        assert clustering_error(model.labels_, dataset.labels) == 0.0

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.goodness import default_expected_links_exponent, goodness, theta_power
+from repro.core.heaps import AddressableMaxHeap
+from repro.core.links import links_from_neighbors
+from repro.core.neighbors import compute_neighbors
+from repro.core.rock import RockClustering
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    clustering_error,
+    purity,
+)
+from repro.similarity.jaccard import DiceSimilarity, JaccardSimilarity, jaccard
+
+# ----------------------------------------------------------------------- #
+# Strategies
+# ----------------------------------------------------------------------- #
+item_sets = st.frozensets(st.integers(min_value=0, max_value=12), max_size=8)
+transaction_lists = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=10), min_size=0, max_size=6),
+    min_size=1,
+    max_size=18,
+)
+thetas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+# ----------------------------------------------------------------------- #
+# Similarity properties
+# ----------------------------------------------------------------------- #
+class TestSimilarityProperties:
+    @given(left=item_sets, right=item_sets)
+    def test_jaccard_bounded_and_symmetric(self, left, right):
+        value = jaccard(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(right, left)
+
+    @given(items=item_sets)
+    def test_jaccard_identity(self, items):
+        assert jaccard(items, items) == 1.0
+
+    @given(left=item_sets, right=item_sets)
+    def test_jaccard_one_iff_equal(self, left, right):
+        if jaccard(left, right) == 1.0:
+            assert left == right
+
+    @given(left=item_sets, right=item_sets)
+    def test_dice_at_least_jaccard(self, left, right):
+        assert DiceSimilarity()(left, right) >= jaccard(left, right) - 1e-12
+
+    @given(left=item_sets, right=item_sets, third=item_sets)
+    def test_jaccard_distance_triangle_inequality(self, left, right, third):
+        # 1 - Jaccard is a metric; check the triangle inequality.
+        d = lambda a, b: 1.0 - jaccard(a, b)
+        assert d(left, third) <= d(left, right) + d(right, third) + 1e-9
+
+
+# ----------------------------------------------------------------------- #
+# Goodness properties
+# ----------------------------------------------------------------------- #
+class TestGoodnessProperties:
+    @given(theta=thetas)
+    def test_exponent_in_unit_interval(self, theta):
+        value = default_expected_links_exponent(theta)
+        assert 0.0 <= value <= 1.0
+
+    @given(theta=thetas, size=st.integers(min_value=1, max_value=1000))
+    def test_theta_power_at_least_linear(self, theta, size):
+        # The exponent 1 + 2 f(theta) is always >= 1.
+        assert theta_power(size, theta) >= size - 1e-9
+
+    @given(
+        theta=st.floats(min_value=0.0, max_value=0.99),
+        links=st.integers(min_value=1, max_value=10_000),
+        size_left=st.integers(min_value=1, max_value=500),
+        size_right=st.integers(min_value=1, max_value=500),
+    )
+    def test_goodness_positive_and_monotone_in_links(self, theta, links, size_left, size_right):
+        value = goodness(links, size_left, size_right, theta)
+        more = goodness(links + 1, size_left, size_right, theta)
+        assert value > 0
+        assert more > value
+
+
+# ----------------------------------------------------------------------- #
+# Heap properties
+# ----------------------------------------------------------------------- #
+class TestHeapProperties:
+    @given(priorities=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                         min_value=-1e6, max_value=1e6),
+                               min_size=1, max_size=60))
+    def test_pops_are_sorted(self, priorities):
+        heap = AddressableMaxHeap()
+        for index, priority in enumerate(priorities):
+            heap.push(index, priority)
+        drained = []
+        while heap:
+            drained.append(heap.pop()[1])
+        assert drained == sorted(priorities, reverse=True)
+
+    @given(
+        priorities=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                      min_value=-100, max_value=100),
+                            min_size=2, max_size=40),
+        updates=st.lists(st.tuples(st.integers(min_value=0, max_value=39),
+                                   st.floats(allow_nan=False, allow_infinity=False,
+                                             min_value=-100, max_value=100)),
+                         max_size=30),
+    )
+    def test_pops_sorted_after_updates(self, priorities, updates):
+        heap = AddressableMaxHeap()
+        current = {}
+        for index, priority in enumerate(priorities):
+            heap.push(index, priority)
+            current[index] = priority
+        for key, priority in updates:
+            if key in current:
+                heap.update(key, priority)
+                current[key] = priority
+        drained = [heap.pop()[1] for _ in range(len(current))]
+        assert drained == sorted(current.values(), reverse=True)
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=50))
+    def test_membership_tracks_push_and_discard(self, keys):
+        heap = AddressableMaxHeap()
+        present = set()
+        for key in keys:
+            if key in present:
+                heap.discard(key)
+                present.discard(key)
+            else:
+                heap.push(key, float(key))
+                present.add(key)
+        assert set(heap) == present
+        assert len(heap) == len(present)
+
+
+# ----------------------------------------------------------------------- #
+# Neighbour / link / clustering invariants
+# ----------------------------------------------------------------------- #
+class TestClusteringProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(transactions=transaction_lists, theta=st.floats(min_value=0.05, max_value=0.95))
+    def test_neighbor_strategies_agree(self, transactions, theta):
+        brute = compute_neighbors(transactions, theta, strategy="bruteforce")
+        fast = compute_neighbors(transactions, theta, strategy="vectorized")
+        assert (brute.adjacency != fast.adjacency).nnz == 0
+
+    @settings(deadline=None, max_examples=40)
+    @given(transactions=transaction_lists, theta=st.floats(min_value=0.05, max_value=0.95))
+    def test_link_strategies_agree(self, transactions, theta):
+        graph = compute_neighbors(transactions, theta)
+        by_lists = links_from_neighbors(graph, strategy="neighbor-lists")
+        by_matmul = links_from_neighbors(graph, strategy="sparse-matmul")
+        assert (by_lists != by_matmul).nnz == 0
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        transactions=transaction_lists,
+        theta=st.floats(min_value=0.1, max_value=0.9),
+        n_clusters=st.integers(min_value=1, max_value=5),
+    )
+    def test_rock_partitions_all_points(self, transactions, theta, n_clusters):
+        model = RockClustering(n_clusters=n_clusters, theta=theta).fit(transactions)
+        labels = model.labels_
+        assert len(labels) == len(transactions)
+        assert np.all(labels >= 0)
+        # Clusters partition the indices exactly.
+        members = sorted(index for cluster in model.clusters_ for index in cluster)
+        assert members == list(range(len(transactions)))
+        # Never fewer clusters than requested unless there are fewer points.
+        assert model.n_clusters_ >= min(n_clusters, len(transactions))
+
+
+# ----------------------------------------------------------------------- #
+# Metric properties
+# ----------------------------------------------------------------------- #
+class TestMetricProperties:
+    label_lists = st.integers(min_value=2, max_value=40).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(min_value=0, max_value=4), min_size=n, max_size=n),
+            st.lists(st.integers(min_value=0, max_value=3), min_size=n, max_size=n),
+        )
+    )
+
+    @given(pair=label_lists)
+    def test_purity_bounds_and_error_complement(self, pair):
+        predicted, truth = pair
+        value = purity(predicted, truth)
+        assert 0.0 < value <= 1.0
+        assert clustering_error(predicted, truth) == 1.0 - value
+
+    @given(pair=label_lists)
+    def test_ari_bounded_above_by_one(self, pair):
+        predicted, truth = pair
+        assert adjusted_rand_index(predicted, truth) <= 1.0 + 1e-9
+
+    @given(truth=st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=40))
+    def test_perfect_prediction_has_zero_error(self, truth):
+        assert clustering_error(truth, truth) == 0.0
+        assert adjusted_rand_index(truth, truth) >= 1.0 - 1e-9

@@ -1,0 +1,113 @@
+"""Tests for the repro.timeseries subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mutual_funds import FundFamily, generate_mutual_funds
+from repro.errors import ConfigurationError, DataValidationError
+from repro.timeseries.categorize import Direction, daily_directions, to_updown_transactions
+from repro.timeseries.funds import cluster_funds
+
+
+class TestDailyDirections:
+    def test_up_down_classification(self):
+        directions = daily_directions([1.0, 2.0, 1.5, 1.5])
+        assert directions == [Direction.UP, Direction.DOWN, Direction.FLAT]
+
+    def test_flat_tolerance(self):
+        directions = daily_directions([100.0, 100.4, 99.0], flat_tolerance=0.005)
+        assert directions == [Direction.FLAT, Direction.DOWN]
+
+    def test_zero_previous_price_handled(self):
+        assert daily_directions([0.0, 1.0]) == [Direction.UP]
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(DataValidationError):
+            daily_directions([1.0])
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            daily_directions([1.0, 2.0], flat_tolerance=-0.1)
+
+
+class TestToUpdownTransactions:
+    def test_items_are_day_direction_pairs(self):
+        prices = np.array([[1.0, 2.0, 1.0], [2.0, 1.0, 3.0]])
+        transactions = to_updown_transactions(prices)
+        assert transactions.transaction(0) == frozenset({(0, "Up"), (1, "Down")})
+        assert transactions.transaction(1) == frozenset({(0, "Down"), (1, "Up")})
+
+    def test_flat_days_skipped_by_default(self):
+        prices = np.array([[1.0, 1.0, 2.0]])
+        transactions = to_updown_transactions(prices)
+        assert transactions.transaction(0) == frozenset({(1, "Up")})
+
+    def test_flat_days_included_when_requested(self):
+        prices = np.array([[1.0, 1.0, 2.0]])
+        transactions = to_updown_transactions(prices, include_flat=True)
+        assert (0, "Flat") in transactions.transaction(0)
+
+    def test_labels_carried(self):
+        prices = np.array([[1.0, 2.0], [2.0, 1.0]])
+        transactions = to_updown_transactions(prices, labels=["a", "b"])
+        assert transactions.labels == ["a", "b"]
+
+    def test_identical_series_get_identical_transactions(self):
+        prices = np.array([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0]])
+        transactions = to_updown_transactions(prices)
+        assert transactions.transaction(0) == transactions.transaction(1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DataValidationError):
+            to_updown_transactions(np.array([1.0, 2.0]))
+        with pytest.raises(DataValidationError):
+            to_updown_transactions(np.array([[1.0], [2.0]]))
+        with pytest.raises(DataValidationError):
+            to_updown_transactions(np.array([[1.0, 2.0]]), series_names=["a", "b"])
+
+
+class TestClusterFunds:
+    @pytest.fixture(scope="class")
+    def small_fund_universe(self):
+        families = (
+            FundFamily("bond", n_funds=6, volatility=0.004, idiosyncratic=0.001),
+            FundFamily("equity", n_funds=6, volatility=0.012, idiosyncratic=0.003),
+            FundFamily("metals", n_funds=5, volatility=0.02, idiosyncratic=0.005),
+        )
+        return generate_mutual_funds(families=families, n_days=250, rng=0)
+
+    def test_families_cocluster(self, small_fund_universe):
+        names, prices, families = small_fund_universe
+        result = cluster_funds(prices, names, families=families, n_clusters=3, theta=0.7)
+        assert result.n_clusters >= 2
+        # Every cluster should be dominated by a single family.
+        for counter in result.family_composition:
+            if counter:
+                dominant = counter.most_common(1)[0][1]
+                assert dominant / sum(counter.values()) >= 0.8
+
+    def test_cluster_names_align_with_labels(self, small_fund_universe):
+        names, prices, families = small_fund_universe
+        result = cluster_funds(prices, names, families=families, n_clusters=3, theta=0.7)
+        flattened = [name for cluster in result.clusters for name in cluster]
+        labeled = [
+            names[i]
+            for i, label in enumerate(result.pipeline_result.labels)
+            if label >= 0
+        ]
+        assert sorted(flattened) == sorted(labeled)
+
+    def test_dominant_families_reported(self, small_fund_universe):
+        names, prices, families = small_fund_universe
+        result = cluster_funds(prices, names, families=families, n_clusters=3, theta=0.7)
+        assert len(result.dominant_families()) == result.n_clusters
+
+    def test_without_family_labels(self, small_fund_universe):
+        names, prices, _ = small_fund_universe
+        result = cluster_funds(prices, names, n_clusters=3, theta=0.7)
+        assert all(not counter for counter in result.family_composition)
+
+    def test_name_length_mismatch_rejected(self, small_fund_universe):
+        _, prices, _ = small_fund_universe
+        with pytest.raises(DataValidationError):
+            cluster_funds(prices, ["just-one-name"], n_clusters=2)
