@@ -1,0 +1,115 @@
+"""Engine benchmark driver: phase timings, perf baseline and perf gate.
+
+Run modes (see ``conftest.bench_full``):
+
+* smoke (default, <30 s) — times n in {300, 600} with both engines,
+  writes the record to ``benchmarks/results/`` and leaves the committed
+  baseline untouched.
+* full (``REPRO_BENCH_FULL=1``) — times n in {500, 1000, 2000, 4000}
+  (reference engine up to 2000), asserts the flat engine's >=5x
+  agglomeration speedup at n=2000, and rewrites the committed
+  ``BENCH_engine.json`` baseline at the repository root.
+
+``test_engine_perf_gate`` re-measures the gate size and fails when the
+agglomeration time regresses more than 1.5x against the committed baseline
+(:mod:`repro.bench.perf_gate`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import bench_full, engine_bench_sizes, write_record
+
+from repro.bench.engine_bench import run_engine_bench, time_engine_phases
+from repro.bench.perf_gate import (
+    BASELINE_FILENAME,
+    check_agglomeration_regression,
+    check_speedup_regression,
+    load_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / BASELINE_FILENAME
+
+#: Workload size the perf gate re-measures (must exist in the baseline).
+GATE_SIZE = 500
+
+
+def _render(payload: dict) -> str:
+    lines = ["[ENGINE] flat vs reference agglomeration benchmark"]
+    lines.append(
+        "workload: market-basket, theta=%s, clusters=%d"
+        % (payload["theta"], payload["n_clusters_requested"])
+    )
+    for row in payload["sizes"]:
+        parts = [
+            "n=%-5d" % row["n"],
+            "neighbors %.3fs" % row["neighbors_s"],
+            "links %.3fs" % row["links_s"],
+            "agglomerate(flat) %.3fs" % row["agglomerate_flat_s"],
+        ]
+        if "agglomerate_reference_s" in row:
+            parts.append("agglomerate(reference) %.3fs" % row["agglomerate_reference_s"])
+            parts.append("speedup %.1fx" % row["agglomerate_speedup"])
+        parts.append("label %.3fs" % row["label_s"])
+        lines.append("  " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def test_benchmark_engine_phases(results_dir):
+    sizes, reference_max = engine_bench_sizes()
+    full = bench_full()
+    payload = run_engine_bench(
+        sizes,
+        reference_max=reference_max,
+        path=BASELINE_PATH if full else None,
+    )
+    if not full:
+        (results_dir / "BENCH_engine_smoke.json").write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    write_record(results_dir, "ENGINE_phase_timings", _render(payload))
+
+    # run_engine_bench already asserts bit-identical merge histories for
+    # every size where both engines ran; here we check the perf claims.
+    for row in payload["sizes"]:
+        if "agglomerate_speedup" in row:
+            assert row["agglomerate_speedup"] > 1.0, (
+                "flat engine slower than reference at n=%d" % row["n"]
+            )
+    if full:
+        at_2000 = next(row for row in payload["sizes"] if row["n"] == 2000)
+        assert at_2000["agglomerate_speedup"] >= 5.0, (
+            "flat engine speedup at n=2000 fell below 5x: %.2fx"
+            % at_2000["agglomerate_speedup"]
+        )
+
+
+def test_engine_perf_gate(results_dir):
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed %s baseline yet" % BASELINE_FILENAME)
+    baseline = load_bench(BASELINE_PATH)
+    current = {
+        "sizes": [time_engine_phases(GATE_SIZE, include_reference=True, repeats=3)]
+    }
+    # The absolute wall-clock check is machine-specific (the baseline was
+    # recorded on one machine); the speedup-ratio check divides machine
+    # speed out.  Only flag when both trip: a uniformly slower machine
+    # preserves the ratio, a genuine flat-engine regression drops it.
+    absolute = check_agglomeration_regression(current, baseline)
+    relative = check_speedup_regression(current, baseline)
+    violations = absolute if (absolute and relative) else []
+    status = "PASS" if not violations else "; ".join(violations + relative)
+    if absolute and not relative:
+        status += " (absolute time above baseline limit, but the flat/reference "
+        status += "speedup ratio held — slower machine, not a regression)"
+    write_record(
+        results_dir,
+        "ENGINE_perf_gate",
+        "[ENGINE] perf gate at n=%d: %s" % (GATE_SIZE, status),
+    )
+    assert not violations, "\n".join(violations + relative)

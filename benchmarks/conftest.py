@@ -4,13 +4,17 @@ Every benchmark regenerates one of the paper's tables or figures (see
 DESIGN.md §3) and writes the rendered result to ``benchmarks/results/`` so
 the rows/series can be inspected and copied into EXPERIMENTS.md.
 
-Two environment variables control the workload size:
+Three environment variables control the workload size:
 
 * ``REPRO_BENCH_SCALE`` — scale factor of the synthetic Mushroom data used
   by the Mushroom table and the ablations (default ``0.2``; use ``1.0`` for
   the full 8124-record shape).
 * ``REPRO_BENCH_MAX_SAMPLE`` — largest sample size of the scalability sweep
   (default ``800``).
+* ``REPRO_BENCH_FULL`` — when ``1``, ``bench_engine.py`` runs the full
+  engine benchmark (n up to 4000) and rewrites the committed
+  ``BENCH_engine.json`` baseline at the repository root; otherwise it runs
+  a <30 s smoke workload and writes its record under ``results/`` only.
 """
 
 from __future__ import annotations
@@ -31,6 +35,19 @@ def bench_scale() -> float:
 def bench_max_sample() -> int:
     """Largest sample size used in the scalability sweep."""
     return int(os.environ.get("REPRO_BENCH_MAX_SAMPLE", "800"))
+
+
+def bench_full() -> bool:
+    """Whether the full (baseline-writing) engine benchmark was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def engine_bench_sizes() -> tuple[list[int], int]:
+    """Workload sizes for ``bench_engine.py`` and the largest size at which
+    the quadratic reference engine is also timed."""
+    if bench_full():
+        return [500, 1000, 2000, 4000], 2000
+    return [300, 600], 600
 
 
 @pytest.fixture(scope="session")

@@ -8,7 +8,9 @@ directory wraps these functions with pytest-benchmark so timing and output
 regeneration happen in one place.
 """
 
+from repro.bench.engine_bench import run_engine_bench, time_engine_phases
 from repro.bench.harness import ExperimentRecord, available_experiments, get_experiment
+from repro.bench.perf_gate import check_agglomeration_regression, load_bench
 from repro.bench.scalability import ScalabilityPoint, run_scalability_sweep
 
 __all__ = [
@@ -17,4 +19,8 @@ __all__ = [
     "get_experiment",
     "ScalabilityPoint",
     "run_scalability_sweep",
+    "run_engine_bench",
+    "time_engine_phases",
+    "check_agglomeration_regression",
+    "load_bench",
 ]

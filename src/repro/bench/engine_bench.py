@@ -1,0 +1,171 @@
+"""Engine benchmark: per-phase timings of the clustering hot paths.
+
+Times the four pipeline phases — neighbour graph, link matrix,
+agglomeration (both engines) and labelling — on a reproducible synthetic
+random-basket workload, and emits the ``BENCH_engine.json`` perf baseline
+consumed by :mod:`repro.bench.perf_gate`.
+
+The workload is a tight-cluster market-basket shape (eight latent groups
+whose baskets share most of a small item pool), the regime ROCK targets:
+at ``theta = 0.5`` the in-cluster Jaccard similarities clear the threshold,
+giving a link graph dense enough to exercise the agglomeration engines
+properly.  Whenever both engines run, their merge histories are asserted
+bit-identical, so every benchmark run doubles as an equivalence check on a
+full-size workload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.labeling import label_points
+from repro.core.links import links_from_neighbors
+from repro.core.neighbors import compute_neighbors
+from repro.core.rock import RockClustering
+from repro.datasets.market_basket import generate_market_baskets
+
+#: Parameters of the benchmark's random-basket workload (see module doc).
+WORKLOAD = {
+    "n_clusters": 8,
+    "items_per_cluster": 12,
+    "basket_size_mean": 10.0,
+    "shared_items": 5,
+    "shared_rate": 0.1,
+    "cross_pool_rate": 0.05,
+}
+
+#: Theta used throughout the benchmark.
+BENCH_THETA = 0.5
+
+#: Clusters requested from the agglomeration phase.
+BENCH_CLUSTERS = 8
+
+
+def engine_workload(n: int, rng: int = 0) -> list[frozenset]:
+    """Generate the benchmark's random-basket transactions."""
+    dataset = generate_market_baskets(n_transactions=n, rng=rng, **WORKLOAD)
+    return dataset.transactions
+
+
+def _best_of(repeats: int, measure) -> float:
+    """Smallest wall-clock time of ``repeats`` calls to ``measure()``."""
+    return min(measure() for _ in range(max(1, repeats)))
+
+
+def time_engine_phases(
+    n: int,
+    theta: float = BENCH_THETA,
+    n_clusters: int = BENCH_CLUSTERS,
+    include_reference: bool = True,
+    repeats: int = 3,
+    rng: int = 0,
+) -> dict:
+    """Time every pipeline phase at workload size ``n``.
+
+    Returns a row with the phase timings in seconds (best of ``repeats``
+    runs each), the workload shape, and — when the reference engine is
+    included — the flat-over-reference agglomeration speedup.  Raises if
+    the two engines disagree on the merge history.
+    """
+    transactions = engine_workload(n, rng=rng)
+
+    start = time.perf_counter()
+    graph = compute_neighbors(transactions, theta=theta)
+    neighbors_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    links = links_from_neighbors(graph)
+    links_seconds = time.perf_counter() - start
+
+    def agglomerate(engine: str):
+        model = RockClustering(n_clusters=n_clusters, theta=theta, engine=engine)
+        return model._agglomerate(links, n)
+
+    flat_result = agglomerate("flat")
+    flat_seconds = _best_of(
+        repeats, lambda: agglomerate("flat").elapsed_seconds
+    )
+
+    row = {
+        "n": n,
+        "theta": theta,
+        "n_clusters_requested": n_clusters,
+        "links_nnz": int(links.nnz),
+        "n_merges": len(flat_result.merge_history),
+        "neighbors_s": neighbors_seconds,
+        "links_s": links_seconds,
+        "agglomerate_flat_s": flat_seconds,
+    }
+
+    if include_reference:
+        reference_result = agglomerate("reference")
+        if reference_result.merge_history != flat_result.merge_history:
+            raise AssertionError(
+                "engine mismatch at n=%d: flat and reference merge histories differ"
+                % n
+            )
+        reference_seconds = _best_of(
+            max(1, repeats - 1), lambda: agglomerate("reference").elapsed_seconds
+        )
+        row["agglomerate_reference_s"] = reference_seconds
+        row["agglomerate_speedup"] = reference_seconds / flat_seconds
+
+    # Labelling: place n // 2 freshly drawn baskets against the clustering.
+    unlabeled = engine_workload(max(2, n // 2), rng=rng + 1)
+    start = time.perf_counter()
+    label_points(
+        unlabeled,
+        transactions,
+        flat_result.clusters,
+        theta=theta,
+        rng=0,
+    )
+    row["label_s"] = time.perf_counter() - start
+    return row
+
+
+def run_engine_bench(
+    sizes: list[int],
+    reference_max: int,
+    theta: float = BENCH_THETA,
+    repeats: int = 3,
+    path: str | Path | None = None,
+) -> dict:
+    """Run the engine benchmark over ``sizes`` and optionally persist it.
+
+    Parameters
+    ----------
+    sizes:
+        Workload sizes (number of transactions) to time.
+    reference_max:
+        Largest size at which the quadratic-cost reference engine is also
+        timed (larger sizes report the flat engine only).
+    theta, repeats:
+        Forwarded to :func:`time_engine_phases`.
+    path:
+        When given, the payload is written there as JSON
+        (``BENCH_engine.json`` format).
+    """
+    rows = [
+        time_engine_phases(
+            n, theta=theta, include_reference=n <= reference_max, repeats=repeats
+        )
+        for n in sizes
+    ]
+    payload = {
+        "benchmark": "engine",
+        "workload": {"generator": "market-basket", **WORKLOAD},
+        "theta": theta,
+        "n_clusters_requested": BENCH_CLUSTERS,
+        "repeats": repeats,
+        "numpy_version": np.__version__,
+        "sizes": rows,
+    }
+    if path is not None:
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+    return payload

@@ -1,0 +1,127 @@
+"""Perf gate: fail when agglomeration timings regress against the baseline.
+
+``BENCH_engine.json`` (committed at the repository root by
+:mod:`repro.bench.engine_bench`) records the flat engine's agglomeration
+times per workload size.  The gate compares a freshly measured run against
+those numbers and reports every size whose time exceeds the committed
+baseline by more than ``max_ratio`` (plus a small absolute slack that keeps
+millisecond-scale measurements from tripping the gate on scheduler noise).
+
+The gate is intentionally one-sided: faster-than-baseline runs pass, and a
+run that beats the baseline substantially is the cue to re-generate the
+baseline (``REPRO_BENCH_FULL=1 pytest benchmarks/bench_engine.py``) so
+future regressions are measured from the improved level.
+
+Absolute wall-clock comparisons are machine-specific (the committed
+baseline records the author's machine), so the gate offers a second,
+machine-robust signal: :func:`check_speedup_regression` compares the
+flat-over-reference *speedup ratio* instead, which divides out the
+machine's absolute speed.  The benchmark driver flags a regression only
+when **both** signals trip — a uniformly slower machine slows both engines
+and keeps the ratio, while a genuine flat-engine regression drops it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: A measurement above ``baseline * DEFAULT_MAX_RATIO + DEFAULT_SLACK_SECONDS``
+#: is a regression.
+DEFAULT_MAX_RATIO = 1.5
+DEFAULT_SLACK_SECONDS = 0.05
+
+#: Default location of the committed baseline (repository root).
+BASELINE_FILENAME = "BENCH_engine.json"
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load a ``BENCH_engine.json`` payload."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _rows_by_size(payload: dict) -> dict[int, dict]:
+    return {int(row["n"]): row for row in payload.get("sizes", [])}
+
+
+def check_agglomeration_regression(
+    current: dict,
+    baseline: dict,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    slack_seconds: float = DEFAULT_SLACK_SECONDS,
+    metric: str = "agglomerate_flat_s",
+) -> list[str]:
+    """Compare two benchmark payloads; return a violation message per regression.
+
+    Sizes present in only one payload are ignored (the gate judges what was
+    measured, not coverage).  An empty list means the gate passes.
+    """
+    current_rows = _rows_by_size(current)
+    baseline_rows = _rows_by_size(baseline)
+    violations: list[str] = []
+    for n in sorted(set(current_rows) & set(baseline_rows)):
+        measured = current_rows[n].get(metric)
+        reference = baseline_rows[n].get(metric)
+        if measured is None or reference is None:
+            continue
+        limit = reference * max_ratio + slack_seconds
+        if measured > limit:
+            violations.append(
+                "%s at n=%d regressed: %.4fs measured vs %.4fs baseline "
+                "(limit %.4fs = baseline * %.2f + %.2fs slack)"
+                % (metric, n, measured, reference, limit, max_ratio, slack_seconds)
+            )
+    return violations
+
+
+def check_speedup_regression(
+    current: dict,
+    baseline: dict,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+) -> list[str]:
+    """Machine-robust variant: compare flat-over-reference speedup ratios.
+
+    A size regresses when its measured ``agglomerate_speedup`` falls below
+    ``baseline_speedup / max_ratio``.  Because both engines run on the same
+    machine in the same process, the ratio divides out absolute machine
+    speed; sizes missing the speedup field (reference engine not timed) are
+    ignored.
+    """
+    current_rows = _rows_by_size(current)
+    baseline_rows = _rows_by_size(baseline)
+    violations: list[str] = []
+    for n in sorted(set(current_rows) & set(baseline_rows)):
+        measured = current_rows[n].get("agglomerate_speedup")
+        reference = baseline_rows[n].get("agglomerate_speedup")
+        if measured is None or reference is None:
+            continue
+        floor = reference / max_ratio
+        if measured < floor:
+            violations.append(
+                "agglomerate_speedup at n=%d regressed: %.2fx measured vs "
+                "%.2fx baseline (floor %.2fx = baseline / %.2f)"
+                % (n, measured, reference, floor, max_ratio)
+            )
+    return violations
+
+
+def gate_against_baseline(
+    current: dict,
+    baseline_path: str | Path,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    slack_seconds: float = DEFAULT_SLACK_SECONDS,
+) -> list[str]:
+    """Convenience wrapper: load the baseline file and run the check.
+
+    Returns the violation list; a missing baseline file yields a single
+    violation naming the file, so callers can decide to skip or fail.
+    """
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        return ["baseline %s does not exist" % baseline_path]
+    return check_agglomeration_regression(
+        current,
+        load_bench(baseline_path),
+        max_ratio=max_ratio,
+        slack_seconds=slack_seconds,
+    )

@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.bench.harness import available_experiments, get_experiment
 from repro.core.pipeline import rock_cluster
+from repro.core.rock import ENGINES
 from repro.data.encoding import records_to_transactions
 from repro.data.io import read_categorical_csv, read_transactions
 from repro.datasets.registry import available_datasets
@@ -77,6 +78,7 @@ def _command_cluster(arguments) -> int:
         sample_size=arguments.sample_size,
         min_neighbors=arguments.min_neighbors,
         min_cluster_size=arguments.min_cluster_size,
+        engine=arguments.engine,
         rng=arguments.seed,
     )
     print("%d records -> %d clusters (%d outliers) in %.2fs" % (
@@ -153,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--sample-size", type=int, default=None, help="random-sample size")
     cluster.add_argument("--min-neighbors", type=int, default=0, help="outlier pre-filter")
     cluster.add_argument("--min-cluster-size", type=int, default=1, help="prune smaller clusters")
+    cluster.add_argument(
+        "--engine", choices=list(ENGINES), default="flat",
+        help="agglomeration engine (flat: array-backed, reference: paper pseudo-code)",
+    )
     cluster.add_argument("--seed", type=int, default=0, help="random seed")
     cluster.add_argument("--output", default=None, help="write per-record labels to this file")
     cluster.set_defaults(handler=_command_cluster)

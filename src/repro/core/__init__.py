@@ -10,6 +10,8 @@ The modules follow the structure of the ROCK paper:
 * :mod:`repro.core.heaps` — the local/global heap machinery of the
   agglomerative procedure (Section 4.1);
 * :mod:`repro.core.rock` — the agglomerative clustering algorithm itself;
+* :mod:`repro.core.engine` — the flat array-backed agglomeration engine
+  (the default ``engine="flat"`` implementation of the merge loop);
 * :mod:`repro.core.sampling` — Chernoff-bound random sampling (Section 4.3);
 * :mod:`repro.core.labeling` — labelling of disk-resident points
   (Section 4.4);
@@ -24,13 +26,14 @@ from repro.core.goodness import (
     goodness,
     theta_power,
 )
+from repro.core.engine import FlatAgglomerationEngine, flat_agglomerate
 from repro.core.heaps import AddressableMaxHeap
 from repro.core.labeling import LabelingResult, label_points
 from repro.core.links import compute_links, links_from_neighbors
 from repro.core.neighbors import NeighborGraph, compute_neighbors
 from repro.core.outliers import drop_small_clusters, isolated_point_mask
 from repro.core.pipeline import RockPipeline, RockPipelineResult, rock_cluster
-from repro.core.rock import RockClustering, RockResult
+from repro.core.rock import ENGINES, RockClustering, RockResult
 from repro.core.sampling import chernoff_sample_size, draw_sample
 
 __all__ = [
@@ -40,6 +43,9 @@ __all__ = [
     "goodness",
     "theta_power",
     "AddressableMaxHeap",
+    "ENGINES",
+    "FlatAgglomerationEngine",
+    "flat_agglomerate",
     "LabelingResult",
     "label_points",
     "compute_links",

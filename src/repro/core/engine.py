@@ -1,0 +1,583 @@
+"""Flat array-backed agglomeration engine (the ``engine="flat"`` path).
+
+The reference agglomeration in :mod:`repro.core.rock` is a direct
+transcription of the paper's Section 4.1 pseudo-code: a dict-of-dicts of
+cross-cluster link counts, one :class:`~repro.core.heaps.AddressableMaxHeap`
+per cluster and a global heap over the clusters' local maxima.  Both heap
+classes sift in interpreted Python, and every merge rebuilds goodness values
+one scalar call at a time, which dominates the run time once the neighbour
+and link phases are vectorised.
+
+This module re-implements the same greedy procedure over flat state:
+
+* **Flat cross-link store** — every live cluster owns an append-only triple
+  of parallel ``(partners, counts, goodnesses)`` sequences in insertion
+  order.  Seed clusters are materialised lazily as zero-copy windows into
+  the canonical sorted-CSR link matrix; a merge consumes the two stores of
+  the merged clusters into the combined frontier and appends a single entry
+  to each frontier cluster's store, while entries referencing dead clusters
+  are skipped lazily whenever a store is consumed.
+* **Vectorised goodness** — the paper's ``size ** (1 + 2 f(theta))``
+  normaliser is pre-tabulated for every possible cluster size (computed
+  with Python's ``**`` so the values are bit-identical to
+  :func:`repro.core.goodness.theta_power`).  All seed-pair goodness values
+  and every seed cluster's initial best merge are computed in a handful of
+  whole-matrix array passes (``reduceat`` per CSR row), and a merged
+  cluster's frontier is scored in one indexed-subtract/divide pass;
+  frontiers below a few dozen entries take an equivalent plain-Python path
+  where interpreter work beats NumPy call overhead (the table constants are
+  exact either way, so the arithmetic is identical).
+* **Lazy-deletion heaps** — local per-cluster heaps and the single global
+  heap are plain C ``heapq`` lists keyed by ``(-goodness, insertion-seq)``.
+  A local entry is stale exactly when its partner died (pair goodness is
+  frozen while both endpoints live), so the reference's addressable
+  *delete* becomes a lazy skip at peek time; moreover a cluster's local
+  heap is only ordered at all on the first merge that kills its incumbent
+  best — until then new pairs ride along in the store and a running
+  best-tracking comparison replaces every heap operation.  The global heap
+  holds one live entry per cluster — its current best merge — superseded
+  by a version bump only when that best changes, so global traffic is a
+  handful of pushes per merge rather than one per link.
+
+**Determinism.**  The merge sequence is bit-identical to the reference
+engine.  In the reference, the global heap breaks goodness ties by
+insertion sequence, which (because clusters enter in id order and a merged
+cluster's sequence number equals its id) is exactly the cluster id — the
+``cluster`` component of the global entry reproduces it.  A cluster's local
+heap breaks ties by the order partners entered the heap; store position
+reproduces that order exactly: seed partners enter in ascending-id order
+(the link matrix is consumed in canonical sorted-CSR order, matching the
+reference's dict-insertion order), partners gained through merges are
+appended after all earlier entries, and a merged cluster's store lists its
+frontier in first-occurrence order of the two consumed stores, mirroring
+the reference's combined-dict order.  First-occurrence minima/argmaxima
+therefore select the same partner as the reference's local-heap peek, and
+an incumbent best is kept on goodness ties (a new pair always ranks last),
+matching the reference's ``push_or_update`` semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import repeat
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.goodness import ExponentFunction, default_expected_links_exponent
+from repro.types import MergeStep
+
+
+def flat_agglomerate(
+    links: sparse.spmatrix,
+    n_points: int,
+    n_clusters: int,
+    theta: float,
+    exponent_function: ExponentFunction | None = None,
+) -> tuple[list[MergeStep], dict[int, list[int]], bool]:
+    """Run the ROCK agglomeration over flat array state.
+
+    Parameters
+    ----------
+    links:
+        Symmetric link-count matrix of the ``n_points`` input points (the
+        diagonal and non-positive entries are ignored, matching the
+        reference engine).
+    n_points:
+        Number of input points.
+    n_clusters:
+        Target number of clusters.
+    theta:
+        Similarity threshold (defines the goodness normaliser).
+    exponent_function:
+        ``f(theta)``; defaults to the paper's.
+
+    Returns
+    -------
+    merge_history:
+        The merges performed, in execution order (identical to the reference
+        engine's history).
+    members:
+        Mapping of surviving cluster id to its member point indices.
+    stopped_early:
+        ``True`` when no positive-goodness merge remained before reaching
+        ``n_clusters`` clusters.
+    """
+    engine = FlatAgglomerationEngine(
+        links, n_points, n_clusters, theta, exponent_function
+    )
+    return engine.run()
+
+
+class FlatAgglomerationEngine:
+    """Flat-state machine for one agglomeration run."""
+
+    #: Combined-store size at or below which a merge's frontier bookkeeping
+    #: runs in plain Python; larger frontiers take the vectorised pass.
+    SMALL_FRONTIER = 64
+
+    def __init__(
+        self,
+        links: sparse.spmatrix,
+        n_points: int,
+        n_clusters: int,
+        theta: float,
+        exponent_function: ExponentFunction | None = None,
+    ) -> None:
+        self.n_points = int(n_points)
+        self.n_clusters = int(n_clusters)
+        if exponent_function is None:
+            exponent_function = default_expected_links_exponent
+        exponent = 1.0 + 2.0 * exponent_function(float(theta))
+        # Power table over every reachable cluster size.  Computed with
+        # Python's ``**`` (not ``np.power``, whose libm dispatch may round
+        # differently) so goodness values match theta_power() bit-for-bit.
+        self._pow = np.array(
+            [float(size) ** exponent for size in range(self.n_points + 1)],
+            dtype=np.float64,
+        )
+        self._links = links
+
+    # ------------------------------------------------------------------ #
+    # State initialisation
+    # ------------------------------------------------------------------ #
+    def _canonical_symmetric(self) -> sparse.csr_matrix:
+        """Upper-triangle-symmetrised, positive, sorted copy of the input."""
+        matrix = sparse.csr_matrix(self._links)
+        upper = sparse.triu(matrix, k=1).tocsr()
+        if upper.nnz and (upper.data <= 0).any():
+            upper = upper.copy()
+            upper.data[upper.data <= 0] = 0
+            upper.eliminate_zeros()
+        upper = upper.astype(np.int64)
+        symmetric = (upper + upper.T).tocsr()
+        symmetric.sort_indices()
+        return symmetric
+
+    def _init_state(self) -> None:
+        n = self.n_points
+        # Merged ids range over [n, 2n - 1 - n_clusters], so index 2n - 1 is
+        # never assigned; the trailing dead cell doubles as the target of
+        # the ``-1`` best-partner sentinel under Python's negative indexing.
+        capacity = 2 * n
+        symmetric = self._canonical_symmetric()
+
+        # Aliveness and cluster sizes are mirrored: the Python containers
+        # serve scalar lookups in the merge loop, the NumPy arrays the
+        # vectorised consume/goodness passes.  Three cells change per merge.
+        self._alive = bytearray(capacity)
+        self._alive[:n] = b"\x01" * n
+        self._alive_np = np.zeros(capacity, dtype=bool)
+        self._alive_np[:n] = True
+        self._size = [0] * capacity
+        self._size[:n] = [1] * n
+        self._size_np = np.zeros(capacity, dtype=np.int64)
+        self._size_np[:n] = 1
+        self._pow_fast = self._pow.tolist()
+        self._child_left = [-1] * capacity
+        self._child_right = [-1] * capacity
+
+        indptr = symmetric.indptr.astype(np.int64)
+        self._seed_indices = symmetric.indices.astype(np.int64)
+        self._seed_counts = symmetric.data
+        # Every seed pair has unit sizes, so one shared denominator scores
+        # the whole matrix in a single vectorised divide.
+        if symmetric.nnz:
+            denominator = self._pow[2] - self._pow[1] - self._pow[1]
+            if denominator == 0.0:
+                # f(theta) == 0 (theta == 1 under the paper's f) makes every
+                # goodness denominator vanish; the reference engine raises
+                # ZeroDivisionError from goodness() as soon as a linked pair
+                # is scored, so mirror it with a clearer message.
+                raise ZeroDivisionError(
+                    "goodness denominator is zero: 1 + 2 f(theta) == 1 "
+                    "(theta == 1 under the paper's exponent function); "
+                    "linked pairs cannot be scored"
+                )
+            seed_neg = -(self._seed_counts.astype(np.float64) / denominator)
+        else:
+            seed_neg = np.empty(0, dtype=np.float64)
+        self._seed_neg = seed_neg
+        self._seed_indptr = indptr.tolist()
+        self._seed_partner_list = self._seed_indices.tolist()
+        self._seed_count_list = self._seed_counts.tolist()
+        self._seed_neg_list = seed_neg.tolist()
+
+        # Per-cluster insertion-ordered stores (``None`` = untouched seed
+        # window or dead cluster) and lazily ordered local heaps.  New pair
+        # entries are parked in ``pending`` once a heap exists; before that
+        # the store itself is the pair list.
+        self._partners: list[list[int] | None] = [None] * capacity
+        self._counts: list[list[int] | None] = [None] * capacity
+        self._negs: list[list[float] | None] = [None] * capacity
+        self._local: list[list[tuple[float, int, int]] | None] = [None] * capacity
+        self._pending: list[list[tuple[float, int, int]] | None] = [None] * capacity
+        # Current best merge per cluster (negated goodness and partner).
+        # ``version`` revises the best state; ``pushed_version`` records the
+        # revision of the cluster's newest global-heap entry.  The two are
+        # equal while that entry is current; ``version`` runs ahead once the
+        # incumbent best dies (the entry then is a stale upper bound whose
+        # replacement is computed lazily, only if it surfaces at the top).
+        best_neg = np.zeros(capacity, dtype=np.float64)
+        best_partner = np.full(capacity, -1, dtype=np.int64)
+
+        if symmetric.nnz:
+            # First-occurrence argmax per CSR row, fully vectorised: the
+            # first maximum within each row is the reference's local-heap
+            # peek (rows are in ascending-partner order, the insertion
+            # order).  Goodness is monotone in the count for unit sizes, so
+            # the count argmax is the goodness argmax.
+            row_sizes = np.diff(indptr)
+            nonempty = row_sizes > 0
+            rows = np.nonzero(nonempty)[0]
+            starts = indptr[:-1][nonempty]
+            data = self._seed_counts
+            row_max = np.maximum.reduceat(data, starts)
+            position_of = np.arange(data.size, dtype=np.int64)
+            masked = np.where(
+                data == np.repeat(row_max, row_sizes[nonempty]),
+                position_of,
+                data.size,
+            )
+            first_max = np.minimum.reduceat(masked, starts)
+            best_neg[rows] = seed_neg[first_max]
+            best_partner[rows] = self._seed_indices[first_max]
+            global_entries = list(
+                zip(
+                    seed_neg[first_max].tolist(),
+                    rows.tolist(),
+                    (first_max - starts).tolist(),
+                    self._seed_indices[first_max].tolist(),
+                    repeat(0),
+                )
+            )
+            heapq.heapify(global_entries)
+        else:
+            global_entries = []
+        self._best_neg = best_neg.tolist()
+        self._best_partner = best_partner.tolist()
+        self._version = [0] * capacity
+        self._pushed_version = [0] * capacity
+        self._heap = global_entries
+
+    def _materialize(self, cluster: int) -> None:
+        """Turn an untouched seed cluster's CSR window into list stores."""
+        lo = self._seed_indptr[cluster]
+        hi = self._seed_indptr[cluster + 1]
+        self._partners[cluster] = self._seed_partner_list[lo:hi]
+        self._counts[cluster] = self._seed_count_list[lo:hi]
+        self._negs[cluster] = self._seed_neg_list[lo:hi]
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> tuple[list[MergeStep], dict[int, list[int]], bool]:
+        self._init_state()
+        n = self.n_points
+        alive = self._alive
+        alive_np = self._alive_np
+        size = self._size
+        size_np = self._size_np
+        pow_np = self._pow
+        pow_fast = self._pow_fast
+        partners = self._partners
+        counts = self._counts
+        negs = self._negs
+        local = self._local
+        pending = self._pending
+        best_neg = self._best_neg
+        best_partner = self._best_partner
+        version = self._version
+        pushed_version = self._pushed_version
+        child_left = self._child_left
+        child_right = self._child_right
+        seed_indptr = self._seed_indptr
+        seed_indices = self._seed_indices
+        seed_counts = self._seed_counts
+        seed_partner_list = self._seed_partner_list
+        seed_count_list = self._seed_count_list
+        heap = self._heap
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heapify = heapq.heapify
+        small_limit = self.SMALL_FRONTIER
+
+        merge_history: list[MergeStep] = []
+        alive_count = n
+        next_id = n
+        stopped_early = False
+
+        while alive_count > self.n_clusters:
+            # Lazy deletion and lazy degradation.  Each live cluster has at
+            # most one *chain* entry (stamp == pushed_version); older
+            # entries are orphans.  A chain entry whose stamp also equals
+            # ``version`` describes the cluster's current best (partner
+            # alive included — any partner death bumps ``version``).  A
+            # chain entry with an older stamp is a stale upper bound: only
+            # when it surfaces here is the cluster's next best actually
+            # computed (local heap built or flushed, dead tops dropped) and
+            # re-pushed — clusters that merge away first never pay for it.
+            while heap:
+                head = heap[0]
+                head_cluster = head[1]
+                if not alive[head_cluster] or head[4] != pushed_version[head_cluster]:
+                    heappop(heap)
+                    continue
+                if head[4] == version[head_cluster]:
+                    break
+                heappop(heap)
+                head_local = local[head_cluster]
+                if head_local is None:
+                    row_negs = negs[head_cluster]
+                    head_local = list(
+                        zip(row_negs, range(len(row_negs)), partners[head_cluster])
+                    )
+                    heapify(head_local)
+                    local[head_cluster] = head_local
+                    pending[head_cluster] = []
+                else:
+                    parked = pending[head_cluster]
+                    if parked:
+                        for entry in parked:
+                            heappush(head_local, entry)
+                        del parked[:]
+                while head_local and not alive[head_local[0][2]]:
+                    heappop(head_local)
+                current_version = version[head_cluster]
+                pushed_version[head_cluster] = current_version
+                if head_local:
+                    top = head_local[0]
+                    best_neg[head_cluster] = top[0]
+                    best_partner[head_cluster] = top[2]
+                    heappush(
+                        heap,
+                        (top[0], head_cluster, top[1], top[2], current_version),
+                    )
+                else:
+                    # No live partner remains; any future pair (negative
+                    # goodness) immediately becomes the best again.
+                    best_neg[head_cluster] = 0.0
+                    best_partner[head_cluster] = -1
+            if not heap:
+                stopped_early = True
+                break
+            neg_goodness = heap[0][0]
+            if not (neg_goodness < 0.0):
+                # Non-positive (or NaN) best goodness: the reference engine
+                # stops here too (possible with custom exponent functions
+                # whose 1 + 2 f(theta) drops below 1).
+                stopped_early = True
+                break
+            neg_goodness, left, _position, right, _stamp = heappop(heap)
+            merged = next_id
+            next_id += 1
+            merged_size = size[left] + size[right]
+            merge_history.append(
+                MergeStep(
+                    step=len(merge_history),
+                    left=left,
+                    right=right,
+                    goodness=-neg_goodness,
+                    new_size=merged_size,
+                )
+            )
+
+            # Kill the endpoints first so the aliveness filters below also
+            # drop their mutual entries.
+            alive[left] = 0
+            alive[right] = 0
+            alive[merged] = 1
+            alive_np[left] = False
+            alive_np[right] = False
+            alive_np[merged] = True
+            size[merged] = merged_size
+            size_np[merged] = merged_size
+            child_left[merged] = left
+            child_right[merged] = right
+            alive_count -= 1
+
+            # Combined frontier of the two consumed stores, in the
+            # first-occurrence order of "left's partners then right's new
+            # partners" (the reference engine's combined-dict order), with
+            # counts summed for shared partners and dead entries dropped.
+            # Goodness against the merged cluster is recomputed for the
+            # whole frontier; operand order matches goodness() exactly in
+            # both paths.
+            left_list = partners[left]
+            right_list = partners[right]
+            left_length = (
+                len(left_list)
+                if left_list is not None
+                else seed_indptr[left + 1] - seed_indptr[left]
+            )
+            right_length = (
+                len(right_list)
+                if right_list is not None
+                else seed_indptr[right + 1] - seed_indptr[right]
+            )
+            if left_length + right_length <= small_limit:
+                combined: dict[int, int] = {}
+                for source, source_list in ((left, left_list), (right, right_list)):
+                    if source_list is None:
+                        lo = seed_indptr[source]
+                        hi = seed_indptr[source + 1]
+                        pairs = zip(
+                            seed_partner_list[lo:hi], seed_count_list[lo:hi]
+                        )
+                    else:
+                        pairs = zip(source_list, counts[source])
+                    for other, count in pairs:
+                        if alive[other]:
+                            combined[other] = combined.get(other, 0) + count
+                frontier_size = len(combined)
+                merged_partners = list(combined.keys())
+                merged_counts = list(combined.values())
+                pow_merged = pow_fast[merged_size]
+                neg_goodnesses = [
+                    -(
+                        count
+                        / (
+                            pow_fast[merged_size + size[other]]
+                            - pow_merged
+                            - pow_fast[size[other]]
+                        )
+                    )
+                    for other, count in zip(merged_partners, merged_counts)
+                ]
+            else:
+                sides = []
+                for source, source_list in ((left, left_list), (right, right_list)):
+                    if source_list is None:
+                        lo = seed_indptr[source]
+                        hi = seed_indptr[source + 1]
+                        sides.append(
+                            (seed_indices[lo:hi], seed_counts[lo:hi])
+                        )
+                    else:
+                        length = len(source_list)
+                        sides.append(
+                            (
+                                np.fromiter(source_list, np.int64, length),
+                                np.fromiter(counts[source], np.int64, length),
+                            )
+                        )
+                concatenated = np.concatenate([sides[0][0], sides[1][0]])
+                concatenated_counts = np.concatenate([sides[0][1], sides[1][1]])
+                keep = alive_np[concatenated]
+                frontier_array = concatenated[keep]
+                count_array = concatenated_counts[keep]
+                if frontier_array.size:
+                    unique, inverse = np.unique(frontier_array, return_inverse=True)
+                    if unique.size != frontier_array.size:
+                        summed = np.zeros(unique.size, dtype=np.int64)
+                        np.add.at(summed, inverse, count_array)
+                        first_position = np.full(
+                            unique.size, frontier_array.size, dtype=np.int64
+                        )
+                        np.minimum.at(
+                            first_position, inverse, np.arange(frontier_array.size)
+                        )
+                        order = np.argsort(first_position, kind="stable")
+                        frontier_array = unique[order]
+                        count_array = summed[order]
+                frontier_size = int(frontier_array.size)
+                merged_partners = frontier_array.tolist()
+                merged_counts = count_array.tolist()
+                other_sizes = size_np[frontier_array]
+                denominators = (
+                    pow_np[merged_size + other_sizes]
+                    - pow_np[merged_size]
+                    - pow_np[other_sizes]
+                )
+                neg_goodnesses = (
+                    -(count_array.astype(np.float64) / denominators)
+                ).tolist()
+
+            partners[left] = counts[left] = negs[left] = None
+            partners[right] = counts[right] = negs[right] = None
+            local[left] = pending[left] = None
+            local[right] = pending[right] = None
+            partners[merged] = merged_partners
+            counts[merged] = merged_counts
+            negs[merged] = neg_goodnesses
+            if not frontier_size:
+                continue
+
+            # The merged cluster's own best: first occurrence of the
+            # minimum negated goodness, i.e. the reference's local peek.
+            merged_best = min(neg_goodnesses)
+            merged_best_position = neg_goodnesses.index(merged_best)
+            best_neg[merged] = merged_best
+            best_partner[merged] = merged_partners[merged_best_position]
+            heappush(
+                heap,
+                (
+                    merged_best,
+                    merged,
+                    merged_best_position,
+                    merged_partners[merged_best_position],
+                    0,
+                ),
+            )
+
+            for other, pair_neg, pair_count in zip(
+                merged_partners, neg_goodnesses, merged_counts
+            ):
+                store = partners[other]
+                if store is None:
+                    self._materialize(other)
+                    store = partners[other]
+                pair_position = len(store)
+                store.append(merged)
+                counts[other].append(pair_count)
+                if local[other] is None:
+                    # Heap not built yet: the store row carries the pair.
+                    negs[other].append(pair_neg)
+                else:
+                    pending[other].append((pair_neg, pair_position, merged))
+                if pair_neg < best_neg[other]:
+                    # The new pair strictly beats the standing best (when
+                    # the incumbent is dead, ``best_neg`` is its value — an
+                    # upper bound on every older surviving pair — so
+                    # beating it makes the new pair the best outright).  On
+                    # ties the incumbent wins: a new pair ranks last.
+                    best_neg[other] = pair_neg
+                    best_partner[other] = merged
+                    stamp = version[other] + 1
+                    version[other] = stamp
+                    pushed_version[other] = stamp
+                    heappush(heap, (pair_neg, other, pair_position, merged, stamp))
+                elif version[other] == pushed_version[other] and not alive[
+                    best_partner[other]
+                ]:
+                    # The incumbent died in this merge: just invalidate the
+                    # cluster's chain entry.  Its next best is computed
+                    # lazily if the stale entry ever surfaces.
+                    version[other] = pushed_version[other] + 1
+
+        members = self._collect_members(next_id)
+        return merge_history, members, stopped_early
+
+    # ------------------------------------------------------------------ #
+    # Final assembly
+    # ------------------------------------------------------------------ #
+    def _collect_members(self, next_id: int) -> dict[int, list[int]]:
+        n = self.n_points
+        members: dict[int, list[int]] = {}
+        child_left = self._child_left
+        child_right = self._child_right
+        alive = self._alive
+        for cluster in range(next_id):
+            if not alive[cluster]:
+                continue
+            stack = [cluster]
+            points: list[int] = []
+            while stack:
+                node = stack.pop()
+                if node < n:
+                    points.append(node)
+                else:
+                    stack.append(child_left[node])
+                    stack.append(child_right[node])
+            members[cluster] = points
+        return members

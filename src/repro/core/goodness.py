@@ -140,6 +140,39 @@ def criterion_function(
     f:
         Exponent function; defaults to the paper's.
     """
+    links = sparse.csr_matrix(links)
+    n_points = links.shape[0]
+    labels = np.full(n_points, -1, dtype=np.int64)
+    member_total = 0
+    for index, members in enumerate(clusters):
+        member_array = np.asarray(list(members), dtype=int)
+        member_total += member_array.size
+        labels[member_array] = index
+
+    if member_total == np.count_nonzero(labels >= 0):
+        # Disjoint clusters: gather every cluster's intra-link mass in one
+        # pass over the matrix.  The masses are exact integer sums, and the
+        # per-cluster accumulation below runs in the same order as the
+        # fallback, so the result is bit-identical.
+        matrix = links.tocoo()
+        row_labels = labels[matrix.row]
+        same_cluster = (row_labels >= 0) & (row_labels == labels[matrix.col])
+        masses = np.bincount(
+            row_labels[same_cluster],
+            weights=matrix.data[same_cluster],
+            minlength=len(clusters),
+        )
+        total = 0.0
+        for index, members in enumerate(clusters):
+            size = len(members)
+            if size == 0:
+                continue
+            link_mass = int(masses[index]) // 2
+            total += size * (link_mass / theta_power(size, theta, f))
+        return float(total)
+
+    # Overlapping clusters cannot be expressed as one label vector; fall
+    # back to per-cluster block sums.
     total = 0.0
     for members in clusters:
         members = np.asarray(list(members), dtype=int)

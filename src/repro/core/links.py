@@ -5,7 +5,17 @@
 neighbour list and increments the link count of every pair in the list; an
 equivalent formulation is the sparse boolean matrix product ``A @ A`` of the
 adjacency matrix with itself.  Both are implemented and tested against each
-other (and benchmarked in the ablation bench ``bench_ablation_links``).
+other (and benchmarked in the ablation bench ``bench_ablation_links``):
+``"sparse-matmul"`` (the ``"auto"`` choice) delegates to SciPy's sparse
+matrix product, while ``"neighbor-lists"`` enumerates each row's neighbour
+pairs with NumPy (cached upper-triangle index templates per neighbourhood
+size, one global ``np.unique`` count) — the paper's procedure without the
+per-pair Python dict.
+
+The returned matrix always has canonically sorted indices; both
+agglomeration engines (see :mod:`repro.core.rock`) rely on that order for
+their deterministic tie-breaking, so the choice of link strategy never
+changes the clustering.
 
 A convention detail: because ``sim(p, p) = 1 >= theta`` always holds, the
 paper treats every point as a neighbour of itself, so two points that are
@@ -73,7 +83,12 @@ def links_from_neighbors(
 
     links.setdiag(0)
     links.eliminate_zeros()
-    return links.tocsr()
+    links = links.tocsr()
+    # Canonical index order: the agglomeration engines derive deterministic
+    # tie-breaking from the storage order, and SciPy's sparse matmul does
+    # not guarantee sorted column indices.
+    links.sort_indices()
+    return links
 
 
 def _links_by_matmul(adjacency: sparse.csr_matrix) -> sparse.csr_matrix:
@@ -81,26 +96,71 @@ def _links_by_matmul(adjacency: sparse.csr_matrix) -> sparse.csr_matrix:
     return (counted @ counted.T).tocsr()
 
 
+#: Pair occurrences buffered before folding into the running unique-pair
+#: counts (bounds peak memory to unique pairs + one buffer, ~16 MB).
+_PAIR_FOLD_LIMIT = 2_000_000
+
+
+def _fold_pair_counts(
+    running: tuple[np.ndarray, np.ndarray] | None,
+    buffered: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge buffered pair-code chunks into the running (codes, counts)."""
+    codes, occurrences = np.unique(np.concatenate(buffered), return_counts=True)
+    occurrences = occurrences.astype(np.int64)
+    if running is None:
+        return codes, occurrences
+    merged_codes = np.concatenate([running[0], codes])
+    merged_counts = np.concatenate([running[1], occurrences])
+    unique_codes, inverse = np.unique(merged_codes, return_inverse=True)
+    totals = np.zeros(unique_codes.size, dtype=np.int64)
+    np.add.at(totals, inverse, merged_counts)
+    return unique_codes, totals
+
+
 def _links_by_neighbor_lists(adjacency: sparse.csr_matrix) -> sparse.csr_matrix:
-    """The paper's ``compute_links``: accumulate pair counts per neighbour list."""
+    """The paper's ``compute_links``, vectorised per neighbour list.
+
+    For every point the unordered pairs of its neighbourhood are enumerated
+    with pre-built upper-triangle index templates (cached per neighbourhood
+    size), encoded as ``first * n + second`` scalars and counted with
+    ``np.unique`` — no per-pair Python dict.  Occurrences are folded into
+    the running unique-pair counts every ``_PAIR_FOLD_LIMIT`` entries, so
+    peak memory tracks the number of *unique* linked pairs (like the dict
+    it replaced), not the total pair mass.
+    """
     n = adjacency.shape[0]
+    if not adjacency.has_sorted_indices:
+        adjacency = adjacency.copy()
+        adjacency.sort_indices()
     indptr, indices = adjacency.indptr, adjacency.indices
-    pair_counts: dict[tuple[int, int], int] = {}
-    for point in range(n):
-        neighborhood = indices[indptr[point]:indptr[point + 1]]
-        size = len(neighborhood)
-        for a in range(size):
-            first = int(neighborhood[a])
-            for b in range(a + 1, size):
-                second = int(neighborhood[b])
-                key = (first, second) if first < second else (second, first)
-                pair_counts[key] = pair_counts.get(key, 0) + 1
-    if not pair_counts:
+    neighborhood_sizes = np.diff(indptr)
+    triu_templates: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    running: tuple[np.ndarray, np.ndarray] | None = None
+    pair_chunks: list[np.ndarray] = []
+    buffered = 0
+    for point in np.nonzero(neighborhood_sizes >= 2)[0].tolist():
+        neighborhood = indices[indptr[point]:indptr[point + 1]].astype(np.int64)
+        size = neighborhood.size
+        template = triu_templates.get(size)
+        if template is None:
+            template = np.triu_indices(size, k=1)
+            triu_templates[size] = template
+        # Row indices are sorted, so first < second holds pairwise.
+        pair_chunks.append(neighborhood[template[0]] * n + neighborhood[template[1]])
+        buffered += pair_chunks[-1].size
+        if buffered >= _PAIR_FOLD_LIMIT:
+            running = _fold_pair_counts(running, pair_chunks)
+            pair_chunks = []
+            buffered = 0
+    if pair_chunks:
+        running = _fold_pair_counts(running, pair_chunks)
+    if running is None:
         return sparse.csr_matrix((n, n), dtype=np.int64)
-    rows = np.fromiter((key[0] for key in pair_counts), dtype=np.int64, count=len(pair_counts))
-    cols = np.fromiter((key[1] for key in pair_counts), dtype=np.int64, count=len(pair_counts))
-    values = np.fromiter(pair_counts.values(), dtype=np.int64, count=len(pair_counts))
-    upper = sparse.coo_matrix((values, (rows, cols)), shape=(n, n))
+    encoded, values = running
+    upper = sparse.coo_matrix(
+        (values, (encoded // n, encoded % n)), shape=(n, n)
+    )
     return (upper + upper.T).tocsr()
 
 

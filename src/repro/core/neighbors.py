@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
+from repro.data.encoding import transactions_to_incidence
 from repro.errors import ConfigurationError, DataValidationError
 from repro.similarity.base import SetSimilarity
 from repro.similarity.jaccard import JaccardSimilarity
@@ -73,11 +74,8 @@ class NeighborGraph:
 
     def degree_histogram(self) -> dict[int, int]:
         """Map ``degree -> number of points with that degree``."""
-        counts = self.neighbor_counts()
-        histogram: dict[int, int] = {}
-        for degree in counts.tolist():
-            histogram[degree] = histogram.get(degree, 0) + 1
-        return histogram
+        degrees, counts = np.unique(self.neighbor_counts(), return_counts=True)
+        return {int(degree): int(count) for degree, count in zip(degrees, counts)}
 
     def subgraph(self, indices: Sequence[int]) -> "NeighborGraph":
         """Return the induced subgraph on ``indices`` (reindexed from 0)."""
@@ -119,31 +117,35 @@ def _bruteforce_adjacency(
     return adjacency
 
 
+def _complete_adjacency(n: int) -> sparse.csr_matrix:
+    """All-pairs adjacency (every pair connected, empty diagonal).
+
+    Built directly in CSR form — row ``i`` holds every column except ``i``
+    — so no dense ``(n, n)`` intermediate is allocated.
+    """
+    if n < 2:
+        return sparse.csr_matrix((n, n), dtype=bool)
+    positions = np.tile(np.arange(n - 1, dtype=np.int64), n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), n - 1)
+    indices = positions + (positions >= rows)
+    indptr = np.arange(0, n * (n - 1) + 1, n - 1, dtype=np.int64)
+    return sparse.csr_matrix(
+        (np.ones(n * (n - 1), dtype=bool), indices, indptr), shape=(n, n)
+    )
+
+
 def _vectorized_jaccard_adjacency(
-    transactions: list[frozenset], theta: float
+    transactions: list[frozenset],
+    theta: float,
+    item_index: dict | None = None,
 ) -> sparse.csr_matrix:
     """Jaccard-threshold adjacency via one sparse intersection-count product."""
     n = len(transactions)
     if theta == 0.0:
         # Every pair qualifies (similarity is always >= 0); the sparse
         # product below would miss pairs with empty intersections.
-        adjacency = sparse.csr_matrix(np.ones((n, n), dtype=bool))
-        adjacency.setdiag(False)
-        adjacency.eliminate_zeros()
-        return adjacency
-    items = sorted({item for transaction in transactions for item in transaction}, key=repr)
-    item_index = {item: j for j, item in enumerate(items)}
-
-    indptr = [0]
-    indices: list[int] = []
-    for transaction in transactions:
-        indices.extend(sorted(item_index[item] for item in transaction))
-        indptr.append(len(indices))
-    incidence = sparse.csr_matrix(
-        (np.ones(len(indices), dtype=np.int32), np.array(indices, dtype=np.int64),
-         np.array(indptr, dtype=np.int64)),
-        shape=(n, max(len(items), 1)),
-    )
+        return _complete_adjacency(n)
+    incidence, _ = transactions_to_incidence(transactions, item_index)
 
     intersections = (incidence @ incidence.T).tocoo()
     sizes = np.asarray(incidence.sum(axis=1)).ravel()
@@ -159,16 +161,18 @@ def _vectorized_jaccard_adjacency(
     # Pairs of empty transactions never intersect, but Jaccard defines them
     # as identical (similarity 1); add those pairs explicitly when theta <= 1.
     empty = np.nonzero(sizes == 0)[0]
-    extra_rows: list[int] = []
-    extra_cols: list[int] = []
     if len(empty) > 1:
-        for a_position, a in enumerate(empty):
-            for b in empty[a_position + 1:]:
-                extra_rows.extend((a, b))
-                extra_cols.extend((b, a))
+        extra_rows = np.repeat(empty, len(empty))
+        extra_cols = np.tile(empty, len(empty))
+        off_diagonal_extra = extra_rows != extra_cols
+        extra_rows = extra_rows[off_diagonal_extra]
+        extra_cols = extra_cols[off_diagonal_extra]
+    else:
+        extra_rows = np.empty(0, dtype=np.int64)
+        extra_cols = np.empty(0, dtype=np.int64)
 
-    all_rows = np.concatenate([rows[keep], np.array(extra_rows, dtype=int)])
-    all_cols = np.concatenate([cols[keep], np.array(extra_cols, dtype=int)])
+    all_rows = np.concatenate([rows[keep], extra_rows])
+    all_cols = np.concatenate([cols[keep], extra_cols])
     adjacency = sparse.coo_matrix(
         (np.ones(len(all_rows), dtype=bool), (all_rows, all_cols)), shape=(n, n), dtype=bool
     ).tocsr()
@@ -181,6 +185,7 @@ def compute_neighbors(
     theta: float,
     measure: SetSimilarity | None = None,
     strategy: str = "auto",
+    item_index: dict | None = None,
 ) -> NeighborGraph:
     """Build the neighbour graph of ``transactions`` under threshold ``theta``.
 
@@ -196,6 +201,10 @@ def compute_neighbors(
     strategy:
         ``"bruteforce"``, ``"vectorized"`` or ``"auto"``.  ``"vectorized"``
         requires the Jaccard measure; ``"auto"`` picks it when possible.
+    item_index:
+        Optional pre-built item-to-column index covering every item of
+        ``transactions`` (see :func:`repro.data.encoding.build_item_index`);
+        used by the vectorised strategy to skip rebuilding the index.
 
     Returns
     -------
@@ -221,7 +230,7 @@ def compute_neighbors(
     if strategy == "bruteforce" or (strategy == "auto" and not is_jaccard):
         adjacency = _bruteforce_adjacency(transactions, theta, measure)
     else:
-        adjacency = _vectorized_jaccard_adjacency(transactions, theta)
+        adjacency = _vectorized_jaccard_adjacency(transactions, theta, item_index)
 
     return NeighborGraph(
         adjacency=adjacency,

@@ -27,6 +27,7 @@ from repro.core.neighbors import compute_neighbors
 from repro.core.outliers import drop_small_clusters, partition_isolated_points
 from repro.core.rock import RockClustering, RockResult, as_transactions
 from repro.core.sampling import draw_sample
+from repro.data.encoding import build_item_index
 from repro.errors import ConfigurationError
 from repro.similarity.base import SetSimilarity
 from repro.types import ClusterSummary
@@ -120,10 +121,24 @@ class RockPipeline:
         highest raw neighbour count even if zero (which places them with the
         largest cluster); the paper leaves them as outliers, so ``True`` is
         the default and recommended setting.
+    engine:
+        Agglomeration engine (``"flat"`` or ``"reference"``), propagated to
+        :class:`RockClustering`.
+    labeling_strategy:
+        Neighbour-counting strategy of the labelling pass, passed to
+        :func:`repro.core.labeling.label_points`.
     rng:
         Random generator or seed used for sampling and labelling fractions.
     strict:
         Propagated to :class:`RockClustering`.
+
+    Notes
+    -----
+    The pipeline builds the item-to-column index of the full data set once
+    per run (:func:`repro.data.encoding.build_item_index`) and shares it
+    with the vectorised neighbour and labelling phases, so the item universe
+    is only scanned once regardless of how many phases need an incidence
+    matrix.
     """
 
     def __init__(
@@ -137,8 +152,10 @@ class RockPipeline:
         labeling_fraction: float = 1.0,
         exponent_function: ExponentFunction | None = None,
         assign_outliers: bool = True,
+        engine: str = "flat",
         neighbor_strategy: str = "auto",
         link_strategy: str = "auto",
+        labeling_strategy: str = "auto",
         include_self_links: bool = True,
         rng: np.random.Generator | int | None = None,
         strict: bool = False,
@@ -158,8 +175,10 @@ class RockPipeline:
         self.labeling_fraction = float(labeling_fraction)
         self.exponent_function = exponent_function
         self.assign_outliers = bool(assign_outliers)
+        self.engine = engine
         self.neighbor_strategy = neighbor_strategy
         self.link_strategy = link_strategy
+        self.labeling_strategy = labeling_strategy
         self.include_self_links = bool(include_self_links)
         self.rng = np.random.default_rng(rng)
         self.strict = bool(strict)
@@ -171,6 +190,8 @@ class RockPipeline:
         transactions = as_transactions(data)
         n_points = len(transactions)
         timings: dict[str, float] = {}
+        # One item index for the whole run; every vectorised phase shares it.
+        item_index = build_item_index(transactions)
 
         # ---- Phase 1: sampling -------------------------------------- #
         phase_start = time.perf_counter()
@@ -192,6 +213,7 @@ class RockPipeline:
                 theta=self.theta,
                 measure=self.measure,
                 strategy=self.neighbor_strategy,
+                item_index=item_index,
             )
             participating, isolated = partition_isolated_points(
                 graph, min_neighbors=self.min_neighbors
@@ -210,13 +232,14 @@ class RockPipeline:
             n_clusters=self.n_clusters,
             theta=self.theta,
             measure=self.measure,
+            engine=self.engine,
             neighbor_strategy=self.neighbor_strategy,
             link_strategy=self.link_strategy,
             include_self_links=self.include_self_links,
             exponent_function=self.exponent_function,
             strict=self.strict,
         )
-        rock_result = model.fit(clustered_sample).result_
+        rock_result = model.fit(clustered_sample, item_index=item_index).result_
         timings["clustering"] = time.perf_counter() - phase_start
 
         # ---- Phase 4: late-outlier pruning --------------------------- #
@@ -260,6 +283,8 @@ class RockPipeline:
                 exponent_function=self.exponent_function,
                 labeling_fraction=self.labeling_fraction,
                 rng=self.rng,
+                strategy=self.labeling_strategy,
+                item_index=item_index,
             )
             for position, full_index in enumerate(pending_full_indices):
                 labels[full_index] = labeling_result.labels[position]
@@ -294,6 +319,7 @@ class RockPipeline:
                 "min_neighbors": self.min_neighbors,
                 "min_cluster_size": self.min_cluster_size,
                 "labeling_fraction": self.labeling_fraction,
+                "engine": self.engine,
             },
         )
 

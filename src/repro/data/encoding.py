@@ -5,6 +5,12 @@ The ROCK paper treats a tabular categorical record as the transaction of its
 uniformly to both data shapes.  The traditional hierarchical comparator in
 the paper instead operates on a one-hot (binary) encoding with Euclidean
 distance, so both encodings are provided here.
+
+:func:`build_item_index` and :func:`transactions_to_incidence` are the
+shared sparse item-incidence builders used by the vectorised neighbour
+(:mod:`repro.core.neighbors`) and labelling (:mod:`repro.core.labeling`)
+paths; the pipeline builds the item index once per run and threads it
+through both phases.
 """
 
 from __future__ import annotations
@@ -12,10 +18,63 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+from scipy import sparse
 
 from repro.data.dataset import CategoricalDataset, TransactionDataset
 from repro.errors import DataValidationError
 from repro.types import CategoricalValue
+
+
+def build_item_index(transactions: Sequence[frozenset]) -> dict:
+    """Map every distinct item of ``transactions`` to a dense column index.
+
+    Items are ordered by their ``repr`` so the index (and every matrix built
+    from it) is deterministic regardless of set-iteration order.
+    """
+    items = sorted({item for transaction in transactions for item in transaction}, key=repr)
+    return {item: j for j, item in enumerate(items)}
+
+
+def transactions_to_incidence(
+    transactions: Sequence[frozenset],
+    item_index: dict | None = None,
+) -> tuple[sparse.csr_matrix, dict]:
+    """Build the sparse binary item-incidence matrix of ``transactions``.
+
+    Parameters
+    ----------
+    transactions:
+        Item sets, one per row.
+    item_index:
+        Optional pre-built item-to-column mapping.  It must cover every item
+        occurring in ``transactions`` (a superset is fine — extra columns
+        stay empty); pass the index of the full data set to share one
+        construction across pipeline phases.
+
+    Returns
+    -------
+    incidence:
+        ``(n_transactions, n_items)`` CSR matrix of 0/1 ``int32`` entries
+        with sorted per-row indices.
+    item_index:
+        The mapping actually used (built here when not supplied).
+    """
+    if item_index is None:
+        item_index = build_item_index(transactions)
+    indptr = [0]
+    indices: list[int] = []
+    for transaction in transactions:
+        indices.extend(sorted(item_index[item] for item in transaction))
+        indptr.append(len(indices))
+    incidence = sparse.csr_matrix(
+        (
+            np.ones(len(indices), dtype=np.int32),
+            np.array(indices, dtype=np.int64),
+            np.array(indptr, dtype=np.int64),
+        ),
+        shape=(len(indptr) - 1, max(len(item_index), 1)),
+    )
+    return incidence, item_index
 
 
 def attribute_value_items(

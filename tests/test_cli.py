@@ -109,3 +109,32 @@ class TestOtherCommands:
         assert code == 0
         assert "theta sweep" in captured
         assert "recommended theta" in captured
+
+
+class TestEngineFlag:
+    def test_engine_flag_parsed(self, votes_csv):
+        arguments = build_parser().parse_args(
+            ["cluster", str(votes_csv), "--clusters", "2", "--engine", "reference"]
+        )
+        assert arguments.engine == "reference"
+
+    def test_engine_defaults_to_flat(self, votes_csv):
+        arguments = build_parser().parse_args(
+            ["cluster", str(votes_csv), "--clusters", "2"]
+        )
+        assert arguments.engine == "flat"
+
+    def test_unknown_engine_rejected(self, votes_csv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", str(votes_csv), "--clusters", "2", "--engine", "warp"]
+            )
+
+    def test_cluster_with_reference_engine_runs(self, basket_file, capsys):
+        code = main([
+            "cluster", str(basket_file), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "2", "--theta", "0.3",
+            "--engine", "reference",
+        ])
+        assert code == 0
+        assert "clusters" in capsys.readouterr().out

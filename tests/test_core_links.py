@@ -94,3 +94,46 @@ class TestClusterLinkHelpers:
     def test_intra_cluster_single_point_is_zero(self, graph):
         links = links_from_neighbors(graph)
         assert intra_cluster_links(links, np.array([0])) == 0
+
+
+class TestCanonicalOrder:
+    def test_links_have_sorted_indices(self, rng):
+        # The agglomeration engines rely on canonical CSR order for their
+        # deterministic tie-breaking.
+        transactions = [
+            frozenset(rng.choice(20, size=int(rng.integers(1, 7)), replace=False).tolist())
+            for _ in range(60)
+        ]
+        graph = compute_neighbors(transactions, theta=0.3)
+        for strategy in ("sparse-matmul", "neighbor-lists"):
+            links = links_from_neighbors(graph, strategy=strategy)
+            assert links.has_sorted_indices
+
+    def test_strategies_agree_with_empty_transactions(self, rng):
+        transactions = [
+            frozenset(rng.choice(10, size=int(rng.integers(1, 4)), replace=False).tolist())
+            for _ in range(25)
+        ] + [frozenset(), frozenset()]
+        for theta in (0.0, 0.4, 0.8):
+            graph = compute_neighbors(transactions, theta=theta)
+            by_lists = links_from_neighbors(graph, strategy="neighbor-lists")
+            by_matmul = links_from_neighbors(graph, strategy="sparse-matmul")
+            assert (by_lists != by_matmul).nnz == 0
+            assert by_lists.dtype == by_matmul.dtype == np.int64
+
+
+class TestChunkedPairFolding:
+    def test_fold_limit_does_not_change_counts(self, rng, monkeypatch):
+        # Force folding after every few pair occurrences; the counts must
+        # match the unfolded computation exactly.
+        import repro.core.links as links_module
+
+        transactions = [
+            frozenset(rng.choice(12, size=int(rng.integers(2, 6)), replace=False).tolist())
+            for _ in range(40)
+        ]
+        graph = compute_neighbors(transactions, theta=0.2)
+        unfolded = links_from_neighbors(graph, strategy="neighbor-lists")
+        monkeypatch.setattr(links_module, "_PAIR_FOLD_LIMIT", 7)
+        folded = links_from_neighbors(graph, strategy="neighbor-lists")
+        assert (unfolded != folded).nnz == 0

@@ -101,3 +101,70 @@ class TestComputeNeighbors:
         # Jaccard({1,2,3},{2,3,4}) == 0.5 exactly; theta=0.5 must include it.
         graph = compute_neighbors([{1, 2, 3}, {2, 3, 4}], theta=0.5)
         assert graph.adjacency[0, 1]
+
+
+class TestCompleteAdjacency:
+    """The theta == 0 all-pairs graph is built directly in CSR form."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7])
+    def test_matches_bruteforce(self, n, rng):
+        transactions = [
+            frozenset(rng.choice(12, size=int(rng.integers(1, 5)), replace=False).tolist())
+            for _ in range(n)
+        ]
+        vectorized = compute_neighbors(transactions, theta=0.0, strategy="vectorized")
+        bruteforce = compute_neighbors(transactions, theta=0.0, strategy="bruteforce")
+        assert (vectorized.adjacency != bruteforce.adjacency).nnz == 0
+
+    def test_complete_graph_shape(self):
+        graph = compute_neighbors([{1}, {2}, {3}, {4}], theta=0.0)
+        assert graph.n_edges() == 6
+        assert np.all(graph.neighbor_counts() == 3)
+        assert np.all(graph.adjacency.diagonal() == 0)
+
+    def test_includes_empty_transactions(self):
+        graph = compute_neighbors([frozenset(), {1}, frozenset()], theta=0.0)
+        assert graph.n_edges() == 3
+
+
+class TestVectorizedEmptyPairs:
+    def test_many_empty_transactions(self):
+        transactions = [frozenset()] * 4 + [frozenset({1, 2})]
+        graph = compute_neighbors(transactions, theta=0.5)
+        # The four empty sets are pairwise identical (Jaccard 1).
+        assert graph.n_edges() == 6
+        assert graph.neighbor_counts().tolist() == [3, 3, 3, 3, 0]
+
+    def test_matches_bruteforce_with_empties(self, rng):
+        transactions = [
+            frozenset(rng.choice(8, size=int(rng.integers(1, 4)), replace=False).tolist())
+            for _ in range(20)
+        ] + [frozenset(), frozenset(), frozenset()]
+        for theta in (0.2, 0.6, 1.0):
+            vectorized = compute_neighbors(transactions, theta=theta, strategy="vectorized")
+            bruteforce = compute_neighbors(transactions, theta=theta, strategy="bruteforce")
+            assert (vectorized.adjacency != bruteforce.adjacency).nnz == 0
+
+
+class TestDegreeHistogram:
+    def test_matches_manual_count(self, rng):
+        transactions = [
+            frozenset(rng.choice(10, size=int(rng.integers(1, 5)), replace=False).tolist())
+            for _ in range(30)
+        ]
+        graph = compute_neighbors(transactions, theta=0.4)
+        histogram = graph.degree_histogram()
+        counts = graph.neighbor_counts().tolist()
+        expected = {}
+        for degree in counts:
+            expected[degree] = expected.get(degree, 0) + 1
+        assert histogram == expected
+        assert sum(histogram.values()) == graph.n_points
+
+    def test_shared_item_index_accepted(self, two_group_transactions):
+        from repro.data.encoding import build_item_index
+
+        index = build_item_index(two_group_transactions)
+        with_index = compute_neighbors(two_group_transactions, theta=0.4, item_index=index)
+        without_index = compute_neighbors(two_group_transactions, theta=0.4)
+        assert (with_index.adjacency != without_index.adjacency).nnz == 0

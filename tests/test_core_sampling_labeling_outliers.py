@@ -212,3 +212,87 @@ class TestOutliers:
     def test_relabel_after_dropping(self):
         labels = relabel_after_dropping(5, [(0, 2), (4,)])
         assert labels.tolist() == [0, -1, 0, -1, 1]
+
+
+class TestLabelingStrategies:
+    def _random_setup(self, seed):
+        rng = np.random.default_rng(seed)
+        universe = 20
+        make = lambda: frozenset(
+            rng.choice(universe, size=int(rng.integers(1, 7)), replace=False).tolist()
+        )
+        sample = [make() for _ in range(40)] + [frozenset()]
+        unlabeled = [make() for _ in range(25)] + [frozenset(), frozenset({99})]
+        clusters = [list(range(0, 14)), list(range(14, 28)), list(range(28, 41))]
+        return unlabeled, sample, clusters
+
+    @pytest.mark.parametrize("theta", [0.0, 0.3, 0.5, 0.8, 1.0])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sparse_matches_bruteforce(self, theta, seed):
+        unlabeled, sample, clusters = self._random_setup(seed)
+        sparse_result = label_points(
+            unlabeled, sample, clusters, theta=theta, strategy="sparse-matmul", rng=7
+        )
+        brute_result = label_points(
+            unlabeled, sample, clusters, theta=theta, strategy="bruteforce", rng=7
+        )
+        assert np.array_equal(sparse_result.labels, brute_result.labels)
+        assert np.array_equal(
+            sparse_result.neighbor_counts, brute_result.neighbor_counts
+        )
+        assert sparse_result.n_outliers == brute_result.n_outliers
+
+    def test_sparse_matches_bruteforce_with_fraction(self):
+        unlabeled, sample, clusters = self._random_setup(4)
+        kwargs = dict(theta=0.4, labeling_fraction=0.5)
+        sparse_result = label_points(
+            unlabeled, sample, clusters, strategy="sparse-matmul", rng=11, **kwargs
+        )
+        brute_result = label_points(
+            unlabeled, sample, clusters, strategy="bruteforce", rng=11, **kwargs
+        )
+        assert np.array_equal(sparse_result.labels, brute_result.labels)
+        assert np.array_equal(
+            sparse_result.neighbor_counts, brute_result.neighbor_counts
+        )
+
+    def test_auto_uses_bruteforce_for_non_jaccard(self):
+        from repro.similarity.jaccard import DiceSimilarity
+
+        unlabeled, sample, clusters = self._random_setup(5)
+        result = label_points(
+            unlabeled, sample, clusters, theta=0.4, measure=DiceSimilarity(), rng=0
+        )
+        assert result.neighbor_counts.shape == (len(unlabeled), len(clusters))
+
+    def test_sparse_with_non_jaccard_rejected(self):
+        from repro.similarity.jaccard import DiceSimilarity
+
+        unlabeled, sample, clusters = self._random_setup(6)
+        with pytest.raises(ConfigurationError):
+            label_points(
+                unlabeled, sample, clusters, theta=0.4,
+                measure=DiceSimilarity(), strategy="sparse-matmul",
+            )
+
+    def test_unknown_strategy_rejected(self):
+        unlabeled, sample, clusters = self._random_setup(7)
+        with pytest.raises(ConfigurationError):
+            label_points(unlabeled, sample, clusters, theta=0.4, strategy="quantum")
+
+    def test_shared_item_index_gives_same_result(self):
+        from repro.data.encoding import build_item_index
+
+        unlabeled, sample, clusters = self._random_setup(8)
+        item_index = build_item_index(list(unlabeled) + list(sample))
+        with_index = label_points(
+            unlabeled, sample, clusters, theta=0.5,
+            strategy="sparse-matmul", item_index=item_index, rng=3,
+        )
+        without_index = label_points(
+            unlabeled, sample, clusters, theta=0.5, strategy="sparse-matmul", rng=3
+        )
+        assert np.array_equal(with_index.labels, without_index.labels)
+        assert np.array_equal(
+            with_index.neighbor_counts, without_index.neighbor_counts
+        )

@@ -110,3 +110,51 @@ class TestTransactionsBinaryRoundtrip:
     def test_wrong_item_count_rejected(self):
         with pytest.raises(DataValidationError):
             binary_matrix_to_transactions(np.eye(2), items=["only-one"])
+
+
+class TestIncidenceBuilders:
+    def test_build_item_index_deterministic(self):
+        from repro.data.encoding import build_item_index
+
+        transactions = [frozenset({"b", "a"}), frozenset({"c", "a"})]
+        index = build_item_index(transactions)
+        assert index == {"a": 0, "b": 1, "c": 2}
+        assert build_item_index(list(reversed(transactions))) == index
+
+    def test_incidence_matches_transactions(self):
+        from repro.data.encoding import transactions_to_incidence
+
+        transactions = [frozenset({1, 3}), frozenset({2}), frozenset()]
+        incidence, index = transactions_to_incidence(transactions)
+        assert incidence.shape == (3, 3)
+        assert incidence.nnz == 3
+        dense = incidence.toarray()
+        for row, transaction in enumerate(transactions):
+            assert {column for column in np.nonzero(dense[row])[0]} == {
+                index[item] for item in transaction
+            }
+
+    def test_incidence_with_superset_index(self):
+        from repro.data.encoding import build_item_index, transactions_to_incidence
+
+        universe = [frozenset({1, 2, 3, 4, 5})]
+        index = build_item_index(universe)
+        incidence, used = transactions_to_incidence([frozenset({2, 4})], index)
+        assert used is index
+        assert incidence.shape == (1, 5)
+        assert incidence.nnz == 2
+
+    def test_incidence_row_sums_are_set_sizes(self):
+        from repro.data.encoding import transactions_to_incidence
+
+        transactions = [frozenset({1, 2}), frozenset({3}), frozenset()]
+        incidence, _ = transactions_to_incidence(transactions)
+        assert np.asarray(incidence.sum(axis=1)).ravel().tolist() == [2, 1, 0]
+
+    def test_empty_transaction_list_shape(self):
+        from repro.data.encoding import transactions_to_incidence
+
+        incidence, index = transactions_to_incidence([frozenset()])
+        assert incidence.shape == (1, 1)
+        assert incidence.nnz == 0
+        assert index == {}

@@ -1,0 +1,120 @@
+"""Tests for repro.bench.perf_gate and the engine benchmark plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench.engine_bench import run_engine_bench, time_engine_phases
+from repro.bench.perf_gate import (
+    DEFAULT_MAX_RATIO,
+    check_agglomeration_regression,
+    gate_against_baseline,
+    load_bench,
+)
+
+
+def _payload(rows):
+    return {"benchmark": "engine", "sizes": rows}
+
+
+class TestRegressionCheck:
+    def test_passes_when_equal(self):
+        baseline = _payload([{"n": 500, "agglomerate_flat_s": 1.0}])
+        assert check_agglomeration_regression(baseline, baseline) == []
+
+    def test_passes_within_ratio(self):
+        current = _payload([{"n": 500, "agglomerate_flat_s": 1.4}])
+        baseline = _payload([{"n": 500, "agglomerate_flat_s": 1.0}])
+        assert check_agglomeration_regression(current, baseline) == []
+
+    def test_fails_beyond_ratio(self):
+        current = _payload([{"n": 500, "agglomerate_flat_s": 2.0}])
+        baseline = _payload([{"n": 500, "agglomerate_flat_s": 1.0}])
+        violations = check_agglomeration_regression(current, baseline)
+        assert len(violations) == 1
+        assert "n=500" in violations[0]
+
+    def test_slack_absorbs_tiny_times(self):
+        # 3x regression on a 10 ms measurement stays within the absolute
+        # slack, so scheduler noise cannot trip the gate.
+        current = _payload([{"n": 500, "agglomerate_flat_s": 0.030}])
+        baseline = _payload([{"n": 500, "agglomerate_flat_s": 0.010}])
+        assert check_agglomeration_regression(current, baseline) == []
+
+    def test_unmatched_sizes_ignored(self):
+        current = _payload([{"n": 500, "agglomerate_flat_s": 9.0}])
+        baseline = _payload([{"n": 1000, "agglomerate_flat_s": 1.0}])
+        assert check_agglomeration_regression(current, baseline) == []
+
+    def test_faster_run_passes(self):
+        current = _payload([{"n": 500, "agglomerate_flat_s": 0.2}])
+        baseline = _payload([{"n": 500, "agglomerate_flat_s": 1.0}])
+        assert check_agglomeration_regression(current, baseline) == []
+
+    def test_custom_ratio(self):
+        current = _payload([{"n": 500, "agglomerate_flat_s": 1.2}])
+        baseline = _payload([{"n": 500, "agglomerate_flat_s": 1.0}])
+        assert check_agglomeration_regression(
+            current, baseline, max_ratio=1.1, slack_seconds=0.0
+        ) != []
+        assert DEFAULT_MAX_RATIO == 1.5
+
+    def test_missing_baseline_file(self, tmp_path):
+        violations = gate_against_baseline(_payload([]), tmp_path / "nope.json")
+        assert len(violations) == 1
+        assert "does not exist" in violations[0]
+
+
+class TestEngineBenchSmoke:
+    def test_time_engine_phases_small(self):
+        row = time_engine_phases(60, include_reference=True, repeats=1)
+        assert row["n"] == 60
+        assert row["agglomerate_flat_s"] > 0
+        assert row["agglomerate_reference_s"] > 0
+        assert row["n_merges"] > 0
+        assert "agglomerate_speedup" in row
+
+    def test_run_engine_bench_writes_json(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        payload = run_engine_bench([50], reference_max=50, repeats=1, path=path)
+        assert path.exists()
+        on_disk = load_bench(path)
+        assert on_disk["sizes"][0]["n"] == payload["sizes"][0]["n"] == 50
+        assert on_disk["workload"]["generator"] == "market-basket"
+
+    def test_gate_against_fresh_baseline_passes(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        payload = run_engine_bench([50], reference_max=0, repeats=1, path=path)
+        assert gate_against_baseline(payload, path) == []
+
+
+class TestSpeedupRegressionCheck:
+    def test_ratio_holds_passes(self):
+        current = _payload([{"n": 500, "agglomerate_speedup": 4.5}])
+        baseline = _payload([{"n": 500, "agglomerate_speedup": 4.5}])
+        from repro.bench.perf_gate import check_speedup_regression
+
+        assert check_speedup_regression(current, baseline) == []
+
+    def test_ratio_drop_fails(self):
+        from repro.bench.perf_gate import check_speedup_regression
+
+        current = _payload([{"n": 500, "agglomerate_speedup": 2.0}])
+        baseline = _payload([{"n": 500, "agglomerate_speedup": 4.5}])
+        violations = check_speedup_regression(current, baseline)
+        assert len(violations) == 1
+        assert "agglomerate_speedup" in violations[0]
+
+    def test_small_drop_within_ratio_passes(self):
+        from repro.bench.perf_gate import check_speedup_regression
+
+        current = _payload([{"n": 500, "agglomerate_speedup": 3.5}])
+        baseline = _payload([{"n": 500, "agglomerate_speedup": 4.5}])
+        assert check_speedup_regression(current, baseline) == []
+
+    def test_missing_speedup_ignored(self):
+        from repro.bench.perf_gate import check_speedup_regression
+
+        current = _payload([{"n": 500, "agglomerate_flat_s": 0.1}])
+        baseline = _payload([{"n": 500, "agglomerate_speedup": 4.5}])
+        assert check_speedup_regression(current, baseline) == []
