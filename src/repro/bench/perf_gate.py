@@ -1,11 +1,13 @@
-"""Perf gate: fail when agglomeration timings regress against the baseline.
+"""Perf gate: fail when hot-path phase timings regress against the baseline.
 
 ``BENCH_engine.json`` (committed at the repository root by
 :mod:`repro.bench.engine_bench`) records the flat engine's agglomeration
-times per workload size.  The gate compares a freshly measured run against
-those numbers and reports every size whose time exceeds the committed
-baseline by more than ``max_ratio`` (plus a small absolute slack that keeps
-millisecond-scale measurements from tripping the gate on scheduler noise).
+and labelling times per workload size.  The gate compares a freshly
+measured run against those numbers and reports every size whose time
+exceeds the committed baseline by more than ``max_ratio`` (plus a small
+absolute slack that keeps millisecond-scale measurements from tripping the
+gate on scheduler noise).  :func:`check_phase_regressions` applies the
+check to every gated phase metric (``DEFAULT_PHASE_METRICS``).
 
 The gate is intentionally one-sided: faster-than-baseline runs pass, and a
 run that beats the baseline substantially is the cue to re-generate the
@@ -14,11 +16,13 @@ future regressions are measured from the improved level.
 
 Absolute wall-clock comparisons are machine-specific (the committed
 baseline records the author's machine), so the gate offers a second,
-machine-robust signal: :func:`check_speedup_regression` compares the
-flat-over-reference *speedup ratio* instead, which divides out the
-machine's absolute speed.  The benchmark driver flags a regression only
-when **both** signals trip — a uniformly slower machine slows both engines
-and keeps the ratio, while a genuine flat-engine regression drops it.
+machine-robust signal per phase: :func:`check_speedup_regression` compares
+the flat-over-reference *speedup ratio* of the agglomeration, and
+:func:`check_ratio_regression` compares the labelling time *relative to the
+neighbour phase* measured in the same process.  The benchmark driver flags
+a regression only when both the absolute and the relative signal of a phase
+trip — a uniformly slower machine slows everything and keeps the ratios,
+while a genuine hot-path regression breaks them.
 """
 
 from __future__ import annotations
@@ -30,6 +34,21 @@ from pathlib import Path
 #: is a regression.
 DEFAULT_MAX_RATIO = 1.5
 DEFAULT_SLACK_SECONDS = 0.05
+
+#: Phase timings the gate watches: the agglomeration merge loop and both
+#: labelling paths (one-shot and batched/streaming).
+DEFAULT_PHASE_METRICS = ("agglomerate_flat_s", "label_s", "label_batched_s")
+
+#: Per-metric absolute slack.  The labelling phases run in single-digit
+#: milliseconds at the gate size, so the generic 50 ms slack would hide
+#: anything short of a ~10x regression; their measurements are best-of-N
+#: (see :mod:`repro.bench.engine_bench`), which keeps the tighter slack
+#: safe against scheduler noise.
+DEFAULT_PHASE_SLACKS = {
+    "agglomerate_flat_s": DEFAULT_SLACK_SECONDS,
+    "label_s": 0.01,
+    "label_batched_s": 0.01,
+}
 
 #: Default location of the committed baseline (repository root).
 BASELINE_FILENAME = "BENCH_engine.json"
@@ -74,6 +93,95 @@ def check_agglomeration_regression(
     return violations
 
 
+def check_phase_regressions(
+    current: dict,
+    baseline: dict,
+    metrics: tuple = DEFAULT_PHASE_METRICS,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    slack_seconds: float | None = None,
+) -> list[str]:
+    """Run the absolute-time check over several phase metrics at once.
+
+    The multi-phase front door of the gate: every metric in ``metrics`` is
+    compared the way :func:`check_agglomeration_regression` compares the
+    agglomeration time, and the violation messages are concatenated.
+    ``slack_seconds=None`` (the default) applies each metric's own slack
+    from ``DEFAULT_PHASE_SLACKS``, so millisecond-scale phases are gated
+    tightly while second-scale phases keep the generous generic slack.
+    Metrics absent from either payload are ignored, so older baselines
+    without the labelling fields keep gating the phases they do record.
+    """
+    violations: list[str] = []
+    for metric in metrics:
+        slack = (
+            slack_seconds
+            if slack_seconds is not None
+            else DEFAULT_PHASE_SLACKS.get(metric, DEFAULT_SLACK_SECONDS)
+        )
+        violations.extend(
+            check_agglomeration_regression(
+                current,
+                baseline,
+                max_ratio=max_ratio,
+                slack_seconds=slack,
+                metric=metric,
+            )
+        )
+    return violations
+
+
+def check_ratio_regression(
+    current: dict,
+    baseline: dict,
+    metric: str = "label_s",
+    reference_metric: str = "neighbors_s",
+    max_ratio: float = DEFAULT_MAX_RATIO,
+) -> list[str]:
+    """Machine-robust phase check: compare ``metric / reference_metric``.
+
+    The labelling counterpart of :func:`check_speedup_regression`: both
+    phases run on the same machine in the same process, so dividing the
+    labelling time by the neighbour-phase time (both sparse-product bound)
+    cancels absolute machine speed.  A size regresses when its measured
+    ratio exceeds ``baseline_ratio * max_ratio``.  Sizes missing either
+    metric, or with a non-positive reference time, are ignored.
+    """
+    current_rows = _rows_by_size(current)
+    baseline_rows = _rows_by_size(baseline)
+    violations: list[str] = []
+    for n in sorted(set(current_rows) & set(baseline_rows)):
+        measured_pair = (
+            current_rows[n].get(metric),
+            current_rows[n].get(reference_metric),
+        )
+        reference_pair = (
+            baseline_rows[n].get(metric),
+            baseline_rows[n].get(reference_metric),
+        )
+        if None in measured_pair or None in reference_pair:
+            continue
+        if measured_pair[1] <= 0 or reference_pair[1] <= 0:
+            continue
+        measured_ratio = measured_pair[0] / measured_pair[1]
+        baseline_ratio = reference_pair[0] / reference_pair[1]
+        limit = baseline_ratio * max_ratio
+        if measured_ratio > limit:
+            violations.append(
+                "%s/%s at n=%d regressed: %.2f measured vs %.2f baseline "
+                "(limit %.2f = baseline * %.2f)"
+                % (
+                    metric,
+                    reference_metric,
+                    n,
+                    measured_ratio,
+                    baseline_ratio,
+                    limit,
+                    max_ratio,
+                )
+            )
+    return violations
+
+
 def check_speedup_regression(
     current: dict,
     baseline: dict,
@@ -109,7 +217,7 @@ def gate_against_baseline(
     current: dict,
     baseline_path: str | Path,
     max_ratio: float = DEFAULT_MAX_RATIO,
-    slack_seconds: float = DEFAULT_SLACK_SECONDS,
+    slack_seconds: float | None = None,
 ) -> list[str]:
     """Convenience wrapper: load the baseline file and run the check.
 
@@ -119,7 +227,7 @@ def gate_against_baseline(
     baseline_path = Path(baseline_path)
     if not baseline_path.exists():
         return ["baseline %s does not exist" % baseline_path]
-    return check_agglomeration_regression(
+    return check_phase_regressions(
         current,
         load_bench(baseline_path),
         max_ratio=max_ratio,

@@ -10,7 +10,10 @@ Four subcommands mirror the library's main entry points::
 
 ``cluster`` reads a UCI-style CSV (or a one-transaction-per-line file with
 ``--format transactions``), runs the ROCK pipeline and prints the cluster
-composition table (plus, with ``--output``, a per-record label file).
+composition table (plus, with ``--output``, a per-record label file).  With
+``--stream`` (transactions format only) the file is labelled out-of-core
+batch by batch (``--batch-size``), keeping peak memory bounded by the
+sample plus one batch while producing the same labels as an in-memory run.
 ``experiment`` runs one of the reproduced paper experiments by id.
 ``sweep`` reports the theta-sensitivity table for a data file.
 """
@@ -22,12 +25,16 @@ import sys
 from pathlib import Path
 
 from repro.bench.harness import available_experiments, get_experiment
-from repro.core.pipeline import rock_cluster
+from repro.core.pipeline import RockPipeline, rock_cluster
 from repro.core.rock import ENGINES
 from repro.data.encoding import records_to_transactions
-from repro.data.io import read_categorical_csv, read_transactions
+from repro.data.io import (
+    read_categorical_csv,
+    read_transaction_labels,
+    read_transactions,
+)
 from repro.datasets.registry import available_datasets
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.evaluation.composition import composition_table
 from repro.evaluation.metrics import clustering_error
 from repro.evaluation.reporting import format_composition_table, format_table
@@ -70,6 +77,8 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _command_cluster(arguments) -> int:
+    if arguments.stream:
+        return _command_cluster_streaming(arguments)
     transactions, labels, n_records = _load_input(arguments)
     result = rock_cluster(
         transactions,
@@ -83,6 +92,60 @@ def _command_cluster(arguments) -> int:
     )
     print("%d records -> %d clusters (%d outliers) in %.2fs" % (
         n_records, result.n_clusters, result.n_outliers, result.timings["total"]))
+    if labels is not None:
+        table = composition_table(result.labels, labels)
+        print(format_composition_table(table, title="Cluster composition"))
+        print("clustering error: %.4f" % clustering_error(result.labels, labels))
+    else:
+        rows = [[i, len(members)] for i, members in enumerate(result.clusters)]
+        print(format_table(["cluster", "size"], rows, title="Cluster sizes"))
+    if arguments.output:
+        output_path = Path(arguments.output)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(
+            "\n".join(str(int(label)) for label in result.labels) + "\n", encoding="utf-8"
+        )
+        print("labels written to %s" % output_path)
+    return 0
+
+
+def _command_cluster_streaming(arguments) -> int:
+    """Out-of-core variant of ``cluster``: label the file batch by batch."""
+    if arguments.format != "transactions":
+        raise ConfigurationError(
+            "--stream requires --format transactions (one transaction per line)"
+        )
+    if arguments.sample_size is None:
+        raise ConfigurationError(
+            "--stream requires --sample-size: without it the whole file would "
+            "be clustered in memory, defeating the out-of-core mode (see "
+            "repro.core.sampling.chernoff_sample_size for how large the "
+            "sample must be)"
+        )
+    pipeline = RockPipeline(
+        n_clusters=arguments.clusters,
+        theta=arguments.theta,
+        sample_size=arguments.sample_size,
+        min_neighbors=arguments.min_neighbors,
+        min_cluster_size=arguments.min_cluster_size,
+        engine=arguments.engine,
+        rng=arguments.seed,
+    )
+    result = pipeline.run_streaming(
+        arguments.path,
+        batch_size=arguments.batch_size,
+        label_prefix=arguments.label_prefix,
+    )
+    print("%d records -> %d clusters (%d outliers) in %.2fs [streaming, batch=%d]" % (
+        len(result.labels), result.n_clusters, result.n_outliers,
+        result.timings["total"], arguments.batch_size))
+    labels = None
+    if arguments.label_prefix:
+        collected = read_transaction_labels(
+            arguments.path, label_prefix=arguments.label_prefix
+        )
+        if any(label is not None for label in collected):
+            labels = collected
     if labels is not None:
         table = composition_table(result.labels, labels)
         print(format_composition_table(table, title="Cluster composition"))
@@ -160,6 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="agglomeration engine (flat: array-backed, reference: paper pseudo-code)",
     )
     cluster.add_argument("--seed", type=int, default=0, help="random seed")
+    cluster.add_argument(
+        "--stream", action="store_true",
+        help="label the file out-of-core, batch by batch (transactions format "
+             "only, requires --sample-size; peak memory is bounded by the "
+             "sample plus one batch)",
+    )
+    cluster.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="transactions per labelling batch with --stream (default 1024)",
+    )
     cluster.add_argument("--output", default=None, help="write per-record labels to this file")
     cluster.set_defaults(handler=_command_cluster)
 

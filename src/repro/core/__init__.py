@@ -28,13 +28,19 @@ from repro.core.goodness import (
 )
 from repro.core.engine import FlatAgglomerationEngine, flat_agglomerate
 from repro.core.heaps import AddressableMaxHeap
-from repro.core.labeling import LabelingResult, label_points
+from repro.core.labeling import (
+    LabelingResult,
+    StreamingLabeler,
+    StreamingLabelingResult,
+    label_points,
+    label_points_streaming,
+)
 from repro.core.links import compute_links, links_from_neighbors
 from repro.core.neighbors import NeighborGraph, compute_neighbors
 from repro.core.outliers import drop_small_clusters, isolated_point_mask
 from repro.core.pipeline import RockPipeline, RockPipelineResult, rock_cluster
 from repro.core.rock import ENGINES, RockClustering, RockResult
-from repro.core.sampling import chernoff_sample_size, draw_sample
+from repro.core.sampling import chernoff_sample_size, draw_sample, reservoir_sample
 
 __all__ = [
     "criterion_function",
@@ -47,7 +53,10 @@ __all__ = [
     "FlatAgglomerationEngine",
     "flat_agglomerate",
     "LabelingResult",
+    "StreamingLabeler",
+    "StreamingLabelingResult",
     "label_points",
+    "label_points_streaming",
     "compute_links",
     "links_from_neighbors",
     "NeighborGraph",
@@ -61,4 +70,5 @@ __all__ = [
     "RockResult",
     "chernoff_sample_size",
     "draw_sample",
+    "reservoir_sample",
 ]

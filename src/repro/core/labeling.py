@@ -10,10 +10,12 @@ joins the cluster maximising the normalised count
 
 The normalisation accounts for larger clusters naturally offering more
 neighbours.  Points with no neighbours in any cluster are reported as
-outliers (label ``-1``).
+outliers (label ``-1``) unless ``assign_outliers=False`` requests that they
+join the cluster with the highest raw neighbour count (with every count at
+zero that is the largest cluster).
 
 Two counting strategies implement the neighbour pass, selected by the
-``strategy`` parameter of :func:`label_points`:
+``strategy`` parameter:
 
 * ``"sparse-matmul"`` — build the unlabelled × retained-sample
   intersection-count matrix with one sparse product over the shared item
@@ -25,17 +27,26 @@ Two counting strategies implement the neighbour pass, selected by the
 * ``"auto"`` (default) — the sparse product under Jaccard, brute force
   otherwise.  Both strategies produce identical counts, labels and outlier
   sets (enforced by the test suite).
+
+For data sets that do not fit in memory, :class:`StreamingLabeler` binds the
+retained fractions (and, under the sparse strategy, their incidence matrix)
+**once** and then labels arbitrarily many batches through
+:meth:`StreamingLabeler.label_batch`; :func:`label_points_streaming` drives
+it over an iterable of batches.  Batching never changes the labels: each
+point's neighbour counts depend only on the retained fractions, so the
+concatenation of the per-batch results is bit-identical to one
+:func:`label_points` call on the concatenated input.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.goodness import ExponentFunction, default_expected_links_exponent
-from repro.data.encoding import transactions_to_incidence
+from repro.data.encoding import build_item_index, transactions_to_incidence
 from repro.errors import ConfigurationError, DataValidationError
 from repro.similarity.base import SetSimilarity
 from repro.similarity.jaccard import JaccardSimilarity
@@ -64,6 +75,30 @@ class LabelingResult:
     n_outliers: int
 
 
+@dataclass
+class StreamingLabelingResult:
+    """Outcome of a batched labelling pass (:func:`label_points_streaming`).
+
+    Attributes
+    ----------
+    batch_results:
+        One :class:`LabelingResult` per input batch, in batch order.
+    merged:
+        The concatenation of the per-batch results — bit-identical to the
+        :class:`LabelingResult` of one :func:`label_points` call on the
+        concatenated batches.
+    n_batches:
+        Number of batches labelled.
+    n_points:
+        Total number of points labelled across all batches.
+    """
+
+    batch_results: list[LabelingResult]
+    merged: LabelingResult
+    n_batches: int
+    n_points: int
+
+
 def select_labeling_fractions(
     clusters: Sequence[Sequence[int]],
     fraction: float = 1.0,
@@ -73,7 +108,9 @@ def select_labeling_fractions(
 
     The paper labels against a random fraction of each cluster to reduce the
     per-point cost; ``fraction=1.0`` (the default) uses every sampled point.
-    Every cluster retains at least one point.
+    Every cluster retains at least one point (the ``max(1, ...)`` guard, so
+    a tiny fraction of a tiny cluster can never round down to an empty
+    ``L_i``).
     """
     if not 0.0 < fraction <= 1.0:
         raise ConfigurationError("fraction must lie in (0, 1], got %r" % fraction)
@@ -111,67 +148,250 @@ def _neighbor_counts_bruteforce(
     return counts
 
 
-def _neighbor_counts_sparse(
-    unlabeled: list[frozenset],
-    sample: list[frozenset],
-    fractions: list[list[int]],
-    theta: float,
-    item_index: dict | None,
-) -> np.ndarray:
-    """Jaccard neighbour counting via one sparse intersection product.
+class StreamingLabeler:
+    """Labels batches of points against a fixed sampled clustering.
 
-    Builds the unlabelled × retained-sample intersection-count matrix once,
-    thresholds it into neighbour indicators and accumulates the indicators
-    per cluster.  Produces exactly the counts of the brute-force pass under
-    the Jaccard measure.
+    All per-clustering work happens once, in the constructor: the retained
+    fractions ``L_i`` are drawn, the normalisers are computed and — under the
+    sparse strategy — the retained-sample incidence matrix is built.  Each
+    :meth:`label_batch` call then costs one sparse product (or brute-force
+    sweep) over the batch only, so a disk-resident data set can be labelled
+    with peak memory bounded by the sample plus one batch.
+
+    Items of a batch that never occur in the sample are ignored by the
+    sparse encoding (they cannot intersect any retained point) while still
+    counting towards the point's set size for the Jaccard union, so batches
+    may contain items unseen when the labeler was built.
+
+    Parameters are those of :func:`label_points` minus ``unlabeled``; see
+    there for their meaning.
     """
-    n_points = len(unlabeled)
-    n_clusters = len(fractions)
-    counts = np.zeros((n_points, n_clusters), dtype=float)
-    if not n_points:
-        return counts
-    subset_sizes = [len(subset) for subset in fractions]
-    if theta == 0.0:
-        # Every pair qualifies (similarity is always >= 0).
-        counts[:] = np.asarray(subset_sizes, dtype=float)
-        return counts
 
-    retained = [sample[i] for subset in fractions for i in subset]
-    cluster_of_column = np.repeat(np.arange(n_clusters), subset_sizes)
-    if item_index is None:
-        incidence, item_index = transactions_to_incidence(unlabeled + retained)
-        unlabeled_incidence = incidence[:n_points]
-        retained_incidence = incidence[n_points:]
-    else:
-        unlabeled_incidence, _ = transactions_to_incidence(unlabeled, item_index)
-        retained_incidence, _ = transactions_to_incidence(retained, item_index)
+    def __init__(
+        self,
+        sample: Sequence[frozenset],
+        clusters: Sequence[Sequence[int]],
+        theta: float,
+        measure: SetSimilarity | None = None,
+        exponent_function: ExponentFunction | None = None,
+        labeling_fraction: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+        strategy: str = "auto",
+        item_index: dict | None = None,
+        assign_outliers: bool = True,
+    ) -> None:
+        if not 0.0 <= theta <= 1.0:
+            raise ConfigurationError("theta must lie in [0, 1], got %r" % theta)
+        if measure is None:
+            measure = JaccardSimilarity()
+        if exponent_function is None:
+            exponent_function = default_expected_links_exponent
+        if strategy not in LABELING_STRATEGIES:
+            raise ConfigurationError(
+                "unknown labeling strategy %r; expected one of %s"
+                % (strategy, ", ".join(LABELING_STRATEGIES))
+            )
+        is_jaccard = getattr(measure, "name", "") == "jaccard"
+        if strategy == "sparse-matmul" and not is_jaccard:
+            raise ConfigurationError(
+                "the sparse-matmul strategy only supports the Jaccard measure, got %r"
+                % getattr(measure, "name", measure)
+            )
+        if not clusters:
+            raise DataValidationError("labelling requires at least one cluster")
 
-    intersections = (unlabeled_incidence @ retained_incidence.T).tocoo()
-    unlabeled_sizes = np.asarray(unlabeled_incidence.sum(axis=1)).ravel()
-    retained_sizes = np.asarray(retained_incidence.sum(axis=1)).ravel()
+        self.theta = float(theta)
+        self.measure = measure
+        self.assign_outliers = bool(assign_outliers)
+        self.sample = [frozenset(t) for t in sample]
+        self.fractions = select_labeling_fractions(
+            clusters, fraction=labeling_fraction, rng=rng
+        )
+        self.n_clusters = len(self.fractions)
+        exponent = exponent_function(self.theta)
+        self.normalisers = np.array(
+            [(len(subset) + 1.0) ** exponent for subset in self.fractions], dtype=float
+        )
+        self.subset_sizes = np.asarray(
+            [len(subset) for subset in self.fractions], dtype=float
+        )
+        # Fallback target of ``assign_outliers=False``: with every raw count
+        # at zero the argmax-count rule degenerates to the largest cluster
+        # (first one on ties).
+        self._fallback_label = max(
+            range(self.n_clusters), key=lambda i: (len(clusters[i]), -i)
+        )
+        self._use_sparse = strategy == "sparse-matmul" or (
+            strategy == "auto" and is_jaccard
+        )
+        if self._use_sparse:
+            retained = [self.sample[i] for subset in self.fractions for i in subset]
+            if item_index is None:
+                item_index = build_item_index(self.sample)
+            self._item_index = item_index
+            self._cluster_of_column = np.repeat(
+                np.arange(self.n_clusters), [len(s) for s in self.fractions]
+            )
+            # Built exactly once; every batch reuses it.
+            self._retained_incidence, _ = transactions_to_incidence(
+                retained, item_index
+            )
+            self._retained_sizes = np.asarray(
+                [len(t) for t in retained], dtype=np.int64
+            )
+            self._empty_retained = np.nonzero(self._retained_sizes == 0)[0]
+        # Running totals across batches (the merged summary).
+        self.n_batches = 0
+        self.n_points = 0
+        self.n_outliers = 0
 
-    rows = intersections.row
-    columns = intersections.col
-    overlaps = intersections.data.astype(np.int64)
-    unions = unlabeled_sizes[rows] + retained_sizes[columns] - overlaps
-    neighbors = (overlaps / unions) >= theta
-    np.add.at(counts, (rows[neighbors], cluster_of_column[columns[neighbors]]), 1.0)
+    # ------------------------------------------------------------------ #
+    def _sparse_counts(self, batch: list[frozenset]) -> np.ndarray:
+        """Jaccard neighbour counts of one batch via the sparse product."""
+        n_points = len(batch)
+        counts = np.zeros((n_points, self.n_clusters), dtype=float)
+        if not n_points:
+            return counts
+        if self.theta == 0.0:
+            # Every pair qualifies (similarity is always >= 0).
+            counts[:] = self.subset_sizes
+            return counts
+        batch_incidence, _ = transactions_to_incidence(
+            batch, self._item_index, ignore_unknown=True
+        )
+        # True set sizes (unknown items included): the incidence row sums
+        # would under-count points holding items outside the shared index.
+        batch_sizes = np.asarray([len(t) for t in batch], dtype=np.int64)
 
-    # Pairs of empty sets never intersect, but Jaccard defines them as
-    # identical (similarity 1 >= theta for any theta in [0, 1]); pairs of
-    # one empty and one non-empty set have similarity 0 < theta here.
-    empty_unlabeled = np.nonzero(unlabeled_sizes == 0)[0]
-    empty_retained = np.nonzero(retained_sizes == 0)[0]
-    if empty_unlabeled.size and empty_retained.size:
+        intersections = (batch_incidence @ self._retained_incidence.T).tocoo()
+        rows = intersections.row
+        columns = intersections.col
+        overlaps = intersections.data.astype(np.int64)
+        unions = batch_sizes[rows] + self._retained_sizes[columns] - overlaps
+        neighbors = (overlaps / unions) >= self.theta
         np.add.at(
             counts,
-            (
-                np.repeat(empty_unlabeled, empty_retained.size),
-                np.tile(cluster_of_column[empty_retained], empty_unlabeled.size),
-            ),
+            (rows[neighbors], self._cluster_of_column[columns[neighbors]]),
             1.0,
         )
-    return counts
+
+        # Pairs of empty sets never intersect, but Jaccard defines them as
+        # identical (similarity 1 >= theta for any theta in [0, 1]); pairs of
+        # one empty and one non-empty set have similarity 0 < theta here.
+        empty_batch = np.nonzero(batch_sizes == 0)[0]
+        if empty_batch.size and self._empty_retained.size:
+            np.add.at(
+                counts,
+                (
+                    np.repeat(empty_batch, self._empty_retained.size),
+                    np.tile(
+                        self._cluster_of_column[self._empty_retained],
+                        empty_batch.size,
+                    ),
+                ),
+                1.0,
+            )
+        return counts
+
+    # ------------------------------------------------------------------ #
+    def label_batch(self, batch: Sequence[frozenset]) -> LabelingResult:
+        """Label one batch of points; see :func:`label_points`."""
+        batch = [frozenset(t) for t in batch]
+        if self._use_sparse:
+            counts = self._sparse_counts(batch)
+        else:
+            counts = _neighbor_counts_bruteforce(
+                batch, self.sample, self.fractions, self.theta, self.measure
+            )
+        labels = np.full(len(batch), -1, dtype=int)
+        if len(batch):
+            scores = counts / self.normalisers[np.newaxis, :]
+            best = np.argmax(scores, axis=1)
+            has_neighbors = counts.max(axis=1) > 0
+            labels[has_neighbors] = best[has_neighbors]
+            if not self.assign_outliers:
+                labels[~has_neighbors] = self._fallback_label
+        result = LabelingResult(
+            labels=labels,
+            neighbor_counts=counts,
+            n_outliers=int(np.sum(labels == -1)),
+        )
+        self.n_batches += 1
+        self.n_points += len(batch)
+        self.n_outliers += result.n_outliers
+        return result
+
+    # ------------------------------------------------------------------ #
+    def merge(self, batch_results: Sequence[LabelingResult]) -> LabelingResult:
+        """Concatenate per-batch results into one :class:`LabelingResult`."""
+        if batch_results:
+            labels = np.concatenate([r.labels for r in batch_results])
+            counts = np.vstack([r.neighbor_counts for r in batch_results])
+        else:
+            labels = np.zeros(0, dtype=int)
+            counts = np.zeros((0, self.n_clusters), dtype=float)
+        return LabelingResult(
+            labels=labels,
+            neighbor_counts=counts,
+            n_outliers=int(np.sum(labels == -1)),
+        )
+
+
+def label_points_streaming(
+    batches: Iterable[Sequence[frozenset]],
+    sample: Sequence[frozenset],
+    clusters: Sequence[Sequence[int]],
+    theta: float,
+    measure: SetSimilarity | None = None,
+    exponent_function: ExponentFunction | None = None,
+    labeling_fraction: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+    strategy: str = "auto",
+    item_index: dict | None = None,
+    assign_outliers: bool = True,
+) -> StreamingLabelingResult:
+    """Label an iterable of point batches against the sampled clusters.
+
+    The chunked counterpart of :func:`label_points`: the retained fractions
+    and (under the sparse strategy) their incidence matrix are built exactly
+    once, then every batch is folded through the per-batch neighbour count.
+    Each labelling step only touches the retained sample plus one batch,
+    but the *result* keeps every batch's dense ``neighbor_counts`` matrix
+    (plus the merged copy), so result memory grows
+    ``O(n_points * n_clusters)``.  For a truly bounded-memory loop over an
+    unbounded stream, drive a :class:`StreamingLabeler` directly and keep
+    only the labels of each batch — that is what
+    :meth:`repro.core.pipeline.RockPipeline.run_streaming` does.
+
+    Parameters are those of :func:`label_points` with ``batches`` (an
+    iterable of transaction batches) in place of ``unlabeled``.
+
+    Returns
+    -------
+    StreamingLabelingResult
+        Per-batch :class:`LabelingResult` objects plus the merged summary;
+        ``merged`` is bit-identical to labelling the concatenated batches in
+        one call.
+    """
+    labeler = StreamingLabeler(
+        sample,
+        clusters,
+        theta=theta,
+        measure=measure,
+        exponent_function=exponent_function,
+        labeling_fraction=labeling_fraction,
+        rng=rng,
+        strategy=strategy,
+        item_index=item_index,
+        assign_outliers=assign_outliers,
+    )
+    batch_results = [labeler.label_batch(batch) for batch in batches]
+    return StreamingLabelingResult(
+        batch_results=batch_results,
+        merged=labeler.merge(batch_results),
+        n_batches=labeler.n_batches,
+        n_points=labeler.n_points,
+    )
 
 
 def label_points(
@@ -185,8 +405,12 @@ def label_points(
     rng: np.random.Generator | int | None = None,
     strategy: str = "auto",
     item_index: dict | None = None,
+    assign_outliers: bool = True,
 ) -> LabelingResult:
     """Assign each unlabelled point to the best sampled cluster.
+
+    The one-shot entry point: a :class:`StreamingLabeler` bound to the
+    clustering labels ``unlabeled`` as a single batch.
 
     Parameters
     ----------
@@ -213,61 +437,30 @@ def label_points(
         is Jaccard, brute force otherwise).
     item_index:
         Optional pre-built item-to-column index covering every item of
-        ``unlabeled`` and ``sample`` (see
-        :func:`repro.data.encoding.build_item_index`); used by the sparse
-        strategy to skip rebuilding the index.
+        ``sample`` (see :func:`repro.data.encoding.build_item_index`); used
+        by the sparse strategy to skip rebuilding the index.  Items of
+        ``unlabeled`` outside the index are ignored for intersections but
+        still count towards the Jaccard union.
+    assign_outliers:
+        When ``True`` (the paper's behaviour and the default), points with
+        no neighbour in any cluster fraction keep label ``-1``; when
+        ``False`` they join the cluster with the highest raw neighbour
+        count, which with every count at zero is the largest cluster.
 
     Returns
     -------
     LabelingResult
     """
-    if not 0.0 <= theta <= 1.0:
-        raise ConfigurationError("theta must lie in [0, 1], got %r" % theta)
-    if measure is None:
-        measure = JaccardSimilarity()
-    if exponent_function is None:
-        exponent_function = default_expected_links_exponent
-    if strategy not in LABELING_STRATEGIES:
-        raise ConfigurationError(
-            "unknown labeling strategy %r; expected one of %s"
-            % (strategy, ", ".join(LABELING_STRATEGIES))
-        )
-    is_jaccard = getattr(measure, "name", "") == "jaccard"
-    if strategy == "sparse-matmul" and not is_jaccard:
-        raise ConfigurationError(
-            "the sparse-matmul strategy only supports the Jaccard measure, got %r"
-            % getattr(measure, "name", measure)
-        )
-    sample = [frozenset(t) for t in sample]
-    unlabeled = [frozenset(t) for t in unlabeled]
-    if not clusters:
-        raise DataValidationError("labelling requires at least one cluster")
-
-    fractions = select_labeling_fractions(clusters, fraction=labeling_fraction, rng=rng)
-    exponent = exponent_function(theta)
-    normalisers = np.array(
-        [(len(subset) + 1.0) ** exponent for subset in fractions], dtype=float
+    labeler = StreamingLabeler(
+        sample,
+        clusters,
+        theta=theta,
+        measure=measure,
+        exponent_function=exponent_function,
+        labeling_fraction=labeling_fraction,
+        rng=rng,
+        strategy=strategy,
+        item_index=item_index,
+        assign_outliers=assign_outliers,
     )
-
-    n_points = len(unlabeled)
-    if strategy == "bruteforce" or (strategy == "auto" and not is_jaccard):
-        counts = _neighbor_counts_bruteforce(
-            unlabeled, sample, fractions, theta, measure
-        )
-    else:
-        counts = _neighbor_counts_sparse(
-            unlabeled, sample, fractions, theta, item_index
-        )
-
-    labels = np.full(n_points, -1, dtype=int)
-    if n_points:
-        scores = counts / normalisers[np.newaxis, :]
-        best = np.argmax(scores, axis=1)
-        has_neighbors = counts.max(axis=1) > 0
-        labels[has_neighbors] = best[has_neighbors]
-
-    return LabelingResult(
-        labels=labels,
-        neighbor_counts=counts,
-        n_outliers=int(np.sum(labels == -1)),
-    )
+    return labeler.label_batch(unlabeled)

@@ -12,25 +12,41 @@ This module composes the pieces exactly as the paper's overview figure does:
 The result exposes labels over the *full* input, cluster membership, the
 intermediate artefacts and per-phase timings, which is what the scalability
 benchmarks consume.
+
+Two entry points share that structure.  :meth:`RockPipeline.run` takes the
+whole data set in memory.  :meth:`RockPipeline.run_streaming` takes a
+re-iterable source (a transaction file path, an in-memory collection or an
+iterator factory) and keeps peak memory bounded by the sample plus one
+batch: the sample is drawn from a first pass over the source, clustered in
+memory, and the disk-resident remainder is labelled batch by batch through
+one :class:`repro.core.labeling.StreamingLabeler` whose retained-fraction
+incidence is built exactly once.  On the same data and seed both entry
+points produce bit-identical labels.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.goodness import ExponentFunction
-from repro.core.labeling import LabelingResult, label_points
+from repro.core.labeling import LabelingResult, StreamingLabeler, label_points
 from repro.core.neighbors import compute_neighbors
 from repro.core.outliers import drop_small_clusters, partition_isolated_points
 from repro.core.rock import RockClustering, RockResult, as_transactions
-from repro.core.sampling import draw_sample
+from repro.core.sampling import draw_sample, reservoir_sample
 from repro.data.encoding import build_item_index
-from repro.errors import ConfigurationError
+from repro.data.io import iter_transactions
+from repro.errors import ConfigurationError, DataValidationError
 from repro.similarity.base import SetSimilarity
 from repro.types import ClusterSummary
+
+#: Sampling strategies accepted by :meth:`RockPipeline.run_streaming`.
+STREAMING_SAMPLE_METHODS = ("exact", "reservoir")
 
 
 @dataclass
@@ -51,12 +67,24 @@ class RockPipelineResult:
         The :class:`RockResult` of the agglomeration on the sample.
     labeling_result:
         The :class:`LabelingResult` of the final labelling pass, or ``None``
-        when every point was part of the clustered sample.
+        when every point was part of the clustered sample.  Its labels are
+        expressed in the *final* label space (the same one ``labels`` uses),
+        and row ``i`` describes the point at full-data-set index
+        ``labeled_indices[i]``.  Streaming runs leave ``neighbor_counts``
+        empty (shape ``(0, n_clusters)``): retaining a dense per-point count
+        matrix would break the bounded-memory contract of
+        :meth:`RockPipeline.run_streaming`.
+    labeled_indices:
+        Full-data-set index of each ``labeling_result`` row, or ``None``
+        when no labelling pass ran.
     n_outliers:
         Number of points with label ``-1``.
     timings:
         Wall-clock seconds per phase (``"sampling"``, ``"neighbors"``,
-        ``"clustering"``, ``"labeling"``, ``"total"``).
+        ``"clustering"``, ``"labeling"``, ``"total"``).  Note ``"neighbors"``
+        only covers the outlier pre-filter phase (the neighbour graph built
+        when ``min_neighbors > 0``); the neighbour computation the
+        agglomeration itself performs is part of ``"clustering"``.
     parameters:
         The key parameters the pipeline ran with (for reporting).
     """
@@ -67,6 +95,7 @@ class RockPipelineResult:
     rock_result: RockResult
     labeling_result: LabelingResult | None
     n_outliers: int
+    labeled_indices: list[int] | None = None
     timings: dict[str, float] = field(default_factory=dict)
     parameters: dict[str, object] = field(default_factory=dict)
 
@@ -85,6 +114,60 @@ class RockPipelineResult:
             ClusterSummary(cluster_id=i, size=len(members), member_indices=tuple(members))
             for i, members in enumerate(self.clusters)
         ]
+
+
+def _rebatch(transactions, batch_size: int):
+    """Group an iterator of transactions into lists of ``batch_size``."""
+    batch: list[frozenset] = []
+    for transaction in transactions:
+        batch.append(frozenset(transaction))
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def _transaction_batches(
+    source,
+    batch_size: int,
+    delimiter: str | None = None,
+    label_prefix: str | None = None,
+):
+    """Normalise a streaming source to ``(batch_factory, length_or_None)``.
+
+    ``batch_factory`` is a zero-argument callable returning a fresh iterator
+    of transaction batches on every call (streaming needs at least two
+    passes: one to sample, one to label).  Supported sources: a transaction
+    file path (read through :func:`repro.data.io.iter_transactions`, with
+    ``delimiter``/``label_prefix`` applied on every pass), a zero-argument
+    callable returning a fresh transaction iterator, or any in-memory shape
+    :func:`repro.core.rock.as_transactions` accepts.  The reader options
+    only make sense for a path source; passing them with any other source
+    is rejected rather than silently ignored.
+    """
+    if batch_size < 1:
+        raise ConfigurationError("batch_size must be positive, got %r" % batch_size)
+    if isinstance(source, (str, os.PathLike)):
+        return (
+            lambda: iter_transactions(
+                source, batch_size, delimiter=delimiter, label_prefix=label_prefix
+            )
+        ), None
+    if delimiter is not None or label_prefix is not None:
+        raise ConfigurationError(
+            "delimiter/label_prefix only apply to file-path sources, got %r"
+            % type(source).__name__
+        )
+    if callable(source):
+        return (lambda: _rebatch(source(), batch_size)), None
+    transactions = as_transactions(source)
+
+    def factory():
+        for start in range(0, len(transactions), batch_size):
+            yield transactions[start:start + batch_size]
+
+    return factory, len(transactions)
 
 
 class RockPipeline:
@@ -114,13 +197,12 @@ class RockPipeline:
     exponent_function:
         ``f(theta)``; defaults to the paper's.
     assign_outliers:
-        When ``True``, points the labelling pass could not place (no
-        neighbours in any cluster) are left with label ``-1``; when
-        ``False`` they are also labelled ``-1`` — the flag exists so callers
-        can request that such points instead join the cluster with the
-        highest raw neighbour count even if zero (which places them with the
-        largest cluster); the paper leaves them as outliers, so ``True`` is
-        the default and recommended setting.
+        When ``True`` (the paper's behaviour and the default), points the
+        labelling pass could not place (no neighbours in any cluster
+        fraction) keep label ``-1``; when ``False`` they are force-assigned
+        to the cluster with the highest raw neighbour count — with every
+        count at zero that is the largest cluster — so no point is reported
+        as an outlier by the labelling phase.
     engine:
         Agglomeration engine (``"flat"`` or ``"reference"``), propagated to
         :class:`RockClustering`.
@@ -134,11 +216,13 @@ class RockPipeline:
 
     Notes
     -----
-    The pipeline builds the item-to-column index of the full data set once
+    :meth:`run` builds the item-to-column index of the full data set once
     per run (:func:`repro.data.encoding.build_item_index`) and shares it
     with the vectorised neighbour and labelling phases, so the item universe
     is only scanned once regardless of how many phases need an incidence
-    matrix.
+    matrix.  :meth:`run_streaming` builds the index over the sample only —
+    remainder items outside it cannot intersect the sample and are handled
+    by the labeler without changing any label.
     """
 
     def __init__(
@@ -184,28 +268,14 @@ class RockPipeline:
         self.strict = bool(strict)
 
     # ------------------------------------------------------------------ #
-    def run(self, data) -> RockPipelineResult:
-        """Execute the pipeline on ``data`` and return the full result."""
-        total_start = time.perf_counter()
-        transactions = as_transactions(data)
-        n_points = len(transactions)
-        timings: dict[str, float] = {}
-        # One item index for the whole run; every vectorised phase shares it.
-        item_index = build_item_index(transactions)
+    def _cluster_sample(self, sample: list[frozenset], item_index: dict, timings: dict):
+        """Phases 2-4 on an in-memory sample: pre-filter, cluster, prune.
 
-        # ---- Phase 1: sampling -------------------------------------- #
-        phase_start = time.perf_counter()
-        if self.sample_size is None or self.sample_size >= n_points:
-            sample_indices = list(range(n_points))
-            remainder_indices: list[int] = []
-        else:
-            sample_indices, remainder_indices = draw_sample(
-                transactions, self.sample_size, rng=self.rng
-            )
-        sample = [transactions[i] for i in sample_indices]
-        timings["sampling"] = time.perf_counter() - phase_start
-
-        # ---- Phase 2: outlier pre-filter ----------------------------- #
+        Returns ``(clustered_sample, participating, isolated, rock_result,
+        kept_clusters, pruned_points)``; ``participating``/``isolated`` are
+        positions in ``sample``, cluster members and ``pruned_points`` are
+        positions in ``clustered_sample``.
+        """
         phase_start = time.perf_counter()
         if self.min_neighbors > 0:
             graph = compute_neighbors(
@@ -226,7 +296,6 @@ class RockPipeline:
         clustered_sample = [sample[i] for i in participating]
         timings["neighbors"] = time.perf_counter() - phase_start
 
-        # ---- Phase 3: agglomeration ---------------------------------- #
         phase_start = time.perf_counter()
         model = RockClustering(
             n_clusters=self.n_clusters,
@@ -242,13 +311,126 @@ class RockPipeline:
         rock_result = model.fit(clustered_sample, item_index=item_index).result_
         timings["clustering"] = time.perf_counter() - phase_start
 
-        # ---- Phase 4: late-outlier pruning --------------------------- #
         kept_clusters, pruned_points = drop_small_clusters(
             rock_result.clusters, self.min_cluster_size
         )
         if not kept_clusters:
             kept_clusters = [tuple(range(len(clustered_sample)))]
             pruned_points = []
+        return (
+            clustered_sample,
+            participating,
+            isolated,
+            rock_result,
+            kept_clusters,
+            pruned_points,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _finalize(
+        self,
+        n_points: int,
+        labels: np.ndarray,
+        n_base_clusters: int,
+        sample_indices: list[int],
+        rock_result: RockResult,
+        labeling_result: LabelingResult | None,
+        labeled_indices: list[int] | None,
+        timings: dict,
+        total_start: float,
+        extra_parameters: dict | None = None,
+    ) -> RockPipelineResult:
+        """Re-number clusters by decreasing size and assemble the result.
+
+        ``labels`` arrive in the pre-sort label space (indices into the kept
+        clusters); the final space orders clusters by decreasing size.  The
+        labelling result is remapped through the same permutation so its
+        labels agree 1:1 with the final ``labels`` array.
+        """
+        final_clusters: list[list[int]] = [[] for _ in range(n_base_clusters)]
+        for index, label in enumerate(labels):
+            if label >= 0:
+                final_clusters[label].append(index)
+        # Every base cluster holds at least its own sample members, so none
+        # of the lists is empty and the sort is a permutation.
+        order = sorted(
+            range(n_base_clusters),
+            key=lambda label: (-len(final_clusters[label]), final_clusters[label][0]),
+        )
+        ordered = [tuple(final_clusters[label]) for label in order]
+        permutation = np.empty(n_base_clusters, dtype=int)
+        permutation[np.array(order, dtype=int)] = np.arange(n_base_clusters)
+
+        final_labels = np.full(n_points, -1, dtype=int)
+        for label, members in enumerate(ordered):
+            final_labels[list(members)] = label
+
+        if labeling_result is not None:
+            remapped = labeling_result.labels.copy()
+            placed = remapped >= 0
+            remapped[placed] = permutation[remapped[placed]]
+            labeling_result = LabelingResult(
+                labels=remapped,
+                neighbor_counts=labeling_result.neighbor_counts[:, order],
+                n_outliers=labeling_result.n_outliers,
+            )
+
+        timings["total"] = time.perf_counter() - total_start
+        parameters = {
+            "n_clusters": self.n_clusters,
+            "theta": self.theta,
+            "sample_size": self.sample_size,
+            "min_neighbors": self.min_neighbors,
+            "min_cluster_size": self.min_cluster_size,
+            "labeling_fraction": self.labeling_fraction,
+            "assign_outliers": self.assign_outliers,
+            "engine": self.engine,
+        }
+        if extra_parameters:
+            parameters.update(extra_parameters)
+        return RockPipelineResult(
+            labels=final_labels,
+            clusters=list(ordered),
+            sample_indices=list(sample_indices),
+            rock_result=rock_result,
+            labeling_result=labeling_result,
+            labeled_indices=labeled_indices,
+            n_outliers=int(np.sum(final_labels == -1)),
+            timings=timings,
+            parameters=parameters,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self, data) -> RockPipelineResult:
+        """Execute the pipeline on in-memory ``data`` and return the result."""
+        total_start = time.perf_counter()
+        transactions = as_transactions(data)
+        n_points = len(transactions)
+        timings: dict[str, float] = {}
+        # One item index for the whole run; every vectorised phase shares it.
+        item_index = build_item_index(transactions)
+
+        # ---- Phase 1: sampling -------------------------------------- #
+        phase_start = time.perf_counter()
+        if self.sample_size is None or self.sample_size >= n_points:
+            sample_indices = list(range(n_points))
+            remainder_indices: list[int] = []
+        else:
+            sample_indices, remainder_indices = draw_sample(
+                transactions, self.sample_size, rng=self.rng
+            )
+        sample = [transactions[i] for i in sample_indices]
+        timings["sampling"] = time.perf_counter() - phase_start
+
+        # ---- Phases 2-4: pre-filter, agglomeration, pruning ---------- #
+        (
+            clustered_sample,
+            participating,
+            isolated,
+            rock_result,
+            kept_clusters,
+            pruned_points,
+        ) = self._cluster_sample(sample, item_index, timings)
 
         # ---- Phase 5: labelling -------------------------------------- #
         phase_start = time.perf_counter()
@@ -285,41 +467,218 @@ class RockPipeline:
                 rng=self.rng,
                 strategy=self.labeling_strategy,
                 item_index=item_index,
+                assign_outliers=self.assign_outliers,
             )
-            for position, full_index in enumerate(pending_full_indices):
-                labels[full_index] = labeling_result.labels[position]
+            labels[pending_full_indices] = labeling_result.labels
         timings["labeling"] = time.perf_counter() - phase_start
 
-        # ---- Assemble the final clusters over the full data set ------ #
-        final_clusters: list[list[int]] = [[] for _ in range(len(cluster_members_full))]
-        for index, label in enumerate(labels):
-            if label >= 0:
-                final_clusters[label].append(index)
-        ordered = sorted(
-            (tuple(members) for members in final_clusters if members),
-            key=lambda members: (-len(members), members[0]),
+        return self._finalize(
+            n_points,
+            labels,
+            len(cluster_members_full),
+            sample_indices,
+            rock_result,
+            labeling_result,
+            pending_full_indices if labeling_result is not None else None,
+            timings,
+            total_start,
         )
+
+    # ------------------------------------------------------------------ #
+    def run_streaming(
+        self,
+        source,
+        batch_size: int = 1024,
+        sample_method: str = "exact",
+        delimiter: str | None = None,
+        label_prefix: str | None = None,
+    ) -> RockPipelineResult:
+        """Execute the pipeline out-of-core over a re-iterable ``source``.
+
+        The streaming counterpart of :meth:`run` for data sets that never
+        fit in memory at once.  Peak memory is bounded by the sample, the
+        item index of the sample, and one batch of ``batch_size``
+        transactions.
+
+        Parameters
+        ----------
+        source:
+            A transaction file path (one transaction per line, see
+            :func:`repro.data.io.iter_transactions`), a zero-argument
+            callable returning a fresh transaction iterator per call, or any
+            in-memory shape :meth:`run` accepts.  The source is iterated two
+            to three times (sampling passes plus the labelling pass), so
+            one-shot iterators are not supported — wrap them in a callable
+            that reopens the underlying stream.
+        batch_size:
+            Number of transactions held in memory per labelling batch.
+            Larger batches amortise the sparse product better; memory grows
+            linearly.  1024 is a good default; use 8192+ when batches are
+            cheap relative to the sample.
+        sample_method:
+            ``"exact"`` (default) draws the sample exactly as :meth:`run`
+            does (one counting pass, then :func:`draw_sample`), so the same
+            data and seed produce bit-identical labels to :meth:`run`.
+            ``"reservoir"`` uses single-pass reservoir sampling
+            (:func:`repro.core.sampling.reservoir_sample`) instead, saving
+            the counting pass at the cost of a differently drawn (still
+            uniform) sample.
+        delimiter, label_prefix:
+            Parse options for a file-path ``source``, forwarded to
+            :func:`repro.data.io.iter_transactions` on every pass —
+            ``label_prefix`` tokens would otherwise be clustered as
+            ordinary items.  Rejected for non-path sources.
+
+        Returns
+        -------
+        RockPipelineResult
+            The same result shape :meth:`run` produces, with
+            ``parameters["streaming"]`` set.  ``labeling_result`` keeps only
+            the per-point labels; its ``neighbor_counts`` matrix is left
+            empty so result memory stays O(n) integers rather than
+            O(n * n_clusters) floats.
+        """
+        if sample_method not in STREAMING_SAMPLE_METHODS:
+            raise ConfigurationError(
+                "unknown sample_method %r; expected one of %s"
+                % (sample_method, ", ".join(STREAMING_SAMPLE_METHODS))
+            )
+        total_start = time.perf_counter()
+        timings: dict[str, float] = {}
+        batches, known_length = _transaction_batches(
+            source, batch_size, delimiter=delimiter, label_prefix=label_prefix
+        )
+
+        # ---- Phase 1: sampling pass(es) over the source -------------- #
+        phase_start = time.perf_counter()
+        if sample_method == "reservoir" and self.sample_size is not None:
+            sample_indices, sample, n_points = reservoir_sample(
+                itertools.chain.from_iterable(batches()),
+                self.sample_size,
+                rng=self.rng,
+            )
+        else:
+            if known_length is not None:
+                n_points = known_length
+            else:
+                n_points = sum(len(batch) for batch in batches())
+            if n_points and (self.sample_size is None or self.sample_size >= n_points):
+                sample_indices = list(range(n_points))
+            elif n_points:
+                sample_indices, _ = draw_sample(
+                    range(n_points), self.sample_size, rng=self.rng
+                )
+            else:
+                sample_indices = []
+            wanted = set(sample_indices)
+            sample = []
+            position = 0
+            for batch in batches():
+                for transaction in batch:
+                    if position in wanted:
+                        sample.append(frozenset(transaction))
+                    position += 1
+        if not n_points:
+            raise DataValidationError("cannot cluster an empty streaming source")
+        sample_set = set(sample_indices)
+        timings["sampling"] = time.perf_counter() - phase_start
+
+        # ---- Phases 2-4 on the in-memory sample ---------------------- #
+        # The item index covers the sample only: remainder items outside it
+        # cannot intersect any retained point, so labels are unaffected.
+        item_index = build_item_index(sample)
+        (
+            clustered_sample,
+            participating,
+            isolated,
+            rock_result,
+            kept_clusters,
+            pruned_points,
+        ) = self._cluster_sample(sample, item_index, timings)
+
+        sample_position_of = {j: sample_indices[i] for j, i in enumerate(participating)}
+        cluster_members_full = [
+            tuple(sorted(sample_position_of[j] for j in members))
+            for members in kept_clusters
+        ]
         labels = np.full(n_points, -1, dtype=int)
-        for label, members in enumerate(ordered):
+        for label, members in enumerate(cluster_members_full):
             labels[list(members)] = label
 
-        timings["total"] = time.perf_counter() - total_start
-        return RockPipelineResult(
-            labels=labels,
-            clusters=list(ordered),
-            sample_indices=list(sample_indices),
-            rock_result=rock_result,
-            labeling_result=labeling_result,
-            n_outliers=int(np.sum(labels == -1)),
-            timings=timings,
-            parameters={
-                "n_clusters": self.n_clusters,
-                "theta": self.theta,
-                "sample_size": self.sample_size,
-                "min_neighbors": self.min_neighbors,
-                "min_cluster_size": self.min_cluster_size,
-                "labeling_fraction": self.labeling_fraction,
-                "engine": self.engine,
+        # ---- Phase 5: batched labelling pass ------------------------- #
+        phase_start = time.perf_counter()
+        transaction_of_sample_index = dict(zip(sample_indices, sample))
+        sample_pending: list[int] = []
+        sample_pending.extend(sample_indices[i] for i in isolated)
+        sample_pending.extend(sample_position_of[j] for j in pruned_points)
+        sample_pending = sorted(set(sample_pending))
+        has_remainder = n_points > len(sample_indices)
+
+        labeling_result: LabelingResult | None = None
+        labeled_indices: list[int] | None = None
+        if has_remainder or sample_pending:
+            labeler = StreamingLabeler(
+                clustered_sample,
+                kept_clusters,
+                theta=self.theta,
+                measure=self.measure,
+                exponent_function=self.exponent_function,
+                labeling_fraction=self.labeling_fraction,
+                rng=self.rng,
+                strategy=self.labeling_strategy,
+                item_index=item_index,
+                assign_outliers=self.assign_outliers,
+            )
+            # Only the integer labels are retained across batches: keeping
+            # every batch's dense neighbour-count matrix would grow
+            # O(n_points * n_clusters) and break the bounded-memory
+            # contract, so the streaming labelling result carries an empty
+            # counts matrix.
+            label_chunks: list[np.ndarray] = []
+            labeled_indices = []
+            if has_remainder:
+                position = 0
+                for batch in batches():
+                    pending_batch: list[frozenset] = []
+                    pending_positions: list[int] = []
+                    for transaction in batch:
+                        if position not in sample_set:
+                            pending_batch.append(frozenset(transaction))
+                            pending_positions.append(position)
+                        position += 1
+                    if pending_batch:
+                        result = labeler.label_batch(pending_batch)
+                        labels[pending_positions] = result.labels
+                        labeled_indices.extend(pending_positions)
+                        label_chunks.append(result.labels)
+            if sample_pending:
+                result = labeler.label_batch(
+                    [transaction_of_sample_index[i] for i in sample_pending]
+                )
+                labels[sample_pending] = result.labels
+                labeled_indices.extend(sample_pending)
+                label_chunks.append(result.labels)
+            labeling_result = LabelingResult(
+                labels=np.concatenate(label_chunks),
+                neighbor_counts=np.zeros((0, len(kept_clusters)), dtype=float),
+                n_outliers=labeler.n_outliers,
+            )
+        timings["labeling"] = time.perf_counter() - phase_start
+
+        return self._finalize(
+            n_points,
+            labels,
+            len(cluster_members_full),
+            sample_indices,
+            rock_result,
+            labeling_result,
+            labeled_indices,
+            timings,
+            total_start,
+            extra_parameters={
+                "streaming": True,
+                "batch_size": int(batch_size),
+                "sample_method": sample_method,
             },
         )
 

@@ -104,6 +104,60 @@ def draw_sample(
     return chosen.tolist(), remainder.tolist()
 
 
+def reservoir_sample(
+    stream,
+    sample_size: int,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[list[int], list, int]:
+    """Uniform random sample of a stream of unknown length (Algorithm R).
+
+    The single-pass counterpart of :func:`draw_sample` for sources whose
+    length is not known upfront: the first ``sample_size`` elements fill the
+    reservoir, and every later element ``i`` replaces a uniformly chosen
+    reservoir slot with probability ``sample_size / (i + 1)``.  Each element
+    of the stream ends up in the sample with equal probability.  Note the
+    selected indices differ from :func:`draw_sample` under the same seed —
+    the two consume the generator differently.
+
+    Parameters
+    ----------
+    stream:
+        Any iterable of elements; consumed exactly once, one element in
+        memory at a time beyond the reservoir itself.
+    sample_size:
+        Reservoir capacity; when the stream is shorter, every element is
+        returned.
+    rng:
+        NumPy random generator or seed.
+
+    Returns
+    -------
+    (sample_indices, sample_elements, n_total):
+        The sampled stream positions in increasing order, the corresponding
+        elements in the same order, and the total stream length.
+    """
+    if sample_size < 1:
+        raise ConfigurationError(
+            "sample_size must be positive, got %r" % sample_size
+        )
+    generator = np.random.default_rng(rng)
+    indices: list[int] = []
+    elements: list = []
+    n_total = 0
+    for element in stream:
+        if n_total < sample_size:
+            indices.append(n_total)
+            elements.append(element)
+        else:
+            j = int(generator.integers(0, n_total + 1))
+            if j < sample_size:
+                indices[j] = n_total
+                elements[j] = element
+        n_total += 1
+    order = sorted(range(len(indices)), key=indices.__getitem__)
+    return [indices[i] for i in order], [elements[i] for i in order], n_total
+
+
 def split_dataset(
     dataset,
     sample_indices: Sequence[int],

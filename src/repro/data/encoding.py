@@ -38,6 +38,7 @@ def build_item_index(transactions: Sequence[frozenset]) -> dict:
 def transactions_to_incidence(
     transactions: Sequence[frozenset],
     item_index: dict | None = None,
+    ignore_unknown: bool = False,
 ) -> tuple[sparse.csr_matrix, dict]:
     """Build the sparse binary item-incidence matrix of ``transactions``.
 
@@ -50,6 +51,13 @@ def transactions_to_incidence(
         occurring in ``transactions`` (a superset is fine — extra columns
         stay empty); pass the index of the full data set to share one
         construction across pipeline phases.
+    ignore_unknown:
+        When ``True``, items missing from ``item_index`` are silently
+        dropped from their row instead of raising.  This is what streaming
+        consumers want: a batch drawn from a disk-resident remainder may
+        hold items the in-memory sample never saw, and those items cannot
+        intersect anything the index covers.  Note the row sums of the
+        result then under-count the true set sizes.
 
     Returns
     -------
@@ -64,7 +72,11 @@ def transactions_to_incidence(
     indptr = [0]
     indices: list[int] = []
     for transaction in transactions:
-        indices.extend(sorted(item_index[item] for item in transaction))
+        if ignore_unknown:
+            columns = (item_index[item] for item in transaction if item in item_index)
+        else:
+            columns = (item_index[item] for item in transaction)
+        indices.extend(sorted(columns))
         indptr.append(len(indices))
     incidence = sparse.csr_matrix(
         (
@@ -75,6 +87,32 @@ def transactions_to_incidence(
         shape=(len(indptr) - 1, max(len(item_index), 1)),
     )
     return incidence, item_index
+
+
+def incidence_batches(
+    batches,
+    item_index: dict,
+    ignore_unknown: bool = False,
+):
+    """Yield one incidence matrix per transaction batch, sharing one index.
+
+    The streaming counterpart of :func:`transactions_to_incidence`: the item
+    index is built once by the caller (typically over the in-memory sample,
+    :func:`build_item_index`) and every batch is encoded against it, so the
+    item universe is never re-scanned and all batches share a common column
+    space.  ``batches`` may be any iterable of transaction sequences, for
+    example :func:`repro.data.io.iter_transactions`.
+
+    Yields
+    ------
+    scipy.sparse.csr_matrix
+        The ``(len(batch), n_items)`` incidence matrix of each batch.
+    """
+    for batch in batches:
+        incidence, _ = transactions_to_incidence(
+            batch, item_index, ignore_unknown=ignore_unknown
+        )
+        yield incidence
 
 
 def attribute_value_items(

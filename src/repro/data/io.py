@@ -20,7 +20,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.data.dataset import CategoricalDataset, TransactionDataset
-from repro.errors import DataValidationError, DatasetUnavailableError
+from repro.errors import ConfigurationError, DataValidationError, DatasetUnavailableError
 
 
 def _require_file(path: str | os.PathLike) -> Path:
@@ -28,6 +28,23 @@ def _require_file(path: str | os.PathLike) -> Path:
     if not resolved.is_file():
         raise DatasetUnavailableError("data file not found: %s" % resolved)
     return resolved
+
+
+def _parse_transaction_line(
+    line: str,
+    delimiter: str | None,
+    label_prefix: str | None,
+) -> tuple[frozenset, object]:
+    """Split one transaction line into ``(item_set, label_or_None)``."""
+    tokens = line.split(delimiter) if delimiter else line.split()
+    label = None
+    items = []
+    for token in tokens:
+        if label_prefix and token.startswith(label_prefix):
+            label = token[len(label_prefix):]
+        else:
+            items.append(token)
+    return frozenset(items), label
 
 
 def read_categorical_csv(
@@ -174,16 +191,10 @@ def read_transactions(
             line = raw_line.strip()
             if not line:
                 continue
-            tokens = line.split(delimiter) if delimiter else line.split()
-            label = None
-            items = []
-            for token in tokens:
-                if label_prefix and token.startswith(label_prefix):
-                    label = token[len(label_prefix):]
-                    any_label = True
-                else:
-                    items.append(token)
-            transactions.append(frozenset(items))
+            items, label = _parse_transaction_line(line, delimiter, label_prefix)
+            if label is not None:
+                any_label = True
+            transactions.append(items)
             labels.append(label)
 
     if not transactions:
@@ -194,6 +205,69 @@ def read_transactions(
         labels=labels if any_label else None,
         name=name or resolved.stem,
     )
+
+
+def iter_transactions(
+    path: str | os.PathLike,
+    batch_size: int = 1024,
+    delimiter: str | None = None,
+    label_prefix: str | None = None,
+):
+    """Stream a transaction file in batches of at most ``batch_size`` sets.
+
+    The out-of-core counterpart of :func:`read_transactions`: lines are
+    parsed identically (same delimiter handling, ``label_prefix`` tokens are
+    stripped from the item sets), but only one batch is ever held in memory
+    and class labels are not collected.  An empty file yields no batches
+    rather than raising, so callers decide how to treat empty streams.
+
+    Yields
+    ------
+    list[frozenset]
+        Consecutive batches of item sets, in file order; every batch except
+        possibly the last holds exactly ``batch_size`` transactions.
+    """
+    if batch_size < 1:
+        raise ConfigurationError("batch_size must be positive, got %r" % batch_size)
+    resolved = _require_file(path)
+    batch: list[frozenset] = []
+    with resolved.open("r", encoding="utf-8") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line:
+                continue
+            items, _ = _parse_transaction_line(line, delimiter, label_prefix)
+            batch.append(items)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+    if batch:
+        yield batch
+
+
+def read_transaction_labels(
+    path: str | os.PathLike,
+    delimiter: str | None = None,
+    label_prefix: str | None = None,
+) -> list:
+    """Collect only the class labels of a transaction file, one pass.
+
+    The evaluation-side companion of :func:`iter_transactions`: a streaming
+    consumer labels the item sets out-of-core, then fetches the ground-truth
+    labels with this helper — O(n) label strings instead of O(n) item sets.
+    Lines are parsed exactly like :func:`read_transactions`; entries are
+    ``None`` where a line carries no ``label_prefix`` token.
+    """
+    resolved = _require_file(path)
+    labels: list = []
+    with resolved.open("r", encoding="utf-8") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line:
+                continue
+            _, label = _parse_transaction_line(line, delimiter, label_prefix)
+            labels.append(label)
+    return labels
 
 
 def write_transactions(

@@ -138,3 +138,55 @@ class TestEngineFlag:
         ])
         assert code == 0
         assert "clusters" in capsys.readouterr().out
+
+
+class TestStreamingCli:
+    def test_stream_matches_in_memory_labels(self, tmp_path, capsys):
+        # The file carries class labels: --stream must strip them exactly
+        # like the in-memory reader does, or the item sets (and labels)
+        # silently diverge.
+        baskets = generate_market_baskets(rng=3, n_transactions=120, n_clusters=3)
+        path = tmp_path / "big.txt"
+        write_transactions(baskets, path, label_prefix="class=")
+        plain_out = tmp_path / "plain.txt"
+        stream_out = tmp_path / "stream.txt"
+        base = [
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=",
+            "--clusters", "3", "--theta", "0.3", "--sample-size", "60",
+            "--seed", "5",
+        ]
+        assert main(base + ["--output", str(plain_out)]) == 0
+        assert main(base + ["--stream", "--batch-size", "32",
+                            "--output", str(stream_out)]) == 0
+        captured = capsys.readouterr().out
+        assert "streaming" in captured
+        # Ground-truth evaluation must not silently vanish in streaming mode.
+        assert captured.count("Cluster composition") == 2
+        assert captured.count("clustering error") == 2
+        assert plain_out.read_text() == stream_out.read_text()
+
+    def test_stream_requires_transactions_format(self, votes_csv, capsys):
+        code = main([
+            "cluster", str(votes_csv), "--clusters", "2", "--stream",
+        ])
+        assert code == 2
+        assert "requires --format transactions" in capsys.readouterr().err
+
+    def test_stream_flags_parsed(self, tmp_path):
+        arguments = build_parser().parse_args(
+            ["cluster", "x.txt", "--format", "transactions", "--clusters", "2",
+             "--stream", "--batch-size", "256"]
+        )
+        assert arguments.stream is True
+        assert arguments.batch_size == 256
+
+    def test_stream_requires_sample_size(self, tmp_path, capsys):
+        path = tmp_path / "b.txt"
+        path.write_text("a b\nc d\n")
+        code = main([
+            "cluster", str(path), "--format", "transactions",
+            "--clusters", "2", "--stream",
+        ])
+        assert code == 2
+        assert "requires --sample-size" in capsys.readouterr().err

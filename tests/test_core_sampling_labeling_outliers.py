@@ -5,7 +5,14 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.labeling import LabelingResult, label_points, select_labeling_fractions
+from repro.core.labeling import (
+    LabelingResult,
+    StreamingLabeler,
+    StreamingLabelingResult,
+    label_points,
+    label_points_streaming,
+    select_labeling_fractions,
+)
 from repro.core.neighbors import compute_neighbors
 from repro.core.outliers import (
     drop_small_clusters,
@@ -13,7 +20,12 @@ from repro.core.outliers import (
     partition_isolated_points,
     relabel_after_dropping,
 )
-from repro.core.sampling import chernoff_sample_size, draw_sample, split_dataset
+from repro.core.sampling import (
+    chernoff_sample_size,
+    draw_sample,
+    reservoir_sample,
+    split_dataset,
+)
 from repro.data.dataset import TransactionDataset
 from repro.errors import ConfigurationError, DataValidationError
 
@@ -296,3 +308,223 @@ class TestLabelingStrategies:
         assert np.array_equal(
             with_index.neighbor_counts, without_index.neighbor_counts
         )
+
+
+class TestReservoirSample:
+    def test_partition_properties(self):
+        indices, elements, n_total = reservoir_sample(iter(range(100, 150)), 12, rng=0)
+        assert n_total == 50
+        assert len(indices) == len(elements) == 12
+        assert indices == sorted(indices)
+        assert len(set(indices)) == 12
+        assert all(elements[i] == 100 + indices[i] for i in range(12))
+
+    def test_short_stream_returns_everything(self):
+        indices, elements, n_total = reservoir_sample(iter("abc"), 10, rng=0)
+        assert indices == [0, 1, 2]
+        assert elements == ["a", "b", "c"]
+        assert n_total == 3
+
+    def test_reproducible_with_seed(self):
+        first = reservoir_sample(iter(range(200)), 20, rng=5)
+        second = reservoir_sample(iter(range(200)), 20, rng=5)
+        assert first == second
+
+    def test_roughly_uniform(self):
+        # Every position should be sampled with probability k/n; check the
+        # first and last decile are both represented over many draws.
+        hits = np.zeros(100)
+        for seed in range(200):
+            indices, _, _ = reservoir_sample(iter(range(100)), 10, rng=seed)
+            hits[indices] += 1
+        assert hits.min() > 0
+        assert hits[:10].sum() / hits.sum() == pytest.approx(0.1, abs=0.05)
+        assert hits[90:].sum() / hits.sum() == pytest.approx(0.1, abs=0.05)
+
+    def test_empty_stream(self):
+        indices, elements, n_total = reservoir_sample(iter([]), 5, rng=0)
+        assert indices == [] and elements == [] and n_total == 0
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reservoir_sample(iter(range(5)), 0)
+
+
+class TestStreamingLabeler:
+    def _setup(self, seed=0, n_unlabeled=30):
+        rng = np.random.default_rng(seed)
+        make = lambda: frozenset(
+            rng.choice(18, size=int(rng.integers(1, 7)), replace=False).tolist()
+        )
+        sample = [make() for _ in range(30)]
+        unlabeled = [make() for _ in range(n_unlabeled)]
+        clusters = [list(range(0, 10)), list(range(10, 20)), list(range(20, 30))]
+        return unlabeled, sample, clusters
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 30, 100])
+    @pytest.mark.parametrize("theta", [0.0, 0.4, 1.0])
+    def test_streaming_matches_one_shot(self, batch_size, theta):
+        unlabeled, sample, clusters = self._setup()
+        batches = [
+            unlabeled[i:i + batch_size] for i in range(0, len(unlabeled), batch_size)
+        ]
+        streamed = label_points_streaming(
+            batches, sample, clusters, theta=theta, rng=3
+        )
+        one_shot = label_points(unlabeled, sample, clusters, theta=theta, rng=3)
+        assert isinstance(streamed, StreamingLabelingResult)
+        assert streamed.n_batches == len(batches)
+        assert streamed.n_points == len(unlabeled)
+        assert np.array_equal(streamed.merged.labels, one_shot.labels)
+        assert np.array_equal(
+            streamed.merged.neighbor_counts, one_shot.neighbor_counts
+        )
+        assert streamed.merged.n_outliers == one_shot.n_outliers
+
+    def test_per_batch_results_partition_the_merged(self):
+        unlabeled, sample, clusters = self._setup()
+        batches = [unlabeled[:12], unlabeled[12:20], unlabeled[20:]]
+        streamed = label_points_streaming(batches, sample, clusters, theta=0.4, rng=1)
+        assert [len(r.labels) for r in streamed.batch_results] == [12, 8, 10]
+        assert np.array_equal(
+            np.concatenate([r.labels for r in streamed.batch_results]),
+            streamed.merged.labels,
+        )
+
+    def test_retained_incidence_built_exactly_once(self, monkeypatch):
+        import repro.core.labeling as labeling_module
+
+        unlabeled, sample, clusters = self._setup()
+        calls = []
+        original = labeling_module.transactions_to_incidence
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(labeling_module, "transactions_to_incidence", counting)
+        batches = [unlabeled[i:i + 5] for i in range(0, len(unlabeled), 5)]
+        label_points_streaming(
+            batches, sample, clusters, theta=0.4, strategy="sparse-matmul", rng=0
+        )
+        # One incidence for the retained fractions, one per batch — never a
+        # retained-side rebuild inside the loop.
+        assert len(calls) == 1 + len(batches)
+
+    def test_no_batches_yields_empty_merged(self):
+        _, sample, clusters = self._setup()
+        streamed = label_points_streaming([], sample, clusters, theta=0.4, rng=0)
+        assert streamed.n_batches == 0
+        assert streamed.merged.labels.size == 0
+        assert streamed.merged.neighbor_counts.shape == (0, len(clusters))
+
+    def test_batch_with_unknown_items_matches_bruteforce(self):
+        # Streaming batches may hold items the sample never saw; the sparse
+        # path must ignore them for intersections while still counting them
+        # in the Jaccard union (true set size).
+        sample = [frozenset({1, 2}), frozenset({1, 3}), frozenset({8, 9})]
+        clusters = [[0, 1], [2]]
+        batch = [frozenset({1, 2, 777}), frozenset({555, 666})]
+        labeler = StreamingLabeler(sample, clusters, theta=0.4, strategy="sparse-matmul")
+        sparse_result = labeler.label_batch(batch)
+        brute_result = label_points(
+            batch, sample, clusters, theta=0.4, strategy="bruteforce"
+        )
+        assert np.array_equal(
+            sparse_result.neighbor_counts, brute_result.neighbor_counts
+        )
+        assert np.array_equal(sparse_result.labels, brute_result.labels)
+
+    def test_assign_outliers_false_joins_largest_cluster(self):
+        sample = [frozenset({1, 2}), frozenset({1, 3}), frozenset({1, 4}), frozenset({8, 9})]
+        clusters = [[3], [0, 1, 2]]  # cluster 1 is the largest
+        stray = frozenset({500, 501})
+        kept = label_points([stray], sample, clusters, theta=0.5)
+        forced = label_points(
+            [stray], sample, clusters, theta=0.5, assign_outliers=False
+        )
+        assert kept.labels.tolist() == [-1]
+        assert kept.n_outliers == 1
+        assert forced.labels.tolist() == [1]
+        assert forced.n_outliers == 0
+
+    def test_assign_outliers_false_keeps_neighbor_based_labels(self):
+        # Only no-neighbour points are affected by the flag.
+        sample = [frozenset({1, 2}), frozenset({8, 9})]
+        clusters = [[0], [1]]
+        points = [frozenset({8, 9}), frozenset({700})]
+        forced = label_points(
+            points, sample, clusters, theta=0.5, assign_outliers=False
+        )
+        assert forced.labels.tolist()[0] == 1
+        assert forced.labels.tolist()[1] in (0, 1)
+        assert forced.n_outliers == 0
+
+
+class TestLabelingParityProperties:
+    """Property-style parity pins: sparse and brute force must agree on
+    counts, labels and outliers across theta extremes, empty-set
+    transactions and sub-unit labelling fractions."""
+
+    def _setup(self, seed):
+        rng = np.random.default_rng(seed)
+        make = lambda: frozenset(
+            rng.choice(15, size=int(rng.integers(1, 6)), replace=False).tolist()
+        )
+        # Empty sets on both sides, plus a two-point cluster so tiny
+        # fractions exercise the max(1, ...) retention guard.
+        sample = [make() for _ in range(20)] + [frozenset(), frozenset()]
+        unlabeled = [make() for _ in range(15)] + [frozenset(), frozenset({999})]
+        clusters = [[0, 21], [1, 2, 3, 20], list(range(4, 20))]
+        return unlabeled, sample, clusters
+
+    @pytest.mark.parametrize("theta", [0.0, 0.5, 1.0])
+    @pytest.mark.parametrize("fraction", [0.01, 0.4, 1.0])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_count_parity(self, theta, fraction, seed):
+        unlabeled, sample, clusters = self._setup(seed)
+        kwargs = dict(theta=theta, labeling_fraction=fraction, rng=99)
+        sparse_result = label_points(
+            unlabeled, sample, clusters, strategy="sparse-matmul", **kwargs
+        )
+        brute_result = label_points(
+            unlabeled, sample, clusters, strategy="bruteforce", **kwargs
+        )
+        assert np.array_equal(
+            sparse_result.neighbor_counts, brute_result.neighbor_counts
+        )
+        assert np.array_equal(sparse_result.labels, brute_result.labels)
+        assert sparse_result.n_outliers == brute_result.n_outliers
+
+    @pytest.mark.parametrize("theta", [0.0, 0.5, 1.0])
+    def test_two_point_cluster_tiny_fraction(self, theta):
+        # fraction * 2 rounds to zero; the guard must retain one point and
+        # both strategies must count against the identical retained set.
+        sample = [frozenset({1}), frozenset({1, 2})]
+        clusters = [[0, 1]]
+        fractions = select_labeling_fractions(clusters, fraction=0.01, rng=5)
+        assert len(fractions[0]) == 1
+        kwargs = dict(theta=theta, labeling_fraction=0.01, rng=5)
+        sparse_result = label_points(
+            [frozenset({1})], sample, clusters, strategy="sparse-matmul", **kwargs
+        )
+        brute_result = label_points(
+            [frozenset({1})], sample, clusters, strategy="bruteforce", **kwargs
+        )
+        assert np.array_equal(
+            sparse_result.neighbor_counts, brute_result.neighbor_counts
+        )
+
+    def test_empty_sets_against_empty_retained(self):
+        # Jaccard(∅, ∅) = 1 must count as a neighbour for any theta in both
+        # strategies, including the theta = 0 shortcut.
+        sample = [frozenset(), frozenset({1, 2})]
+        clusters = [[0], [1]]
+        for theta in (0.0, 0.5, 1.0):
+            for strategy in ("sparse-matmul", "bruteforce"):
+                result = label_points(
+                    [frozenset()], sample, clusters, theta=theta, strategy=strategy
+                )
+                assert result.neighbor_counts[0, 0] == 1.0
+                assert result.neighbor_counts[0, 1] == (1.0 if theta == 0.0 else 0.0)
+                assert result.labels[0] == 0

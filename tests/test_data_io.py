@@ -108,3 +108,89 @@ class TestTransactionIo:
         path.write_text("   \n")
         with pytest.raises(DataValidationError):
             read_transactions(path)
+
+
+class TestIterTransactions:
+    def test_roundtrip_against_write_transactions(self, tmp_path, small_transaction_dataset):
+        from repro.data.io import iter_transactions
+
+        path = tmp_path / "stream.txt"
+        write_transactions(small_transaction_dataset, path)
+        streamed = [t for batch in iter_transactions(path, batch_size=2) for t in batch]
+        expected = [frozenset(map(str, t)) for t in small_transaction_dataset]
+        assert streamed == expected
+
+    def test_matches_read_transactions(self, tmp_path):
+        from repro.data.io import iter_transactions
+
+        path = tmp_path / "basket.txt"
+        path.write_text("milk bread\n\nbeer chips salsa\nmilk\n")
+        loaded = read_transactions(path)
+        streamed = [t for batch in iter_transactions(path, batch_size=1) for t in batch]
+        assert streamed == loaded.transactions
+
+    def test_batch_sizes(self, tmp_path):
+        from repro.data.io import iter_transactions
+
+        path = tmp_path / "basket.txt"
+        path.write_text("".join("item%d\n" % i for i in range(10)))
+        batches = list(iter_transactions(path, batch_size=4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        batches = list(iter_transactions(path, batch_size=100))
+        assert [len(b) for b in batches] == [10]
+
+    def test_label_prefix_stripped(self, tmp_path):
+        from repro.data.io import iter_transactions
+
+        path = tmp_path / "labeled.txt"
+        path.write_text("a b class=x\nc class=y\n")
+        batches = list(iter_transactions(path, batch_size=10, label_prefix="class="))
+        assert batches == [[frozenset({"a", "b"}), frozenset({"c"})]]
+
+    def test_custom_delimiter(self, tmp_path):
+        from repro.data.io import iter_transactions
+
+        path = tmp_path / "basket.csv"
+        path.write_text("milk,bread\nbeer,chips\n")
+        batches = list(iter_transactions(path, batch_size=10, delimiter=","))
+        assert batches[0][0] == frozenset({"milk", "bread"})
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        from repro.data.io import iter_transactions
+
+        path = tmp_path / "empty.txt"
+        path.write_text("  \n\n")
+        assert list(iter_transactions(path)) == []
+
+    def test_missing_file_raises(self, tmp_path):
+        from repro.data.io import iter_transactions
+
+        with pytest.raises(DatasetUnavailableError):
+            list(iter_transactions(tmp_path / "absent.txt"))
+
+    def test_invalid_batch_size_rejected(self, tmp_path):
+        from repro.data.io import iter_transactions
+        from repro.errors import ConfigurationError
+
+        path = tmp_path / "basket.txt"
+        path.write_text("a b\n")
+        with pytest.raises(ConfigurationError):
+            list(iter_transactions(path, batch_size=0))
+
+
+class TestReadTransactionLabels:
+    def test_collects_labels_in_file_order(self, tmp_path):
+        from repro.data.io import read_transaction_labels
+
+        path = tmp_path / "labeled.txt"
+        path.write_text("a b class=x\nc d\ne class=y\n")
+        labels = read_transaction_labels(path, label_prefix="class=")
+        assert labels == ["x", None, "y"]
+
+    def test_matches_read_transactions_labels(self, tmp_path, small_transaction_dataset):
+        from repro.data.io import read_transaction_labels
+
+        path = tmp_path / "trans.txt"
+        write_transactions(small_transaction_dataset, path, label_prefix="class=")
+        labels = read_transaction_labels(path, label_prefix="class=")
+        assert labels == read_transactions(path, label_prefix="class=").labels

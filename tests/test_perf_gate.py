@@ -118,3 +118,152 @@ class TestSpeedupRegressionCheck:
         current = _payload([{"n": 500, "agglomerate_flat_s": 0.1}])
         baseline = _payload([{"n": 500, "agglomerate_speedup": 4.5}])
         assert check_speedup_regression(current, baseline) == []
+
+
+class TestPhaseRegressionChecks:
+    def test_label_metric_gated(self):
+        from repro.bench.perf_gate import check_phase_regressions
+
+        current = _payload([
+            {"n": 500, "agglomerate_flat_s": 1.0, "label_s": 2.0}
+        ])
+        baseline = _payload([
+            {"n": 500, "agglomerate_flat_s": 1.0, "label_s": 1.0}
+        ])
+        violations = check_phase_regressions(current, baseline)
+        assert len(violations) == 1
+        assert "label_s" in violations[0]
+
+    def test_both_phases_flagged(self):
+        from repro.bench.perf_gate import check_phase_regressions
+
+        current = _payload([
+            {"n": 500, "agglomerate_flat_s": 3.0, "label_s": 3.0}
+        ])
+        baseline = _payload([
+            {"n": 500, "agglomerate_flat_s": 1.0, "label_s": 1.0}
+        ])
+        assert len(check_phase_regressions(current, baseline)) == 2
+
+    def test_old_baseline_without_label_metric_ignored(self):
+        from repro.bench.perf_gate import check_phase_regressions
+
+        current = _payload([
+            {"n": 500, "agglomerate_flat_s": 1.0, "label_s": 9.0}
+        ])
+        baseline = _payload([{"n": 500, "agglomerate_flat_s": 1.0}])
+        assert check_phase_regressions(current, baseline) == []
+
+    def test_gate_against_baseline_covers_labeling(self, tmp_path):
+        import json
+
+        from repro.bench.perf_gate import gate_against_baseline
+
+        baseline_path = tmp_path / "BENCH_engine.json"
+        baseline_path.write_text(json.dumps(
+            _payload([{"n": 500, "agglomerate_flat_s": 1.0, "label_s": 1.0}])
+        ))
+        current = _payload([
+            {"n": 500, "agglomerate_flat_s": 1.0, "label_s": 2.0}
+        ])
+        violations = gate_against_baseline(current, baseline_path)
+        assert len(violations) == 1
+        assert "label_s" in violations[0]
+
+
+class TestRatioRegressionCheck:
+    def test_ratio_holds_passes(self):
+        from repro.bench.perf_gate import check_ratio_regression
+
+        current = _payload([{"n": 500, "label_s": 0.4, "neighbors_s": 0.2}])
+        baseline = _payload([{"n": 500, "label_s": 0.2, "neighbors_s": 0.1}])
+        assert check_ratio_regression(current, baseline) == []
+
+    def test_ratio_blowup_fails(self):
+        from repro.bench.perf_gate import check_ratio_regression
+
+        current = _payload([{"n": 500, "label_s": 1.0, "neighbors_s": 0.1}])
+        baseline = _payload([{"n": 500, "label_s": 0.2, "neighbors_s": 0.1}])
+        violations = check_ratio_regression(current, baseline)
+        assert len(violations) == 1
+        assert "label_s/neighbors_s" in violations[0]
+
+    def test_missing_metrics_ignored(self):
+        from repro.bench.perf_gate import check_ratio_regression
+
+        current = _payload([{"n": 500, "label_s": 9.0}])
+        baseline = _payload([{"n": 500, "label_s": 0.1, "neighbors_s": 0.1}])
+        assert check_ratio_regression(current, baseline) == []
+
+    def test_zero_reference_ignored(self):
+        from repro.bench.perf_gate import check_ratio_regression
+
+        current = _payload([{"n": 500, "label_s": 9.0, "neighbors_s": 0.0}])
+        baseline = _payload([{"n": 500, "label_s": 0.1, "neighbors_s": 0.1}])
+        assert check_ratio_regression(current, baseline) == []
+
+
+class TestLabelBatchedBenchField:
+    def test_time_engine_phases_records_batched_labeling(self):
+        row = time_engine_phases(60, include_reference=False, repeats=1)
+        assert row["label_batched_s"] > 0
+        assert row["label_batches"] >= 1
+
+
+class TestBatchedLabelMetricGated:
+    def test_label_batched_metric_gated(self):
+        from repro.bench.perf_gate import check_phase_regressions
+
+        current = _payload([
+            {"n": 500, "agglomerate_flat_s": 1.0, "label_s": 1.0,
+             "label_batched_s": 2.0}
+        ])
+        baseline = _payload([
+            {"n": 500, "agglomerate_flat_s": 1.0, "label_s": 1.0,
+             "label_batched_s": 1.0}
+        ])
+        violations = check_phase_regressions(current, baseline)
+        assert len(violations) == 1
+        assert "label_batched_s" in violations[0]
+
+    def test_ratio_check_accepts_batched_metric(self):
+        from repro.bench.perf_gate import check_ratio_regression
+
+        current = _payload([
+            {"n": 500, "label_batched_s": 1.0, "neighbors_s": 0.1}
+        ])
+        baseline = _payload([
+            {"n": 500, "label_batched_s": 0.2, "neighbors_s": 0.1}
+        ])
+        violations = check_ratio_regression(
+            current, baseline, metric="label_batched_s"
+        )
+        assert len(violations) == 1
+        assert "label_batched_s/neighbors_s" in violations[0]
+
+
+class TestPerMetricSlack:
+    def test_label_metric_uses_tight_slack(self):
+        # A 3x regression on a 10 ms labelling time must trip (tight 10 ms
+        # slack) even though the same numbers pass for the agglomeration
+        # metric under its 50 ms slack.
+        from repro.bench.perf_gate import check_phase_regressions
+
+        current = _payload([
+            {"n": 500, "agglomerate_flat_s": 0.030, "label_s": 0.030}
+        ])
+        baseline = _payload([
+            {"n": 500, "agglomerate_flat_s": 0.010, "label_s": 0.010}
+        ])
+        violations = check_phase_regressions(current, baseline)
+        assert len(violations) == 1
+        assert "label_s" in violations[0]
+
+    def test_explicit_slack_overrides_per_metric_defaults(self):
+        from repro.bench.perf_gate import check_phase_regressions
+
+        current = _payload([{"n": 500, "label_s": 0.030}])
+        baseline = _payload([{"n": 500, "label_s": 0.010}])
+        assert check_phase_regressions(
+            current, baseline, slack_seconds=0.05
+        ) == []
