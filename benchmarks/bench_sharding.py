@@ -1,0 +1,125 @@
+"""Sharding benchmark: streaming vs sharded clustering, with a perf gate.
+
+Runs the same tight-cluster basket workload through
+:meth:`RockPipeline.run_streaming` (one in-memory sample) and
+:meth:`RockPipeline.run_sharded` at several shard counts, and reports per
+configuration the clustering-phase time (per-shard agglomeration plus the
+summary merge), the end-to-end time, and the adjusted Rand agreement with
+the streaming labels.  Three checks make the benchmark a gate rather than
+a report:
+
+* **1-shard determinism** — ``n_shards=1`` must produce labels
+  bit-identical to the streaming run (the contract enforced across the
+  test suite, re-checked here at benchmark scale);
+* **summary-merge quality** — every multi-shard run must agree with the
+  streaming labels at ARI >= ``ARI_FLOOR``;
+* **perf gate** — the sharded clustering phase must not exceed the
+  streaming clustering phase by more than the perf-gate ratio
+  (:data:`repro.bench.perf_gate.DEFAULT_MAX_RATIO` plus the standard
+  absolute slack).  Both phases are measured in the same process, so the
+  comparison divides machine speed out exactly like the committed-baseline
+  gate's relative signals.
+
+Run modes (see ``conftest.bench_full``): smoke clusters ~1600 baskets with
+a 400-point sample budget, full (``REPRO_BENCH_FULL=1``) ~8000 baskets
+with a 1500-point budget and one more shard count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import bench_full, write_record
+
+from repro.bench.engine_bench import BENCH_CLUSTERS, BENCH_THETA, WORKLOAD
+from repro.bench.perf_gate import DEFAULT_MAX_RATIO, DEFAULT_SLACK_SECONDS
+from repro.core.pipeline import RockPipeline
+from repro.datasets.market_basket import generate_market_baskets
+from repro.evaluation.metrics import adjusted_rand_index
+
+#: Minimum adjusted Rand agreement between a multi-shard run and the
+#: streaming run on the same data and seed.
+ARI_FLOOR = 0.6
+
+
+def _pipeline(sample_size: int, rng: int = 7) -> RockPipeline:
+    return RockPipeline(
+        n_clusters=BENCH_CLUSTERS,
+        theta=BENCH_THETA,
+        sample_size=sample_size,
+        min_cluster_size=2,
+        rng=rng,
+    )
+
+
+def test_benchmark_sharding(results_dir):
+    if bench_full():
+        n, sample_size, shard_counts = 8000, 1500, (2, 4, 8)
+    else:
+        n, sample_size, shard_counts = 1600, 400, (2, 4)
+    data = generate_market_baskets(n_transactions=n, rng=0, **WORKLOAD)
+    transactions = data.transactions
+
+    start = time.perf_counter()
+    streamed = _pipeline(sample_size).run_streaming(transactions, batch_size=1024)
+    streaming_seconds = time.perf_counter() - start
+    streaming_clustering = streamed.timings["clustering"]
+
+    one_shard = _pipeline(sample_size).run_sharded(
+        transactions, n_shards=1, batch_size=1024
+    )
+    assert np.array_equal(one_shard.labels, streamed.labels), (
+        "n_shards=1 labels diverged from run_streaming"
+    )
+
+    lines = ["[SHARDING] streaming vs sharded clustering"]
+    lines.append(
+        "workload: market-basket, n=%d, sample=%d, theta=%s, clusters=%d"
+        % (n, sample_size, BENCH_THETA, BENCH_CLUSTERS)
+    )
+    lines.append(
+        "  streaming           cluster %.3fs  total %.3fs  (%d clusters, %d outliers)"
+        % (streaming_clustering, streaming_seconds,
+           streamed.n_clusters, streamed.n_outliers)
+    )
+
+    gate_violations: list[str] = []
+    clustering_limit = (
+        streaming_clustering * DEFAULT_MAX_RATIO + DEFAULT_SLACK_SECONDS
+    )
+    for n_shards in shard_counts:
+        start = time.perf_counter()
+        sharded = _pipeline(sample_size).run_sharded(
+            transactions, n_shards=n_shards, batch_size=1024
+        )
+        total_seconds = time.perf_counter() - start
+        sharded_clustering = sharded.timings["clustering"]
+        ari = adjusted_rand_index(sharded.labels, streamed.labels)
+        lines.append(
+            "  sharded (shards %2d) cluster %.3fs  total %.3fs  "
+            "merge %.3fs  ARI(streaming) %.3f  (%d clusters, %d outliers)"
+            % (n_shards, sharded_clustering, total_seconds,
+               sharded.timings["merge"], ari,
+               sharded.n_clusters, sharded.n_outliers)
+        )
+        assert ari >= ARI_FLOOR, (
+            "summary-merge quality regressed at shards=%d: ARI %.3f < %.2f"
+            % (n_shards, ari, ARI_FLOOR)
+        )
+        if sharded_clustering > clustering_limit:
+            gate_violations.append(
+                "sharded clustering at shards=%d regressed: %.4fs vs %.4fs "
+                "streaming (limit %.4fs = streaming * %.2f + %.2fs slack)"
+                % (n_shards, sharded_clustering, streaming_clustering,
+                   clustering_limit, DEFAULT_MAX_RATIO, DEFAULT_SLACK_SECONDS)
+            )
+
+    lines.append(
+        "  perf gate: %s (limit %.3fs on the clustering phase)"
+        % ("PASS" if not gate_violations else "; ".join(gate_violations),
+           clustering_limit)
+    )
+    write_record(results_dir, "SHARDING_throughput", "\n".join(lines))
+    assert not gate_violations, "\n".join(gate_violations)

@@ -18,7 +18,7 @@ Most users need only the top-level names re-exported here:
 See the subpackages for the complete API:
 
 * :mod:`repro.core` — neighbours, links, goodness, heaps, sampling,
-  labelling, outlier handling;
+  labelling, outlier handling, sharded clustering;
 * :mod:`repro.data` — dataset containers, encodings and I/O;
 * :mod:`repro.similarity` — similarity measures;
 * :mod:`repro.baselines` — comparison algorithms;

@@ -14,6 +14,10 @@ composition table (plus, with ``--output``, a per-record label file).  With
 ``--stream`` (transactions format only) the file is labelled out-of-core
 batch by batch (``--batch-size``), keeping peak memory bounded by the
 sample plus one batch while producing the same labels as an in-memory run.
+With ``--shards N`` (N > 1; implies the out-of-core mode) the clustering
+phase itself is sharded: every shard clusters its own slice of the sample
+(``--shard-workers`` threads in parallel), the per-shard cluster summaries
+are merged, and the file is labelled against the merged clustering.
 ``experiment`` runs one of the reproduced paper experiments by id.
 ``sweep`` reports the theta-sensitivity table for a data file.
 """
@@ -27,6 +31,7 @@ from pathlib import Path
 from repro.bench.harness import available_experiments, get_experiment
 from repro.core.pipeline import RockPipeline, rock_cluster
 from repro.core.rock import ENGINES
+from repro.core.sharding import SHARD_STRATEGIES
 from repro.data.encoding import records_to_transactions
 from repro.data.io import (
     read_categorical_csv,
@@ -77,7 +82,11 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _command_cluster(arguments) -> int:
-    if arguments.stream:
+    if arguments.shards < 1:
+        raise ConfigurationError(
+            "--shards must be at least 1, got %d" % arguments.shards
+        )
+    if arguments.stream or arguments.shards > 1:
         return _command_cluster_streaming(arguments)
     transactions, labels, n_records = _load_input(arguments)
     result = rock_cluster(
@@ -110,17 +119,25 @@ def _command_cluster(arguments) -> int:
 
 
 def _command_cluster_streaming(arguments) -> int:
-    """Out-of-core variant of ``cluster``: label the file batch by batch."""
+    """Out-of-core variant of ``cluster``: label the file batch by batch.
+
+    Handles both ``--stream`` (one in-memory sample, streamed labelling)
+    and ``--shards N`` with N > 1 (sharded clustering through
+    :meth:`RockPipeline.run_sharded`); both modes require the transactions
+    format and an explicit ``--sample-size``.
+    """
+    mode = "sharded x%d" % arguments.shards if arguments.shards > 1 else "streaming"
     if arguments.format != "transactions":
         raise ConfigurationError(
-            "--stream requires --format transactions (one transaction per line)"
+            "--stream/--shards require --format transactions "
+            "(one transaction per line)"
         )
     if arguments.sample_size is None:
         raise ConfigurationError(
-            "--stream requires --sample-size: without it the whole file would "
-            "be clustered in memory, defeating the out-of-core mode (see "
-            "repro.core.sampling.chernoff_sample_size for how large the "
-            "sample must be)"
+            "--stream/--shards require --sample-size: without it the whole "
+            "file would be clustered in memory, defeating the out-of-core "
+            "mode (see repro.core.sampling.chernoff_sample_size for how "
+            "large the sample must be)"
         )
     pipeline = RockPipeline(
         n_clusters=arguments.clusters,
@@ -131,14 +148,24 @@ def _command_cluster_streaming(arguments) -> int:
         engine=arguments.engine,
         rng=arguments.seed,
     )
-    result = pipeline.run_streaming(
-        arguments.path,
-        batch_size=arguments.batch_size,
-        label_prefix=arguments.label_prefix,
-    )
-    print("%d records -> %d clusters (%d outliers) in %.2fs [streaming, batch=%d]" % (
+    if arguments.shards > 1:
+        result = pipeline.run_sharded(
+            arguments.path,
+            n_shards=arguments.shards,
+            batch_size=arguments.batch_size,
+            shard_workers=arguments.shard_workers,
+            shard_strategy=arguments.shard_strategy,
+            label_prefix=arguments.label_prefix,
+        )
+    else:
+        result = pipeline.run_streaming(
+            arguments.path,
+            batch_size=arguments.batch_size,
+            label_prefix=arguments.label_prefix,
+        )
+    print("%d records -> %d clusters (%d outliers) in %.2fs [%s, batch=%d]" % (
         len(result.labels), result.n_clusters, result.n_outliers,
-        result.timings["total"], arguments.batch_size))
+        result.timings["total"], mode, arguments.batch_size))
     labels = None
     if arguments.label_prefix:
         collected = read_transaction_labels(
@@ -232,6 +259,23 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--batch-size", type=int, default=1024,
         help="transactions per labelling batch with --stream (default 1024)",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=1,
+        help="shard the clustering phase across N shards (N > 1 implies the "
+             "out-of-core mode: transactions format and --sample-size "
+             "required; per-shard clusterings are merged via summary "
+             "agglomeration)",
+    )
+    cluster.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="threads clustering shards concurrently (default: serial; the "
+             "worker count never changes the result)",
+    )
+    cluster.add_argument(
+        "--shard-strategy", choices=list(SHARD_STRATEGIES), default="round-robin",
+        help="how stream positions map to shards (round-robin, contiguous "
+             "blocks, or a stable content hash)",
     )
     cluster.add_argument("--output", default=None, help="write per-record labels to this file")
     cluster.set_defaults(handler=_command_cluster)

@@ -16,7 +16,10 @@ The modules follow the structure of the ROCK paper:
 * :mod:`repro.core.labeling` — labelling of disk-resident points
   (Section 4.4);
 * :mod:`repro.core.outliers` — outlier handling (Section 4.5);
-* :mod:`repro.core.pipeline` — the end-to-end sample/cluster/label pipeline.
+* :mod:`repro.core.sharding` — sharded clustering: shard plans, parallel
+  per-shard clustering and the summary-merge agglomeration;
+* :mod:`repro.core.pipeline` — the end-to-end sample/cluster/label pipeline
+  (in-memory, streaming and sharded entry points).
 """
 
 from repro.core.goodness import (
@@ -41,6 +44,16 @@ from repro.core.outliers import drop_small_clusters, isolated_point_mask
 from repro.core.pipeline import RockPipeline, RockPipelineResult, rock_cluster
 from repro.core.rock import ENGINES, RockClustering, RockResult
 from repro.core.sampling import chernoff_sample_size, draw_sample, reservoir_sample
+from repro.core.sharding import (
+    SHARD_STRATEGIES,
+    ShardClusterResult,
+    ShardPlan,
+    SummaryMergeResult,
+    allocate_sample_sizes,
+    cluster_shards,
+    merge_shard_summaries,
+    stable_shard_hash,
+)
 
 __all__ = [
     "criterion_function",
@@ -71,4 +84,12 @@ __all__ = [
     "chernoff_sample_size",
     "draw_sample",
     "reservoir_sample",
+    "SHARD_STRATEGIES",
+    "ShardClusterResult",
+    "ShardPlan",
+    "SummaryMergeResult",
+    "allocate_sample_sizes",
+    "cluster_shards",
+    "merge_shard_summaries",
+    "stable_shard_hash",
 ]

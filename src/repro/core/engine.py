@@ -272,6 +272,8 @@ class FlatAgglomerationEngine:
     # Main loop
     # ------------------------------------------------------------------ #
     def run(self) -> tuple[list[MergeStep], dict[int, list[int]], bool]:
+        """Execute the merge loop; see :func:`flat_agglomerate` for the
+        return contract (merge history, surviving members, early stop)."""
         self._init_state()
         n = self.n_points
         alive = self._alive

@@ -13,15 +13,22 @@ The result exposes labels over the *full* input, cluster membership, the
 intermediate artefacts and per-phase timings, which is what the scalability
 benchmarks consume.
 
-Two entry points share that structure.  :meth:`RockPipeline.run` takes the
-whole data set in memory.  :meth:`RockPipeline.run_streaming` takes a
+Three entry points share that structure.  :meth:`RockPipeline.run` takes
+the whole data set in memory.  :meth:`RockPipeline.run_streaming` takes a
 re-iterable source (a transaction file path, an in-memory collection or an
 iterator factory) and keeps peak memory bounded by the sample plus one
 batch: the sample is drawn from a first pass over the source, clustered in
 memory, and the disk-resident remainder is labelled batch by batch through
 one :class:`repro.core.labeling.StreamingLabeler` whose retained-fraction
 incidence is built exactly once.  On the same data and seed both entry
-points produce bit-identical labels.
+points produce bit-identical labels.  :meth:`RockPipeline.run_sharded`
+additionally shards the *clustering* phase itself
+(:mod:`repro.core.sharding`): the source is partitioned into shards, every
+shard clusters its own sample (optionally in parallel), the per-shard
+cluster summaries are merged by a weighted summary agglomeration, and the
+merged clustering labels the full source through the same streaming
+labeler.  With one shard it takes the streaming path unchanged, so
+``n_shards=1`` is bit-identical to :meth:`RockPipeline.run_streaming`.
 """
 
 from __future__ import annotations
@@ -39,9 +46,23 @@ from repro.core.neighbors import compute_neighbors
 from repro.core.outliers import drop_small_clusters, partition_isolated_points
 from repro.core.rock import RockClustering, RockResult, as_transactions
 from repro.core.sampling import draw_sample, reservoir_sample
+from repro.core.sharding import (
+    SHARD_STRATEGIES,
+    ShardClusterResult,
+    ShardPlan,
+    allocate_sample_sizes,
+    build_shard_samples,
+    cluster_shards,
+    count_shard_sizes,
+    merge_shard_summaries,
+)
 from repro.data.encoding import build_item_index
 from repro.data.io import iter_transactions
-from repro.errors import ConfigurationError, DataValidationError
+from repro.errors import (
+    ConfigurationError,
+    DataValidationError,
+    InsufficientLinksError,
+)
 from repro.similarity.base import SetSimilarity
 from repro.types import ClusterSummary
 
@@ -222,7 +243,9 @@ class RockPipeline:
     is only scanned once regardless of how many phases need an incidence
     matrix.  :meth:`run_streaming` builds the index over the sample only —
     remainder items outside it cannot intersect the sample and are handled
-    by the labeler without changing any label.
+    by the labeler without changing any label.  :meth:`run_sharded` builds
+    one index per shard sample for the per-shard clusterings plus one over
+    the pooled samples for the summary merge and the labelling pass.
     """
 
     def __init__(
@@ -401,8 +424,107 @@ class RockPipeline:
         )
 
     # ------------------------------------------------------------------ #
+    def _label_out_of_core(
+        self,
+        batches,
+        sample_set: set,
+        retained_sample: list,
+        kept_clusters: list,
+        item_index: dict,
+        transaction_of_sample_index: dict,
+        sample_pending: list,
+        labels: np.ndarray,
+        has_remainder: bool,
+    ) -> tuple[LabelingResult | None, list[int] | None]:
+        """Shared phase-5 of the out-of-core entry points.
+
+        Labels everything outside the clustered sample through one
+        :class:`StreamingLabeler`: the disk-resident remainder batch by
+        batch (stream positions in ``sample_set`` are skipped), then the
+        sampled-but-unclustered points in ``sample_pending`` (isolated or
+        pruned, looked up in ``transaction_of_sample_index``).  ``labels``
+        is filled in place at the labelled positions.
+
+        Only the integer labels are retained across batches: keeping every
+        batch's dense neighbour-count matrix would grow
+        ``O(n_points * n_clusters)`` and break the bounded-memory contract,
+        so the returned :class:`LabelingResult` carries an empty counts
+        matrix.
+
+        Returns
+        -------
+        (labeling_result, labeled_indices)
+            Both ``None`` when there was nothing to label.
+        """
+        if not (has_remainder or sample_pending):
+            return None, None
+        labeler = StreamingLabeler(
+            retained_sample,
+            kept_clusters,
+            theta=self.theta,
+            measure=self.measure,
+            exponent_function=self.exponent_function,
+            labeling_fraction=self.labeling_fraction,
+            rng=self.rng,
+            strategy=self.labeling_strategy,
+            item_index=item_index,
+            assign_outliers=self.assign_outliers,
+        )
+        label_chunks: list[np.ndarray] = []
+        labeled_indices: list[int] = []
+        if has_remainder:
+            position = 0
+            for batch in batches():
+                pending_batch: list[frozenset] = []
+                pending_positions: list[int] = []
+                for transaction in batch:
+                    if position not in sample_set:
+                        pending_batch.append(frozenset(transaction))
+                        pending_positions.append(position)
+                    position += 1
+                if pending_batch:
+                    result = labeler.label_batch(pending_batch)
+                    labels[pending_positions] = result.labels
+                    labeled_indices.extend(pending_positions)
+                    label_chunks.append(result.labels)
+        if sample_pending:
+            result = labeler.label_batch(
+                [transaction_of_sample_index[i] for i in sample_pending]
+            )
+            labels[sample_pending] = result.labels
+            labeled_indices.extend(sample_pending)
+            label_chunks.append(result.labels)
+        labeling_result = LabelingResult(
+            labels=np.concatenate(label_chunks),
+            neighbor_counts=np.zeros((0, len(kept_clusters)), dtype=float),
+            n_outliers=labeler.n_outliers,
+        )
+        return labeling_result, labeled_indices
+
+    # ------------------------------------------------------------------ #
     def run(self, data) -> RockPipelineResult:
-        """Execute the pipeline on in-memory ``data`` and return the result."""
+        """Execute the pipeline on an in-memory data set.
+
+        Parameters
+        ----------
+        data:
+            Transactions, a dataset object or a binary matrix — any shape
+            :func:`repro.core.rock.as_transactions` accepts.
+
+        Returns
+        -------
+        RockPipelineResult
+            Labels over the full input (``-1`` marks outliers), cluster
+            membership, the intermediate artefacts and per-phase timings.
+
+        Raises
+        ------
+        DataValidationError
+            When ``data`` is empty or of an unsupported shape.
+        InsufficientLinksError
+            In ``strict`` mode, when the requested number of clusters
+            cannot be reached.
+        """
         total_start = time.perf_counter()
         transactions = as_transactions(data)
         n_points = len(transactions)
@@ -614,55 +736,17 @@ class RockPipeline:
         sample_pending = sorted(set(sample_pending))
         has_remainder = n_points > len(sample_indices)
 
-        labeling_result: LabelingResult | None = None
-        labeled_indices: list[int] | None = None
-        if has_remainder or sample_pending:
-            labeler = StreamingLabeler(
-                clustered_sample,
-                kept_clusters,
-                theta=self.theta,
-                measure=self.measure,
-                exponent_function=self.exponent_function,
-                labeling_fraction=self.labeling_fraction,
-                rng=self.rng,
-                strategy=self.labeling_strategy,
-                item_index=item_index,
-                assign_outliers=self.assign_outliers,
-            )
-            # Only the integer labels are retained across batches: keeping
-            # every batch's dense neighbour-count matrix would grow
-            # O(n_points * n_clusters) and break the bounded-memory
-            # contract, so the streaming labelling result carries an empty
-            # counts matrix.
-            label_chunks: list[np.ndarray] = []
-            labeled_indices = []
-            if has_remainder:
-                position = 0
-                for batch in batches():
-                    pending_batch: list[frozenset] = []
-                    pending_positions: list[int] = []
-                    for transaction in batch:
-                        if position not in sample_set:
-                            pending_batch.append(frozenset(transaction))
-                            pending_positions.append(position)
-                        position += 1
-                    if pending_batch:
-                        result = labeler.label_batch(pending_batch)
-                        labels[pending_positions] = result.labels
-                        labeled_indices.extend(pending_positions)
-                        label_chunks.append(result.labels)
-            if sample_pending:
-                result = labeler.label_batch(
-                    [transaction_of_sample_index[i] for i in sample_pending]
-                )
-                labels[sample_pending] = result.labels
-                labeled_indices.extend(sample_pending)
-                label_chunks.append(result.labels)
-            labeling_result = LabelingResult(
-                labels=np.concatenate(label_chunks),
-                neighbor_counts=np.zeros((0, len(kept_clusters)), dtype=float),
-                n_outliers=labeler.n_outliers,
-            )
+        labeling_result, labeled_indices = self._label_out_of_core(
+            batches,
+            sample_set,
+            clustered_sample,
+            kept_clusters,
+            item_index,
+            transaction_of_sample_index,
+            sample_pending,
+            labels,
+            has_remainder,
+        )
         timings["labeling"] = time.perf_counter() - phase_start
 
         return self._finalize(
@@ -679,6 +763,312 @@ class RockPipeline:
                 "streaming": True,
                 "batch_size": int(batch_size),
                 "sample_method": sample_method,
+            },
+        )
+
+
+    # ------------------------------------------------------------------ #
+    def run_sharded(
+        self,
+        source,
+        n_shards: int,
+        batch_size: int = 1024,
+        shard_workers: int | None = None,
+        shard_strategy: str = "round-robin",
+        representatives_per_cluster: int = 16,
+        delimiter: str | None = None,
+        label_prefix: str | None = None,
+    ) -> RockPipelineResult:
+        """Execute the pipeline with a sharded clustering phase.
+
+        The scale-out counterpart of :meth:`run_streaming` for data whose
+        *sample* no longer fits one agglomeration: the source is
+        partitioned into ``n_shards`` shards (:class:`ShardPlan`), every
+        shard draws and clusters its own slice of the sample budget
+        (optionally in parallel), the per-shard cluster summaries are
+        merged into the final global clustering by the weighted
+        summary-merge agglomeration
+        (:func:`repro.core.sharding.merge_shard_summaries`), and the full
+        source is labelled batch by batch through one
+        :class:`repro.core.labeling.StreamingLabeler` exactly as in
+        :meth:`run_streaming`.
+
+        Peak memory is bounded by the pooled per-shard samples (together
+        at most ``sample_size`` points — the same bound as streaming), the
+        largest single-shard clustering state, and one batch.
+
+        Parameters
+        ----------
+        source:
+            Any source :meth:`run_streaming` accepts (a transaction file
+            path, a zero-argument iterator factory, or an in-memory
+            collection); it is iterated several times (counting, sampling
+            and labelling passes).
+        n_shards:
+            Number of clustering shards.  ``1`` takes the streaming code
+            path unchanged, so the labels are bit-identical to
+            :meth:`run_streaming` on the same data and seed.
+        batch_size:
+            Transactions per labelling batch (see :meth:`run_streaming`).
+        shard_workers:
+            Maximum number of threads clustering shards concurrently;
+            ``None`` or ``1`` clusters serially.  Shard clustering consumes
+            no shared random state, so the worker count never changes the
+            result.
+        shard_strategy:
+            Partitioning strategy — ``"round-robin"`` (default),
+            ``"contiguous"`` or ``"hash"``; see :class:`ShardPlan`.
+        representatives_per_cluster:
+            Upper bound on the member transactions each per-shard cluster
+            contributes to the summary-merge link estimate.
+        delimiter, label_prefix:
+            Parse options for a file-path ``source`` (see
+            :meth:`run_streaming`).
+
+        Returns
+        -------
+        RockPipelineResult
+            The shared result shape, with ``parameters["sharded"]`` set and
+            ``timings`` extended by ``"shard_clustering"`` and ``"merge"``
+            (multi-shard runs only).  ``rock_result`` describes the merged
+            clustering over the pooled shard samples; its ``criterion`` is
+            evaluated on the summary representatives, not the full pooled
+            link matrix.
+
+        Raises
+        ------
+        ConfigurationError
+            For a non-positive ``n_shards``/``shard_workers``, an unknown
+            ``shard_strategy``, or invalid streaming options.
+        DataValidationError
+            When the source is empty.
+        InsufficientLinksError
+            In ``strict`` mode, when a shard or the summary merge cannot
+            reach its requested cluster count.
+        """
+        n_shards = int(n_shards)
+        if n_shards < 1:
+            raise ConfigurationError(
+                "n_shards must be at least 1, got %r" % n_shards
+            )
+        if shard_strategy not in SHARD_STRATEGIES:
+            raise ConfigurationError(
+                "unknown shard strategy %r; expected one of %s"
+                % (shard_strategy, ", ".join(SHARD_STRATEGIES))
+            )
+        if n_shards == 1:
+            # One shard degenerates to the streaming pipeline; reusing that
+            # code path verbatim is what makes the 1-shard determinism
+            # contract (bit-identical labels) hold by construction.
+            result = self.run_streaming(
+                source,
+                batch_size=batch_size,
+                delimiter=delimiter,
+                label_prefix=label_prefix,
+            )
+            result.parameters.update(
+                {
+                    "sharded": True,
+                    "n_shards": 1,
+                    "shard_strategy": shard_strategy,
+                    "shard_workers": shard_workers,
+                }
+            )
+            return result
+
+        total_start = time.perf_counter()
+        timings: dict[str, float] = {}
+        batches, known_length = _transaction_batches(
+            source, batch_size, delimiter=delimiter, label_prefix=label_prefix
+        )
+
+        # ---- Phase 1: plan shards and draw every shard's sample ------ #
+        phase_start = time.perf_counter()
+        if shard_strategy == "hash":
+            plan = ShardPlan(n_shards, shard_strategy)
+            shard_sizes, n_points = count_shard_sizes(batches, plan)
+            if not n_points:
+                raise DataValidationError(
+                    "cannot cluster an empty streaming source"
+                )
+        else:
+            if known_length is not None:
+                n_points = known_length
+            else:
+                n_points = sum(len(batch) for batch in batches())
+            if not n_points:
+                raise DataValidationError(
+                    "cannot cluster an empty streaming source"
+                )
+            plan = ShardPlan(n_shards, shard_strategy, n_points=n_points)
+            shard_sizes = plan.positional_shard_sizes()
+
+        if self.sample_size is None or self.sample_size >= n_points:
+            sample_sizes = list(shard_sizes)
+        else:
+            sample_sizes = allocate_sample_sizes(shard_sizes, self.sample_size)
+
+        # One seed per shard plus one for the representative selection,
+        # all drawn from the pipeline generator in a fixed order: the same
+        # pipeline seed reproduces the same multi-shard run regardless of
+        # worker count or completion order.
+        seeds = self.rng.integers(0, 2**63 - 1, size=n_shards + 1)
+        shard_rngs = [np.random.default_rng(int(seed)) for seed in seeds[:-1]]
+        merge_rng = np.random.default_rng(int(seeds[-1]))
+
+        shard_samples = build_shard_samples(
+            batches, plan, shard_sizes, sample_sizes, shard_rngs
+        )
+        sample_indices = sorted(
+            position for _, positions in shard_samples for position in positions
+        )
+        sample_set = set(sample_indices)
+        transaction_of_sample_index = {
+            position: transaction
+            for sample, positions in shard_samples
+            for position, transaction in zip(positions, sample)
+        }
+        timings["sampling"] = time.perf_counter() - phase_start
+
+        # ---- Phases 2-4 per shard, then the summary merge ------------ #
+        phase_start = time.perf_counter()
+
+        def cluster_one(shard_id, sample, positions) -> ShardClusterResult:
+            shard_timings: dict[str, float] = {}
+            (
+                clustered_sample,
+                participating,
+                isolated,
+                _shard_rock_result,
+                kept_clusters,
+                pruned_points,
+            ) = self._cluster_sample(sample, build_item_index(sample), shard_timings)
+            clustered_positions = [positions[i] for i in participating]
+            return ShardClusterResult(
+                shard_id=shard_id,
+                clustered_sample=clustered_sample,
+                clustered_positions=clustered_positions,
+                clusters=list(kept_clusters),
+                isolated_positions=[positions[i] for i in isolated],
+                pruned_positions=[clustered_positions[j] for j in pruned_points],
+                timings=shard_timings,
+            )
+
+        shard_results = cluster_shards(shard_samples, cluster_one, shard_workers)
+        timings["neighbors"] = sum(
+            result.timings.get("neighbors", 0.0) for result in shard_results
+        )
+        timings["shard_clustering"] = time.perf_counter() - phase_start
+
+        merge_start = time.perf_counter()
+        pooled_sample: list[frozenset] = []
+        pooled_positions: list[int] = []
+        summaries: list[tuple] = []
+        for result in shard_results:
+            offset = len(pooled_sample)
+            pooled_sample.extend(result.clustered_sample)
+            pooled_positions.extend(result.clustered_positions)
+            summaries.extend(
+                tuple(offset + member for member in cluster)
+                for cluster in result.clusters
+            )
+        item_index = build_item_index(pooled_sample)
+        merge = merge_shard_summaries(
+            pooled_sample,
+            summaries,
+            self.n_clusters,
+            self.theta,
+            measure=self.measure,
+            exponent_function=self.exponent_function,
+            representatives_per_cluster=representatives_per_cluster,
+            rng=merge_rng,
+            neighbor_strategy=self.neighbor_strategy,
+            link_strategy=self.link_strategy,
+            include_self_links=self.include_self_links,
+            item_index=item_index,
+        )
+        if merge.stopped_early and self.strict:
+            raise InsufficientLinksError(
+                "summary merge: no cross-summary links remain with %d global "
+                "clusters (requested %d); lower theta, reduce n_clusters or "
+                "use fewer shards" % (len(merge.groups), self.n_clusters)
+            )
+        kept_clusters = [
+            tuple(
+                index
+                for summary_id in group
+                for index in summaries[summary_id]
+            )
+            for group in merge.groups
+        ]
+        timings["merge"] = time.perf_counter() - merge_start
+        timings["clustering"] = time.perf_counter() - phase_start
+
+        # The merged clustering over the pooled shard samples, in the
+        # RockResult shape the in-memory entry points produce.
+        pooled_clusters = [tuple(sorted(members)) for members in kept_clusters]
+        pooled_clusters.sort(key=lambda cluster: (-len(cluster), cluster[0]))
+        pooled_labels = np.full(len(pooled_sample), -1, dtype=int)
+        for label, members in enumerate(pooled_clusters):
+            pooled_labels[list(members)] = label
+        rock_result = RockResult(
+            labels=pooled_labels,
+            clusters=pooled_clusters,
+            merge_history=merge.merge_history,
+            n_clusters=len(pooled_clusters),
+            criterion=merge.criterion,
+            theta=self.theta,
+            stopped_early=merge.stopped_early,
+            elapsed_seconds=timings["merge"],
+        )
+
+        # ---- Phase 5: batched labelling pass ------------------------- #
+        phase_start = time.perf_counter()
+        cluster_members_full = [
+            tuple(sorted(pooled_positions[i] for i in members))
+            for members in kept_clusters
+        ]
+        labels = np.full(n_points, -1, dtype=int)
+        for label, members in enumerate(cluster_members_full):
+            labels[list(members)] = label
+
+        sample_pending: list[int] = []
+        for result in shard_results:
+            sample_pending.extend(result.isolated_positions)
+            sample_pending.extend(result.pruned_positions)
+        sample_pending = sorted(set(sample_pending))
+        has_remainder = n_points > len(sample_indices)
+
+        labeling_result, labeled_indices = self._label_out_of_core(
+            batches,
+            sample_set,
+            pooled_sample,
+            kept_clusters,
+            item_index,
+            transaction_of_sample_index,
+            sample_pending,
+            labels,
+            has_remainder,
+        )
+        timings["labeling"] = time.perf_counter() - phase_start
+
+        return self._finalize(
+            n_points,
+            labels,
+            len(cluster_members_full),
+            sample_indices,
+            rock_result,
+            labeling_result,
+            labeled_indices,
+            timings,
+            total_start,
+            extra_parameters={
+                "sharded": True,
+                "n_shards": n_shards,
+                "shard_strategy": shard_strategy,
+                "shard_workers": shard_workers,
+                "batch_size": int(batch_size),
+                "representatives_per_cluster": int(representatives_per_cluster),
             },
         )
 

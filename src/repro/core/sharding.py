@@ -1,0 +1,712 @@
+"""Sharded clustering: partition, cluster per shard, merge cluster summaries.
+
+The streaming pipeline (PR 2) made *labelling* out-of-core, but the
+clustering phase itself was still bounded by one in-memory sample.  This
+module removes that bound in the sampled-agglomeration spirit of the source
+paper: the transaction source is partitioned into shards, every shard draws
+and clusters its own sample with the flat engine (optionally in parallel),
+and the per-shard clusterings are reconciled by a **summary-merge
+agglomeration** — a weighted greedy merge over per-shard cluster summaries
+whose link counts are recomputed on a representative subset of each
+cluster's members.  The merged clustering then labels the full source
+through the existing :class:`repro.core.labeling.StreamingLabeler`.
+
+Three pieces compose the subsystem:
+
+* :class:`ShardPlan` — a deterministic assignment of stream positions (or
+  transaction contents) to shards: ``"round-robin"`` (position modulo
+  ``n_shards``), ``"contiguous"`` (equal-width position blocks) or
+  ``"hash"`` (a stable content hash, so identical baskets always land in
+  the same shard regardless of position).
+* :func:`cluster_shards` — runs a caller-supplied clustering function over
+  every shard sample, serially or through a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  Results are returned in
+  shard order whatever the completion order, and shard clustering is
+  deterministic (no random state is consumed inside workers), so the worker
+  count never changes the outcome.
+* :func:`merge_shard_summaries` — the summary-merge agglomeration.  Each
+  per-shard cluster becomes one meta-point whose size is the *full* shard
+  cluster size and whose link mass towards other meta-points is estimated
+  from up to ``representatives_per_cluster`` member transactions: the
+  representative link matrix is computed with the ordinary
+  neighbour/link machinery, each representative carries weight
+  ``cluster_size / n_representatives``, and the estimated cross-summary
+  link count is the weight-scaled sum over representative pairs.  The
+  greedy loop then repeatedly merges the pair of summaries with the
+  highest paper goodness ``g(C_i, C_j)`` (true summary sizes in the
+  normaliser) until the requested number of global clusters remains or no
+  positively-linked pair is left.
+
+The pipeline entry point is
+:meth:`repro.core.pipeline.RockPipeline.run_sharded`, which wires sharding
+into sampling, labelling, the CLI (``--shards`` / ``--shard-workers``) and
+the result shape shared with :meth:`~repro.core.pipeline.RockPipeline.run`.
+
+Determinism
+-----------
+* ``n_shards=1`` takes the streaming code path unchanged, so its labels are
+  bit-identical to :meth:`~repro.core.pipeline.RockPipeline.run_streaming`
+  on the same data and seed (enforced by the test suite).
+* Multi-shard runs are seed-reproducible: per-shard sample draws and the
+  representative selection derive from the pipeline generator in a fixed
+  order, shard workers never touch random state, and every tie in the
+  summary merge breaks by meta-point id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.goodness import (
+    ExponentFunction,
+    criterion_function,
+    default_expected_links_exponent,
+)
+from repro.core.links import links_from_neighbors
+from repro.core.neighbors import compute_neighbors
+from repro.data.encoding import build_item_index
+from repro.errors import ConfigurationError, DataValidationError
+from repro.similarity.base import SetSimilarity
+from repro.types import MergeStep
+
+#: Partitioning strategies accepted by :class:`ShardPlan`.
+SHARD_STRATEGIES = ("round-robin", "contiguous", "hash")
+
+
+def stable_shard_hash(transaction) -> int:
+    """Deterministic content hash of a transaction (process-independent).
+
+    Python's built-in ``hash`` is salted per process for strings, so it
+    cannot define a reproducible shard assignment.  This helper hashes the
+    sorted ``repr`` of the items through BLAKE2b instead: the same item set
+    maps to the same 64-bit integer in every process and on every run.
+
+    Parameters
+    ----------
+    transaction:
+        Any iterable of hashable items.
+
+    Returns
+    -------
+    int
+        An unsigned 64-bit hash of the item set.
+    """
+    canonical = "\x1f".join(sorted(repr(item) for item in transaction))
+    digest = hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic assignment of a transaction stream to shards.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards; must be positive.
+    strategy:
+        ``"round-robin"`` (default) assigns stream position ``p`` to shard
+        ``p % n_shards``; ``"contiguous"`` splits positions into
+        ``n_shards`` equal-width blocks (requires ``n_points``); ``"hash"``
+        assigns by :func:`stable_shard_hash` of the transaction contents,
+        so duplicate baskets always share a shard.
+    n_points:
+        Total stream length; required by the ``"contiguous"`` strategy
+        (block boundaries depend on it) and ignored otherwise.
+
+    Raises
+    ------
+    ConfigurationError
+        For a non-positive ``n_shards``, an unknown ``strategy``, or a
+        contiguous plan without ``n_points``.
+    """
+
+    n_shards: int
+    strategy: str = "round-robin"
+    n_points: int | None = None
+
+    def __post_init__(self) -> None:
+        if int(self.n_shards) < 1:
+            raise ConfigurationError(
+                "n_shards must be at least 1, got %r" % self.n_shards
+            )
+        if self.strategy not in SHARD_STRATEGIES:
+            raise ConfigurationError(
+                "unknown shard strategy %r; expected one of %s"
+                % (self.strategy, ", ".join(SHARD_STRATEGIES))
+            )
+        if self.strategy == "contiguous" and (
+            self.n_points is None or self.n_points < 1
+        ):
+            raise ConfigurationError(
+                "the contiguous strategy requires a positive n_points "
+                "(block boundaries depend on the stream length)"
+            )
+
+    def shard_of(self, position: int, transaction=None) -> int:
+        """Shard id of the transaction at stream ``position``.
+
+        ``transaction`` is only consulted by the ``"hash"`` strategy; the
+        positional strategies ignore it, so counting passes that do not
+        hold transaction contents may pass ``None``.
+        """
+        if self.strategy == "round-robin":
+            return position % self.n_shards
+        if self.strategy == "contiguous":
+            if position >= self.n_points:
+                raise ConfigurationError(
+                    "position %d outside the planned stream of %d points"
+                    % (position, self.n_points)
+                )
+            return (position * self.n_shards) // self.n_points
+        return stable_shard_hash(transaction) % self.n_shards
+
+    def positional_shard_sizes(self) -> list[int] | None:
+        """Shard sizes computable from ``n_points`` alone, else ``None``.
+
+        Round-robin and contiguous assignments depend only on position, so
+        their shard sizes follow arithmetically from the stream length; the
+        hash strategy needs a counting pass over the contents and returns
+        ``None`` here.
+        """
+        if self.n_points is None or self.strategy == "hash":
+            return None
+        if self.strategy == "round-robin":
+            base, extra = divmod(self.n_points, self.n_shards)
+            return [base + (1 if shard < extra else 0) for shard in range(self.n_shards)]
+        sizes = [0] * self.n_shards
+        assignments = np.floor_divide(
+            np.arange(self.n_points, dtype=np.int64) * self.n_shards, self.n_points
+        )
+        for shard, count in zip(*np.unique(assignments, return_counts=True)):
+            sizes[int(shard)] = int(count)
+        return sizes
+
+
+def allocate_sample_sizes(shard_sizes: Sequence[int], sample_size: int) -> list[int]:
+    """Split a global sample budget across shards, proportionally to size.
+
+    Largest-remainder apportionment: every non-empty shard receives at
+    least one sample point, no shard receives more points than it holds,
+    and the total equals ``min(sample_size, sum(shard_sizes))`` — except
+    when the budget is smaller than the number of non-empty shards, where
+    the one-point floor wins and the total is the non-empty shard count
+    instead (every shard must hold something to cluster).  Ties in the
+    fractional remainders break by shard id, so the allocation is
+    deterministic.
+
+    Parameters
+    ----------
+    shard_sizes:
+        Number of transactions per shard (zeros allowed).
+    sample_size:
+        Total number of points to sample across all shards.
+
+    Returns
+    -------
+    list[int]
+        Per-shard sample sizes, aligned with ``shard_sizes``.
+    """
+    if sample_size < 1:
+        raise ConfigurationError(
+            "sample_size must be positive, got %r" % sample_size
+        )
+    total = sum(shard_sizes)
+    budget = min(sample_size, total)
+    quotas = [
+        (budget * size / total) if total else 0.0 for size in shard_sizes
+    ]
+    allocation = [
+        min(size, max(1, int(quota))) if size else 0
+        for size, quota in zip(shard_sizes, quotas)
+    ]
+    # Largest-remainder top-up (or trim) towards the exact budget.
+    def _grow_order() -> list[int]:
+        return sorted(
+            range(len(allocation)),
+            key=lambda s: (-(quotas[s] - allocation[s]), s),
+        )
+
+    while sum(allocation) < budget:
+        for shard in _grow_order():
+            if allocation[shard] < shard_sizes[shard]:
+                allocation[shard] += 1
+                break
+        else:  # pragma: no cover - budget <= total guarantees capacity
+            break
+    while sum(allocation) > budget:
+        for shard in sorted(
+            range(len(allocation)),
+            key=lambda s: (-(allocation[s] - quotas[s]), s),
+        ):
+            if allocation[shard] > 1:
+                allocation[shard] -= 1
+                break
+        else:
+            break
+    return allocation
+
+
+@dataclass
+class ShardClusterResult:
+    """Outcome of clustering one shard's sample.
+
+    Attributes
+    ----------
+    shard_id:
+        Index of the shard within the plan.
+    clustered_sample:
+        Item sets of the shard sample points that participated in the
+        agglomeration (isolated points filtered out).
+    clustered_positions:
+        Global stream position of each ``clustered_sample`` entry.
+    clusters:
+        Kept clusters after per-shard pruning, as tuples of indices into
+        ``clustered_sample``.
+    isolated_positions:
+        Global positions of sampled points set aside by the per-shard
+        outlier pre-filter (they are handed to the labelling pass).
+    pruned_positions:
+        Global positions of sampled points whose per-shard cluster was
+        dissolved by ``min_cluster_size`` pruning.
+    timings:
+        Per-phase wall-clock seconds of the shard (``"neighbors"``,
+        ``"clustering"``).
+    """
+
+    shard_id: int
+    clustered_sample: list[frozenset]
+    clustered_positions: list[int]
+    clusters: list[tuple]
+    isolated_positions: list[int] = field(default_factory=list)
+    pruned_positions: list[int] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of kept clusters in this shard."""
+        return len(self.clusters)
+
+    def cluster_sizes(self) -> list[int]:
+        """Sizes of the kept clusters, in cluster order."""
+        return [len(members) for members in self.clusters]
+
+
+def cluster_shards(
+    shard_samples: Sequence[tuple[list[frozenset], list[int]]],
+    cluster_one: Callable[[int, list[frozenset], list[int]], ShardClusterResult],
+    shard_workers: int | None = None,
+) -> list[ShardClusterResult]:
+    """Cluster every shard sample, optionally in parallel.
+
+    Parameters
+    ----------
+    shard_samples:
+        Per shard, the pair ``(sample_transactions, global_positions)``.
+        Shards with empty samples are skipped (they contribute no
+        summaries).
+    cluster_one:
+        Callable ``(shard_id, sample, positions) -> ShardClusterResult``
+        performing the per-shard pre-filter/cluster/prune phases.  It must
+        be deterministic and must not consume shared random state: with
+        ``shard_workers > 1`` the calls run on a
+        :class:`~concurrent.futures.ThreadPoolExecutor` in unspecified
+        order.
+    shard_workers:
+        Maximum number of worker threads; ``None`` or ``1`` clusters the
+        shards serially.
+
+    Returns
+    -------
+    list[ShardClusterResult]
+        One result per non-empty shard, in shard order regardless of
+        completion order.
+    """
+    tasks = [
+        (shard_id, sample, positions)
+        for shard_id, (sample, positions) in enumerate(shard_samples)
+        if sample
+    ]
+    if shard_workers is not None and int(shard_workers) < 1:
+        raise ConfigurationError(
+            "shard_workers must be positive or None, got %r" % shard_workers
+        )
+    if shard_workers is None or shard_workers == 1 or len(tasks) <= 1:
+        return [cluster_one(*task) for task in tasks]
+    with ThreadPoolExecutor(max_workers=int(shard_workers)) as executor:
+        futures = [executor.submit(cluster_one, *task) for task in tasks]
+        return [future.result() for future in futures]
+
+
+@dataclass
+class SummaryMergeResult:
+    """Outcome of the summary-merge agglomeration.
+
+    Attributes
+    ----------
+    groups:
+        One tuple of meta-point ids (indices into the input summaries) per
+        final global cluster, ordered by decreasing total size.
+    merge_history:
+        The summary merges performed, in execution order; ``left``/``right``
+        are meta-point ids (merged summaries get fresh ids past the seed
+        range, exactly like the point-level engines).
+    stopped_early:
+        ``True`` when no positively-linked summary pair remained before
+        reaching the requested number of global clusters.
+    representative_indices:
+        Per input summary, the indices (into the pooled sample the caller
+        provided) of the representatives that carried its link mass.
+    criterion:
+        The paper's criterion function evaluated on the representative
+        link matrix under the final grouping — a comparable quality signal,
+        not the exact full-data criterion.
+    """
+
+    groups: list[tuple]
+    merge_history: list[MergeStep]
+    stopped_early: bool
+    representative_indices: list[list[int]]
+    criterion: float
+
+
+def merge_shard_summaries(
+    pooled_sample: Sequence[frozenset],
+    summaries: Sequence[Sequence[int]],
+    n_clusters: int,
+    theta: float,
+    measure: SetSimilarity | None = None,
+    exponent_function: ExponentFunction | None = None,
+    representatives_per_cluster: int = 16,
+    rng: np.random.Generator | int | None = None,
+    neighbor_strategy: str = "auto",
+    link_strategy: str = "auto",
+    include_self_links: bool = True,
+    item_index: dict | None = None,
+) -> SummaryMergeResult:
+    """Re-cluster per-shard cluster summaries into global clusters.
+
+    Each summary (a per-shard cluster, given as member indices into
+    ``pooled_sample``) becomes one weighted meta-point.  Link counts
+    between meta-points are estimated from representative members: up to
+    ``representatives_per_cluster`` members are drawn per summary, the
+    ordinary neighbour/link machinery scores the pooled representatives,
+    and each representative pair's link count is scaled by
+    ``(size_a / |R_a|) * (size_b / |R_b|)`` so the estimate extrapolates to
+    the full clusters.  The greedy loop then merges the summary pair with
+    the highest paper goodness (true summary sizes in the normaliser)
+    until ``n_clusters`` groups remain or no positively-linked pair is
+    left; ties break on the first pair in meta-id order, keeping the merge
+    deterministic.
+
+    Parameters
+    ----------
+    pooled_sample:
+        The concatenated clustered samples of every shard.
+    summaries:
+        Per-shard clusters, as sequences of indices into ``pooled_sample``.
+    n_clusters:
+        Number of global clusters requested.
+    theta:
+        Similarity threshold (shared with the per-shard clustering).
+    measure:
+        Set-similarity measure; defaults to Jaccard.
+    exponent_function:
+        ``f(theta)``; defaults to the paper's.
+    representatives_per_cluster:
+        Upper bound on the members sampled per summary to estimate link
+        counts; summaries at or below the bound contribute every member.
+    rng:
+        Random generator or seed for representative selection.
+    neighbor_strategy, link_strategy, include_self_links:
+        Forwarded to :func:`repro.core.neighbors.compute_neighbors` and
+        :func:`repro.core.links.links_from_neighbors`.
+    item_index:
+        Optional pre-built item-to-column index covering ``pooled_sample``.
+
+    Returns
+    -------
+    SummaryMergeResult
+
+    Raises
+    ------
+    DataValidationError
+        When ``summaries`` is empty or a summary has no members.
+    ConfigurationError
+        For a non-positive ``representatives_per_cluster`` or
+        ``n_clusters``.
+    """
+    if not summaries:
+        raise DataValidationError("summary merge requires at least one summary")
+    if any(not len(members) for members in summaries):
+        raise DataValidationError("summaries must be non-empty member lists")
+    if representatives_per_cluster < 1:
+        raise ConfigurationError(
+            "representatives_per_cluster must be positive, got %r"
+            % representatives_per_cluster
+        )
+    if n_clusters < 1:
+        raise ConfigurationError(
+            "n_clusters must be positive, got %r" % n_clusters
+        )
+    if exponent_function is None:
+        exponent_function = default_expected_links_exponent
+    generator = np.random.default_rng(rng)
+
+    n_summaries = len(summaries)
+    sizes = np.array([len(members) for members in summaries], dtype=np.int64)
+
+    # Representative selection: every summary keeps its members when small,
+    # otherwise a uniform subset; the draw order is summary order, so one
+    # generator gives reproducible selections.
+    representative_indices: list[list[int]] = []
+    for members in summaries:
+        members = list(members)
+        if len(members) <= representatives_per_cluster:
+            representative_indices.append(members)
+        else:
+            chosen = generator.choice(
+                len(members), size=representatives_per_cluster, replace=False
+            )
+            representative_indices.append([members[i] for i in sorted(chosen)])
+
+    flat_representatives = [
+        index for chosen in representative_indices for index in chosen
+    ]
+    representatives = [pooled_sample[i] for i in flat_representatives]
+    owner = np.repeat(
+        np.arange(n_summaries),
+        [len(chosen) for chosen in representative_indices],
+    )
+    weights = (sizes / np.array(
+        [len(chosen) for chosen in representative_indices], dtype=np.float64
+    ))[owner]
+
+    # Link counts recomputed on the representative incidence.
+    graph = compute_neighbors(
+        representatives,
+        theta=theta,
+        measure=measure,
+        strategy=neighbor_strategy,
+        item_index=item_index,
+    )
+    links = links_from_neighbors(
+        graph, strategy=link_strategy, include_self=include_self_links
+    )
+
+    # Weighted summary-by-summary cross-link estimate: W L W folded through
+    # the owner incidence.  The diagonal (within-summary mass) is dropped —
+    # only cross-summary goodness drives the merge.
+    n_reps = len(representatives)
+    weight_diagonal = sparse.diags(weights)
+    membership = sparse.csr_matrix(
+        (np.ones(n_reps), (owner, np.arange(n_reps))),
+        shape=(n_summaries, n_reps),
+    )
+    cross = np.asarray(
+        (membership @ (weight_diagonal @ links @ weight_diagonal) @ membership.T)
+        .todense(),
+        dtype=np.float64,
+    )
+    np.fill_diagonal(cross, 0.0)
+
+    groups, merge_history, stopped_early = _greedy_summary_merge(
+        cross, sizes, n_clusters, theta, exponent_function
+    )
+
+    group_of_summary = np.empty(n_summaries, dtype=np.int64)
+    for group_id, group in enumerate(groups):
+        group_of_summary[list(group)] = group_id
+    rep_group = group_of_summary[owner]
+    representative_groups = [
+        tuple(np.nonzero(rep_group == group_id)[0].tolist())
+        for group_id in range(len(groups))
+    ]
+    criterion = criterion_function(
+        links, representative_groups, theta, exponent_function
+    )
+    return SummaryMergeResult(
+        groups=groups,
+        merge_history=merge_history,
+        stopped_early=stopped_early,
+        representative_indices=representative_indices,
+        criterion=criterion,
+    )
+
+
+def _greedy_summary_merge(
+    cross: np.ndarray,
+    sizes: np.ndarray,
+    n_clusters: int,
+    theta: float,
+    exponent_function: ExponentFunction,
+) -> tuple[list[tuple], list[MergeStep], bool]:
+    """Greedy goodness-maximising merge over the summary cross-link matrix.
+
+    The summary count is tiny compared to the point counts the flat engine
+    handles (``n_shards * clusters_per_shard``), so an ``O(k^2)``-per-merge
+    vectorised argmax is simpler and fast enough; the goodness normaliser
+    uses the true summary sizes, which the unit-size point engines cannot
+    express.  Ties break on the first maximal pair in row-major meta-id
+    order.
+    """
+    n_summaries = len(sizes)
+    capacity = 2 * n_summaries
+    exponent = 1.0 + 2.0 * exponent_function(float(theta))
+
+    cross_full = np.zeros((capacity, capacity), dtype=np.float64)
+    cross_full[:n_summaries, :n_summaries] = cross
+    size_full = np.zeros(capacity, dtype=np.float64)
+    size_full[:n_summaries] = sizes
+    alive = np.zeros(capacity, dtype=bool)
+    alive[:n_summaries] = True
+    group_members: dict[int, list[int]] = {i: [i] for i in range(n_summaries)}
+
+    merge_history: list[MergeStep] = []
+    stopped_early = False
+    next_id = n_summaries
+    active = n_summaries
+
+    while active > n_clusters:
+        live = np.nonzero(alive)[0]
+        block = cross_full[np.ix_(live, live)]
+        live_sizes = size_full[live]
+        pair_sums = live_sizes[:, None] + live_sizes[None, :]
+        denominators = (
+            pair_sums ** exponent
+            - live_sizes[:, None] ** exponent
+            - live_sizes[None, :] ** exponent
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            goodness_block = np.where(block > 0.0, block / denominators, -np.inf)
+        goodness_block[np.tril_indices(len(live))] = -np.inf
+        flat_best = int(np.argmax(goodness_block))
+        best_goodness = goodness_block.flat[flat_best]
+        if not np.isfinite(best_goodness) or best_goodness <= 0.0:
+            stopped_early = True
+            break
+        row, column = divmod(flat_best, len(live))
+        left = int(live[row])
+        right = int(live[column])
+
+        merged = next_id
+        next_id += 1
+        merged_row = cross_full[left] + cross_full[right]
+        cross_full[merged, :] = merged_row
+        cross_full[:, merged] = merged_row
+        cross_full[merged, merged] = 0.0
+        size_full[merged] = size_full[left] + size_full[right]
+        alive[left] = alive[right] = False
+        alive[merged] = True
+        group_members[merged] = group_members.pop(left) + group_members.pop(right)
+        merge_history.append(
+            MergeStep(
+                step=len(merge_history),
+                left=left,
+                right=right,
+                goodness=float(best_goodness),
+                new_size=int(size_full[merged]),
+            )
+        )
+        active -= 1
+
+    groups = [tuple(sorted(members)) for members in group_members.values()]
+    groups.sort(
+        key=lambda group: (-int(sum(sizes[i] for i in group)), group[0])
+    )
+    return groups, merge_history, stopped_early
+
+
+def build_shard_samples(
+    batches_factory,
+    plan: ShardPlan,
+    shard_sizes: Sequence[int],
+    sample_sizes: Sequence[int],
+    rngs: Sequence[np.random.Generator],
+) -> list[tuple[list[frozenset], list[int]]]:
+    """Draw every shard's sample in a single pass over the source.
+
+    For each shard ``s``, ``sample_sizes[s]`` shard-local positions are
+    drawn without replacement (:func:`repro.core.sampling.draw_sample`
+    semantics via the shard's own generator), and one pass over the
+    batches collects the corresponding transactions together with their
+    *global* stream positions.
+
+    Parameters
+    ----------
+    batches_factory:
+        Zero-argument callable yielding a fresh iterator of transaction
+        batches (the normalised streaming source).
+    plan:
+        The shard plan assigning stream positions to shards.
+    shard_sizes:
+        Number of transactions per shard (a prior counting pass).
+    sample_sizes:
+        Number of points to sample per shard (see
+        :func:`allocate_sample_sizes`).
+    rngs:
+        One random generator per shard; each shard consumes only its own.
+
+    Returns
+    -------
+    list[(sample, positions)]
+        Per shard, the sampled item sets and their global positions, both
+        in increasing stream order.
+    """
+    wanted: list[set[int]] = []
+    for shard, (size, target) in enumerate(zip(shard_sizes, sample_sizes)):
+        if target <= 0 or size <= 0:
+            wanted.append(set())
+        elif target >= size:
+            wanted.append(set(range(size)))
+        else:
+            chosen = np.sort(
+                rngs[shard].choice(size, size=target, replace=False)
+            )
+            wanted.append(set(int(i) for i in chosen))
+
+    samples: list[tuple[list[frozenset], list[int]]] = [
+        ([], []) for _ in range(plan.n_shards)
+    ]
+    local_positions = [0] * plan.n_shards
+    position = 0
+    for batch in batches_factory():
+        for transaction in batch:
+            shard = plan.shard_of(position, transaction)
+            if local_positions[shard] in wanted[shard]:
+                samples[shard][0].append(frozenset(transaction))
+                samples[shard][1].append(position)
+            local_positions[shard] += 1
+            position += 1
+    return samples
+
+
+def count_shard_sizes(batches_factory, plan: ShardPlan) -> tuple[list[int], int]:
+    """Count the stream length and per-shard sizes in one pass.
+
+    Positional strategies with a known stream length short-circuit to
+    arithmetic (:meth:`ShardPlan.positional_shard_sizes`); the hash
+    strategy always walks the source because the assignment depends on
+    transaction contents.
+
+    Returns
+    -------
+    (shard_sizes, n_points)
+    """
+    if plan.strategy != "hash" and plan.n_points is not None:
+        sizes = plan.positional_shard_sizes()
+        if sizes is not None:
+            return sizes, plan.n_points
+    sizes = [0] * plan.n_shards
+    position = 0
+    for batch in batches_factory():
+        for transaction in batch:
+            sizes[plan.shard_of(position, transaction)] += 1
+            position += 1
+    return sizes, position

@@ -171,7 +171,7 @@ class TestStreamingCli:
             "cluster", str(votes_csv), "--clusters", "2", "--stream",
         ])
         assert code == 2
-        assert "requires --format transactions" in capsys.readouterr().err
+        assert "require --format transactions" in capsys.readouterr().err
 
     def test_stream_flags_parsed(self, tmp_path):
         arguments = build_parser().parse_args(
@@ -189,4 +189,77 @@ class TestStreamingCli:
             "--clusters", "2", "--stream",
         ])
         assert code == 2
-        assert "requires --sample-size" in capsys.readouterr().err
+        assert "require --sample-size" in capsys.readouterr().err
+
+
+class TestShardedCli:
+    def _basket_path(self, tmp_path, n=240):
+        baskets = generate_market_baskets(rng=3, n_transactions=n, n_clusters=3)
+        path = tmp_path / "sharded.txt"
+        write_transactions(baskets, path, label_prefix="class=")
+        return path
+
+    def test_shard_flags_parsed_with_defaults(self):
+        arguments = build_parser().parse_args(
+            ["cluster", "x.txt", "--format", "transactions", "--clusters", "2"]
+        )
+        assert arguments.shards == 1
+        assert arguments.shard_workers is None
+        assert arguments.shard_strategy == "round-robin"
+
+    def test_unknown_shard_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "x.txt", "--format", "transactions",
+                 "--clusters", "2", "--shards", "2", "--shard-strategy", "warp"]
+            )
+
+    def test_sharded_cluster_writes_labels(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        output = tmp_path / "labels.txt"
+        code = main([
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "90", "--seed", "5",
+            "--shards", "2", "--shard-workers", "2",
+            "--output", str(output),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "sharded x2" in captured
+        assert "Cluster composition" in captured
+        assert len(output.read_text().split()) == 240
+
+    def test_one_shard_cli_matches_stream_cli(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        stream_out = tmp_path / "stream.txt"
+        shard_out = tmp_path / "shard.txt"
+        base = [
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "90", "--seed", "5",
+        ]
+        assert main(base + ["--stream", "--output", str(stream_out)]) == 0
+        assert main(base + ["--shards", "1", "--stream",
+                            "--output", str(shard_out)]) == 0
+        capsys.readouterr()
+        assert stream_out.read_text() == shard_out.read_text()
+
+    def test_zero_shards_rejected_not_silently_in_memory(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path, n=40)
+        code = main([
+            "cluster", str(path), "--format", "transactions",
+            "--clusters", "2", "--shards", "0",
+        ])
+        assert code == 2
+        assert "--shards must be at least 1" in capsys.readouterr().err
+
+    def test_sharded_requires_sample_size(self, tmp_path, capsys):
+        path = tmp_path / "b.txt"
+        path.write_text("a b\nc d\n")
+        code = main([
+            "cluster", str(path), "--format", "transactions",
+            "--clusters", "2", "--shards", "2",
+        ])
+        assert code == 2
+        assert "require --sample-size" in capsys.readouterr().err

@@ -1,0 +1,289 @@
+"""Tests for repro.core.sharding and RockPipeline.run_sharded.
+
+The sharded pipeline carries two determinism contracts (see
+docs/ARCHITECTURE.md): ``n_shards=1`` is bit-identical to the streaming
+pipeline on the same data and seed, and multi-shard runs are reproducible
+from the pipeline seed regardless of worker count.  The quality tests run
+on the tight-cluster benchmark workload where the one-shot pipeline itself
+recovers the latent groups, so an agreement floor is meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.engine_bench import WORKLOAD
+from repro.core.pipeline import RockPipeline
+from repro.core.sharding import (
+    SHARD_STRATEGIES,
+    ShardPlan,
+    allocate_sample_sizes,
+    cluster_shards,
+    merge_shard_summaries,
+    stable_shard_hash,
+)
+from repro.data.io import write_transactions
+from repro.datasets.market_basket import generate_market_baskets
+from repro.errors import ConfigurationError, DataValidationError
+from repro.evaluation.metrics import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def tight_baskets():
+    """A tight-cluster basket workload the pipeline solves reliably."""
+    return generate_market_baskets(n_transactions=800, rng=0, **WORKLOAD)
+
+
+def _pipeline(rng=7, **overrides):
+    kwargs = dict(
+        n_clusters=8, theta=0.5, sample_size=300, min_cluster_size=2, rng=rng
+    )
+    kwargs.update(overrides)
+    return RockPipeline(**kwargs)
+
+
+class TestShardPlan:
+    def test_round_robin_assignment(self):
+        plan = ShardPlan(3)
+        assert [plan.shard_of(p) for p in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_contiguous_blocks_partition_positions(self):
+        plan = ShardPlan(3, "contiguous", n_points=10)
+        shards = [plan.shard_of(p) for p in range(10)]
+        assert shards == sorted(shards)
+        assert set(shards) == {0, 1, 2}
+
+    def test_contiguous_requires_n_points(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(3, "contiguous")
+
+    def test_hash_is_content_based_and_stable(self):
+        plan = ShardPlan(4, "hash")
+        basket = frozenset({"milk", "bread"})
+        first = plan.shard_of(0, basket)
+        assert first == plan.shard_of(99, frozenset({"bread", "milk"}))
+        assert 0 <= first < 4
+        assert stable_shard_hash(basket) == stable_shard_hash({"bread", "milk"})
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(0)
+        with pytest.raises(ConfigurationError):
+            ShardPlan(2, "psychic")
+
+    def test_positional_shard_sizes_match_assignment(self):
+        for strategy in ("round-robin", "contiguous"):
+            plan = ShardPlan(3, strategy, n_points=11)
+            sizes = plan.positional_shard_sizes()
+            counted = [0, 0, 0]
+            for position in range(11):
+                counted[plan.shard_of(position)] += 1
+            assert sizes == counted
+
+    def test_hash_strategy_has_no_positional_sizes(self):
+        assert ShardPlan(3, "hash", n_points=11).positional_shard_sizes() is None
+
+
+class TestAllocateSampleSizes:
+    def test_proportional_and_exact_total(self):
+        allocation = allocate_sample_sizes([100, 100, 200], 100)
+        assert sum(allocation) == 100
+        assert allocation[2] > allocation[0]
+
+    def test_every_nonempty_shard_represented(self):
+        allocation = allocate_sample_sizes([1000, 3, 0], 10)
+        assert allocation[1] >= 1
+        assert allocation[2] == 0
+        assert sum(allocation) == 10
+
+    def test_caps_at_shard_sizes(self):
+        allocation = allocate_sample_sizes([2, 2], 100)
+        assert allocation == [2, 2]
+
+    def test_one_point_floor_wins_over_tiny_budget(self):
+        # Documented exception: a budget smaller than the number of
+        # non-empty shards yields one point per shard, not the budget.
+        assert allocate_sample_sizes([5, 5, 5], 2) == [1, 1, 1]
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allocate_sample_sizes([5, 5], 0)
+
+
+class TestClusterShards:
+    def test_results_in_shard_order_and_empty_shards_skipped(self):
+        samples = [([frozenset({1})], [0]), ([], []), ([frozenset({2})], [1])]
+        seen = []
+
+        def cluster_one(shard_id, sample, positions):
+            seen.append(shard_id)
+            return shard_id
+
+        results = cluster_shards(samples, cluster_one, shard_workers=None)
+        assert results == [0, 2]
+        assert seen == [0, 2]
+
+    def test_parallel_results_keep_shard_order(self):
+        samples = [([frozenset({i})], [i]) for i in range(6)]
+        results = cluster_shards(
+            samples, lambda shard_id, sample, positions: shard_id, shard_workers=4
+        )
+        assert results == list(range(6))
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cluster_shards([], lambda *a: None, shard_workers=0)
+
+
+class TestMergeShardSummaries:
+    def test_merges_matching_clusters_across_shards(self):
+        # Two shards saw the same two latent groups; the merge must pair
+        # them up rather than keep four global clusters.
+        group_a = [frozenset({1, 2, 3}), frozenset({1, 2, 4}), frozenset({1, 3, 4})]
+        group_b = [frozenset({7, 8, 9}), frozenset({7, 8, 10}), frozenset({7, 9, 10})]
+        pooled = group_a + group_b + group_a + group_b
+        summaries = [(0, 1, 2), (3, 4, 5), (6, 7, 8), (9, 10, 11)]
+        merged = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=0
+        )
+        assert sorted(merged.groups) == [(0, 2), (1, 3)]
+        assert len(merged.merge_history) == 2
+        assert not merged.stopped_early
+
+    def test_fewer_summaries_than_clusters_is_a_no_op(self):
+        pooled = [frozenset({1, 2}), frozenset({1, 3})]
+        merged = merge_shard_summaries(
+            pooled, [(0,), (1,)], n_clusters=4, theta=0.4, rng=0
+        )
+        assert sorted(merged.groups) == [(0,), (1,)]
+        assert merged.merge_history == []
+
+    def test_representatives_bounded(self):
+        pooled = [frozenset({1, 2, i}) for i in range(20)]
+        merged = merge_shard_summaries(
+            pooled,
+            [tuple(range(20))],
+            n_clusters=1,
+            theta=0.1,
+            representatives_per_cluster=5,
+            rng=0,
+        )
+        assert len(merged.representative_indices[0]) == 5
+
+    def test_invalid_inputs_rejected(self):
+        pooled = [frozenset({1})]
+        with pytest.raises(DataValidationError):
+            merge_shard_summaries(pooled, [], n_clusters=1, theta=0.4)
+        with pytest.raises(DataValidationError):
+            merge_shard_summaries(pooled, [()], n_clusters=1, theta=0.4)
+        with pytest.raises(ConfigurationError):
+            merge_shard_summaries(
+                pooled, [(0,)], n_clusters=1, theta=0.4,
+                representatives_per_cluster=0,
+            )
+
+
+class TestRunShardedDeterminism:
+    def test_one_shard_bit_identical_to_streaming(self, tight_baskets, tmp_path):
+        path = tmp_path / "baskets.txt"
+        write_transactions(tight_baskets, path)
+        streamed = _pipeline().run_streaming(path, batch_size=128)
+        sharded = _pipeline().run_sharded(path, n_shards=1, batch_size=128)
+        assert np.array_equal(streamed.labels, sharded.labels)
+        assert streamed.clusters == sharded.clusters
+        assert sharded.parameters["sharded"] is True
+        assert sharded.parameters["n_shards"] == 1
+
+    def test_one_shard_bit_identical_in_memory(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        streamed = _pipeline().run_streaming(transactions, batch_size=64)
+        sharded = _pipeline().run_sharded(transactions, n_shards=1, batch_size=64)
+        assert np.array_equal(streamed.labels, sharded.labels)
+
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_multi_shard_seed_reproducible(self, tight_baskets, strategy):
+        transactions = tight_baskets.transactions
+        first = _pipeline().run_sharded(
+            transactions, n_shards=3, shard_strategy=strategy
+        )
+        second = _pipeline().run_sharded(
+            transactions, n_shards=3, shard_strategy=strategy
+        )
+        assert np.array_equal(first.labels, second.labels)
+        assert first.clusters == second.clusters
+
+    def test_worker_count_never_changes_labels(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        serial = _pipeline().run_sharded(transactions, n_shards=4)
+        threaded = _pipeline().run_sharded(
+            transactions, n_shards=4, shard_workers=4
+        )
+        assert np.array_equal(serial.labels, threaded.labels)
+
+    def test_different_seeds_differ(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        first = _pipeline(rng=7).run_sharded(transactions, n_shards=3)
+        second = _pipeline(rng=8).run_sharded(transactions, n_shards=3)
+        # Different sample draws virtually never give identical clusterings
+        # on 800 points; equality here would mean the seed is ignored.
+        assert not np.array_equal(first.labels, second.labels)
+
+
+class TestRunShardedQuality:
+    def test_summary_merge_tracks_one_shot_run(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        one_shot = _pipeline().run(transactions)
+        sharded = _pipeline().run_sharded(transactions, n_shards=3)
+        assert adjusted_rand_index(sharded.labels, one_shot.labels) >= 0.6
+        assert adjusted_rand_index(sharded.labels, tight_baskets.labels) >= 0.6
+
+    def test_every_point_gets_a_label_slot(self, tight_baskets):
+        sharded = _pipeline().run_sharded(tight_baskets.transactions, n_shards=3)
+        assert len(sharded.labels) == len(tight_baskets.transactions)
+        # Labels and cluster membership agree, as in every other entry point.
+        for label, members in enumerate(sharded.clusters):
+            assert all(sharded.labels[index] == label for index in members)
+
+    def test_timings_and_parameters_recorded(self, tight_baskets):
+        sharded = _pipeline().run_sharded(
+            tight_baskets.transactions, n_shards=3, shard_workers=2
+        )
+        for phase in (
+            "sampling", "neighbors", "shard_clustering", "merge",
+            "clustering", "labeling", "total",
+        ):
+            assert phase in sharded.timings
+        assert sharded.parameters["n_shards"] == 3
+        assert sharded.parameters["shard_workers"] == 2
+        assert sharded.parameters["shard_strategy"] == "round-robin"
+
+    def test_labeling_result_matches_final_label_space(self, tight_baskets):
+        sharded = _pipeline().run_sharded(tight_baskets.transactions, n_shards=3)
+        assert sharded.labeling_result is not None
+        assert np.array_equal(
+            sharded.labels[sharded.labeled_indices],
+            sharded.labeling_result.labels,
+        )
+
+
+class TestRunShardedValidation:
+    def test_invalid_shard_count_rejected(self, tight_baskets):
+        with pytest.raises(ConfigurationError):
+            _pipeline().run_sharded(tight_baskets.transactions, n_shards=0)
+
+    def test_unknown_strategy_rejected(self, tight_baskets):
+        with pytest.raises(ConfigurationError):
+            _pipeline().run_sharded(
+                tight_baskets.transactions, n_shards=2, shard_strategy="psychic"
+            )
+
+    def test_empty_source_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n")
+        with pytest.raises(DataValidationError):
+            _pipeline().run_sharded(path, n_shards=2)
+
+    def test_invalid_worker_count_rejected(self, tight_baskets):
+        with pytest.raises(ConfigurationError):
+            _pipeline().run_sharded(
+                tight_baskets.transactions, n_shards=2, shard_workers=0
+            )
