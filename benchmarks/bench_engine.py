@@ -11,9 +11,13 @@ Run modes (see ``conftest.bench_full``):
   ``BENCH_engine.json`` baseline at the repository root.
 
 ``test_engine_perf_gate`` re-measures the gate size and fails when the
-agglomeration or labelling time regresses more than 1.5x against the
-committed baseline (:mod:`repro.bench.perf_gate`); each phase only fails
-when its machine-robust relative signal regresses too.
+agglomeration, labelling or neighbour-backend time (vectorized and
+blocked are both gated) regresses more than 1.5x against the committed
+baseline (:mod:`repro.bench.perf_gate`); each phase only fails when its
+machine-robust relative signal regresses too.  Every run also exercises
+the ``blocked`` backend and asserts its adjacency identical to the
+vectorized one (see ``NEIGHBOR_BENCH_STRATEGIES``), so the CI smoke job
+covers the backend registry end to end.
 """
 
 from __future__ import annotations
@@ -50,7 +54,8 @@ def _render(payload: dict) -> str:
     for row in payload["sizes"]:
         parts = [
             "n=%-5d" % row["n"],
-            "neighbors %.3fs" % row["neighbors_s"],
+            "neighbors(vectorized) %.3fs" % row["neighbors_vectorized_s"],
+            "neighbors(blocked) %.3fs" % row["neighbors_blocked_s"],
             "links %.3fs" % row["links_s"],
             "agglomerate(flat) %.3fs" % row["agglomerate_flat_s"],
         ]
@@ -93,6 +98,21 @@ def test_benchmark_engine_phases(results_dir):
             "flat engine speedup at n=2000 fell below 5x: %.2fx"
             % at_2000["agglomerate_speedup"]
         )
+        # The blocked backend only computes the upper triangle and keeps
+        # its COO intermediate bounded, so at the size where the one-shot
+        # product dominates it must be measurably faster.  The 0.9 factor
+        # demands a >=10% win (currently it is ~2.5x) while leaving head
+        # room so a timing blip on a healthy run cannot fail the
+        # baseline regeneration.
+        at_4000 = next(row for row in payload["sizes"] if row["n"] == 4000)
+        assert (
+            at_4000["neighbors_blocked_s"]
+            < 0.9 * at_4000["neighbors_vectorized_s"]
+        ), (
+            "blocked neighbour backend not measurably faster than one-shot "
+            "vectorized at n=4000: %.3fs vs %.3fs"
+            % (at_4000["neighbors_blocked_s"], at_4000["neighbors_vectorized_s"])
+        )
 
 
 def test_engine_perf_gate(results_dir):
@@ -125,6 +145,29 @@ def test_engine_perf_gate(results_dir):
         (
             check_phase_regressions(current, baseline, metrics=("label_batched_s",)),
             check_ratio_regression(current, baseline, metric="label_batched_s"),
+        ),
+        # Neighbour phase (since the backend registry landed): the
+        # vectorized backend's relative signal is the link phase (both
+        # sparse-product bound), the blocked backend's is the vectorized
+        # backend measured in the same process.
+        (
+            check_phase_regressions(
+                current, baseline, metrics=("neighbors_vectorized_s",)
+            ),
+            check_ratio_regression(
+                current, baseline,
+                metric="neighbors_vectorized_s", reference_metric="links_s",
+            ),
+        ),
+        (
+            check_phase_regressions(
+                current, baseline, metrics=("neighbors_blocked_s",)
+            ),
+            check_ratio_regression(
+                current, baseline,
+                metric="neighbors_blocked_s",
+                reference_metric="neighbors_vectorized_s",
+            ),
         ),
     ):
         if absolute and relative:

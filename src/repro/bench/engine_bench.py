@@ -1,10 +1,10 @@
 """Engine benchmark: per-phase timings of the clustering hot paths.
 
-Times the four pipeline phases — neighbour graph, link matrix,
-agglomeration (both engines) and labelling (one-shot and batched through
-the streaming labeler) — on a reproducible synthetic random-basket
-workload, and emits the ``BENCH_engine.json`` perf baseline consumed by
-:mod:`repro.bench.perf_gate`.
+Times the four pipeline phases — neighbour graph (per backend strategy),
+link matrix, agglomeration (both engines) and labelling (one-shot and
+batched through the streaming labeler) — on a reproducible synthetic
+random-basket workload, and emits the ``BENCH_engine.json`` perf baseline
+consumed by :mod:`repro.bench.perf_gate`.
 
 The workload is a tight-cluster market-basket shape (eight latent groups
 whose baskets share most of a small item pool), the regime ROCK targets:
@@ -49,6 +49,15 @@ BENCH_CLUSTERS = 8
 #: unlabelled points into.
 LABEL_BATCHES = 8
 
+#: Neighbour backends timed per size, and the row keys their timings are
+#: recorded under.  Every timed backend's adjacency is asserted identical
+#: to the first one's, so the benchmark doubles as a backend-equivalence
+#: check at full workload size.
+NEIGHBOR_BENCH_STRATEGIES = (
+    ("vectorized", "neighbors_vectorized_s"),
+    ("blocked", "neighbors_blocked_s"),
+)
+
 
 def engine_workload(n: int, rng: int = 0) -> list[frozenset]:
     """Generate the benchmark's random-basket transactions."""
@@ -59,6 +68,25 @@ def engine_workload(n: int, rng: int = 0) -> list[frozenset]:
 def _best_of(repeats: int, measure) -> float:
     """Smallest wall-clock time of ``repeats`` calls to ``measure()``."""
     return min(measure() for _ in range(max(1, repeats)))
+
+
+def _time_neighbors(transactions, theta: float, strategy: str, repeats: int):
+    """Time one neighbour backend; return ``(graph, best_seconds)``.
+
+    Best-of-``repeats`` like every other gated phase (a single measurement
+    of a millisecond-scale phase would let one scheduler stall trip the
+    gate), and the first run's graph is reused as the result rather than
+    built again outside the timed region.
+    """
+    graph = None
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        candidate = compute_neighbors(transactions, theta=theta, strategy=strategy)
+        best = min(best, time.perf_counter() - start)
+        if graph is None:
+            graph = candidate
+    return graph, best
 
 
 def time_engine_phases(
@@ -78,16 +106,24 @@ def time_engine_phases(
     """
     transactions = engine_workload(n, rng=rng)
 
-    # The neighbour time is best-of-`repeats` (first run reused as the
-    # graph): it is the denominator of the labelling gate's ratio signal,
-    # so a one-off stall here must not skew the gate.
-    start = time.perf_counter()
-    graph = compute_neighbors(transactions, theta=theta)
-    neighbors_seconds = time.perf_counter() - start
-    for _ in range(max(0, repeats - 1)):
-        start = time.perf_counter()
-        compute_neighbors(transactions, theta=theta)
-        neighbors_seconds = min(neighbors_seconds, time.perf_counter() - start)
+    # One timing loop per neighbour backend; the first backend's graph is
+    # what the link/agglomeration phases consume, and every further
+    # backend is asserted bit-identical to it.
+    neighbor_timings: dict[str, float] = {}
+    graph = None
+    for strategy, key in NEIGHBOR_BENCH_STRATEGIES:
+        candidate, seconds = _time_neighbors(transactions, theta, strategy, repeats)
+        neighbor_timings[key] = seconds
+        if graph is None:
+            graph = candidate
+        elif (graph.adjacency != candidate.adjacency).nnz:
+            raise AssertionError(
+                "neighbour backend mismatch at n=%d: %r disagrees with %r"
+                % (n, strategy, NEIGHBOR_BENCH_STRATEGIES[0][0])
+            )
+    # Legacy key: the vectorized time doubles as the denominator of the
+    # labelling gate's ratio signal (label_s / neighbors_s).
+    neighbors_seconds = neighbor_timings["neighbors_vectorized_s"]
     start = time.perf_counter()
     links = links_from_neighbors(graph)
     links_seconds = time.perf_counter() - start
@@ -108,6 +144,7 @@ def time_engine_phases(
         "links_nnz": int(links.nnz),
         "n_merges": len(flat_result.merge_history),
         "neighbors_s": neighbors_seconds,
+        **neighbor_timings,
         "links_s": links_seconds,
         "agglomerate_flat_s": flat_seconds,
     }

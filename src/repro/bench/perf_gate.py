@@ -1,8 +1,8 @@
 """Perf gate: fail when hot-path phase timings regress against the baseline.
 
 ``BENCH_engine.json`` (committed at the repository root by
-:mod:`repro.bench.engine_bench`) records the flat engine's agglomeration
-and labelling times per workload size.  The gate compares a freshly
+:mod:`repro.bench.engine_bench`) records the flat engine's agglomeration,
+labelling and per-backend neighbour times per workload size.  The gate compares a freshly
 measured run against those numbers and reports every size whose time
 exceeds the committed baseline by more than ``max_ratio`` (plus a small
 absolute slack that keeps millisecond-scale measurements from tripping the
@@ -18,8 +18,11 @@ Absolute wall-clock comparisons are machine-specific (the committed
 baseline records the author's machine), so the gate offers a second,
 machine-robust signal per phase: :func:`check_speedup_regression` compares
 the flat-over-reference *speedup ratio* of the agglomeration, and
-:func:`check_ratio_regression` compares the labelling time *relative to the
-neighbour phase* measured in the same process.  The benchmark driver flags
+:func:`check_ratio_regression` compares one phase time *relative to
+another* measured in the same process — the labelling phases against the
+neighbour phase, the blocked neighbour backend against the vectorized one,
+and the vectorized backend against the link phase (both sparse-product
+bound).  The benchmark driver flags
 a regression only when both the absolute and the relative signal of a phase
 trip — a uniformly slower machine slows everything and keeps the ratios,
 while a genuine hot-path regression breaks them.
@@ -35,19 +38,28 @@ from pathlib import Path
 DEFAULT_MAX_RATIO = 1.5
 DEFAULT_SLACK_SECONDS = 0.05
 
-#: Phase timings the gate watches: the agglomeration merge loop and both
-#: labelling paths (one-shot and batched/streaming).
-DEFAULT_PHASE_METRICS = ("agglomerate_flat_s", "label_s", "label_batched_s")
+#: Phase timings the gate watches: the agglomeration merge loop, both
+#: labelling paths (one-shot and batched/streaming) and both gated
+#: neighbour backends (one-shot vectorized and blocked).
+DEFAULT_PHASE_METRICS = (
+    "agglomerate_flat_s",
+    "label_s",
+    "label_batched_s",
+    "neighbors_vectorized_s",
+    "neighbors_blocked_s",
+)
 
-#: Per-metric absolute slack.  The labelling phases run in single-digit
-#: milliseconds at the gate size, so the generic 50 ms slack would hide
-#: anything short of a ~10x regression; their measurements are best-of-N
-#: (see :mod:`repro.bench.engine_bench`), which keeps the tighter slack
-#: safe against scheduler noise.
+#: Per-metric absolute slack.  The labelling and neighbour phases run in
+#: single-digit milliseconds at the gate size, so the generic 50 ms slack
+#: would hide anything short of a ~10x regression; their measurements are
+#: best-of-N (see :mod:`repro.bench.engine_bench`), which keeps the
+#: tighter slack safe against scheduler noise.
 DEFAULT_PHASE_SLACKS = {
     "agglomerate_flat_s": DEFAULT_SLACK_SECONDS,
     "label_s": 0.01,
     "label_batched_s": 0.01,
+    "neighbors_vectorized_s": 0.01,
+    "neighbors_blocked_s": 0.01,
 }
 
 #: Default location of the committed baseline (repository root).

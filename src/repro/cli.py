@@ -29,9 +29,10 @@ import sys
 from pathlib import Path
 
 from repro.bench.harness import available_experiments, get_experiment
+from repro.core.neighbors import DEFAULT_NEIGHBOR_STRATEGY, neighbor_strategies
 from repro.core.pipeline import RockPipeline, rock_cluster
 from repro.core.rock import ENGINES
-from repro.core.sharding import SHARD_STRATEGIES
+from repro.core.sharding import DEFAULT_SHARD_STRATEGY, SHARD_STRATEGIES
 from repro.data.encoding import records_to_transactions
 from repro.data.io import (
     read_categorical_csv,
@@ -97,6 +98,8 @@ def _command_cluster(arguments) -> int:
         min_neighbors=arguments.min_neighbors,
         min_cluster_size=arguments.min_cluster_size,
         engine=arguments.engine,
+        neighbor_strategy=arguments.neighbor_strategy,
+        neighbor_block_size=arguments.neighbor_block_size,
         rng=arguments.seed,
     )
     print("%d records -> %d clusters (%d outliers) in %.2fs" % (
@@ -146,6 +149,8 @@ def _command_cluster_streaming(arguments) -> int:
         min_neighbors=arguments.min_neighbors,
         min_cluster_size=arguments.min_cluster_size,
         engine=arguments.engine,
+        neighbor_strategy=arguments.neighbor_strategy,
+        neighbor_block_size=arguments.neighbor_block_size,
         rng=arguments.seed,
     )
     if arguments.shards > 1:
@@ -249,6 +254,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=list(ENGINES), default="flat",
         help="agglomeration engine (flat: array-backed, reference: paper pseudo-code)",
     )
+    # Choices come straight from the neighbour-backend registry at
+    # parser-build time, so a backend registered by a plugin before main()
+    # is accepted without touching the CLI.
+    cluster.add_argument(
+        "--neighbor-strategy", choices=list(neighbor_strategies()),
+        default=DEFAULT_NEIGHBOR_STRATEGY,
+        help="neighbour-graph backend (auto picks bruteforce for "
+             "non-vectorizable measures, the one-shot matmul for small "
+             "inputs and the blocked product at scale)",
+    )
+    cluster.add_argument(
+        "--neighbor-block-size", type=int, default=None,
+        help="row-block height of the blocked neighbour backend (bounds "
+             "the intersection-product intermediate at block-size x n "
+             "entries; default 512)",
+    )
     cluster.add_argument("--seed", type=int, default=0, help="random seed")
     cluster.add_argument(
         "--stream", action="store_true",
@@ -273,7 +294,8 @@ def build_parser() -> argparse.ArgumentParser:
              "worker count never changes the result)",
     )
     cluster.add_argument(
-        "--shard-strategy", choices=list(SHARD_STRATEGIES), default="round-robin",
+        "--shard-strategy", choices=list(SHARD_STRATEGIES),
+        default=DEFAULT_SHARD_STRATEGY,
         help="how stream positions map to shards (round-robin, contiguous "
              "blocks, or a stable content hash)",
     )

@@ -2,7 +2,9 @@
 
 The modules follow the structure of the ROCK paper:
 
-* :mod:`repro.core.neighbors` — thresholded similarity graph (Section 3.1);
+* :mod:`repro.core.neighbors` — thresholded similarity graph (Section 3.1),
+  built through a pluggable backend registry (bruteforce / vectorized /
+  blocked / inverted-index, all bit-identical);
 * :mod:`repro.core.links` — link (common-neighbour) computation (Section 3.2
   and the ``compute_links`` procedure of Section 4);
 * :mod:`repro.core.goodness` — criterion function and goodness measure
@@ -39,12 +41,21 @@ from repro.core.labeling import (
     label_points_streaming,
 )
 from repro.core.links import compute_links, links_from_neighbors
-from repro.core.neighbors import NeighborGraph, compute_neighbors
+from repro.core.neighbors import (
+    NEIGHBOR_STRATEGIES,
+    NeighborBackend,
+    NeighborGraph,
+    available_backends,
+    compute_neighbors,
+    get_backend,
+    register_backend,
+)
 from repro.core.outliers import drop_small_clusters, isolated_point_mask
 from repro.core.pipeline import RockPipeline, RockPipelineResult, rock_cluster
 from repro.core.rock import ENGINES, RockClustering, RockResult
 from repro.core.sampling import chernoff_sample_size, draw_sample, reservoir_sample
 from repro.core.sharding import (
+    DEFAULT_SHARD_STRATEGY,
     SHARD_STRATEGIES,
     ShardClusterResult,
     ShardPlan,
@@ -72,8 +83,13 @@ __all__ = [
     "label_points_streaming",
     "compute_links",
     "links_from_neighbors",
+    "NEIGHBOR_STRATEGIES",
+    "NeighborBackend",
     "NeighborGraph",
+    "available_backends",
     "compute_neighbors",
+    "get_backend",
+    "register_backend",
     "drop_small_clusters",
     "isolated_point_mask",
     "RockPipeline",
@@ -84,6 +100,7 @@ __all__ = [
     "chernoff_sample_size",
     "draw_sample",
     "reservoir_sample",
+    "DEFAULT_SHARD_STRATEGY",
     "SHARD_STRATEGIES",
     "ShardClusterResult",
     "ShardPlan",

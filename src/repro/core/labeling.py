@@ -21,12 +21,15 @@ Two counting strategies implement the neighbour pass, selected by the
   intersection-count matrix with one sparse product over the shared item
   incidence (see :func:`repro.data.encoding.transactions_to_incidence`),
   threshold it into neighbour indicators and accumulate per-cluster counts.
-  Requires the Jaccard measure.
+  Requires a measure with the
+  :class:`~repro.similarity.base.VectorizedSetSimilarity` capability
+  (Jaccard, Dice, overlap coefficient, set cosine) — the same capability
+  the fast neighbour backends key on.
 * ``"bruteforce"`` — evaluate ``measure(point, sample)`` pair by pair; works
   with any measure and is the reference implementation.
-* ``"auto"`` (default) — the sparse product under Jaccard, brute force
-  otherwise.  Both strategies produce identical counts, labels and outlier
-  sets (enforced by the test suite).
+* ``"auto"`` (default) — the sparse product for vectorizable measures,
+  brute force otherwise.  Both strategies produce identical counts, labels
+  and outlier sets (enforced by the test suite).
 
 For data sets that do not fit in memory, :class:`StreamingLabeler` binds the
 retained fractions (and, under the sparse strategy, their incidence matrix)
@@ -48,7 +51,7 @@ import numpy as np
 from repro.core.goodness import ExponentFunction, default_expected_links_exponent
 from repro.data.encoding import build_item_index, transactions_to_incidence
 from repro.errors import ConfigurationError, DataValidationError
-from repro.similarity.base import SetSimilarity
+from repro.similarity.base import SetSimilarity, supports_vectorized_counts
 from repro.similarity.jaccard import JaccardSimilarity
 
 #: Strategies accepted by :func:`label_points`.
@@ -160,8 +163,9 @@ class StreamingLabeler:
 
     Items of a batch that never occur in the sample are ignored by the
     sparse encoding (they cannot intersect any retained point) while still
-    counting towards the point's set size for the Jaccard union, so batches
-    may contain items unseen when the labeler was built.
+    counting towards the point's true set size in the measure's size terms
+    (e.g. the Jaccard union), so batches may contain items unseen when the
+    labeler was built.
 
     Parameters are those of :func:`label_points` minus ``unlabeled``; see
     there for their meaning.
@@ -191,10 +195,12 @@ class StreamingLabeler:
                 "unknown labeling strategy %r; expected one of %s"
                 % (strategy, ", ".join(LABELING_STRATEGIES))
             )
-        is_jaccard = getattr(measure, "name", "") == "jaccard"
-        if strategy == "sparse-matmul" and not is_jaccard:
+        vectorizable = supports_vectorized_counts(measure)
+        if strategy == "sparse-matmul" and not vectorizable:
             raise ConfigurationError(
-                "the sparse-matmul strategy only supports the Jaccard measure, got %r"
+                "the sparse-matmul strategy requires a measure with the "
+                "vectorized-counts capability (similarity_from_counts); %r "
+                "does not provide it — use strategy='bruteforce' or 'auto'"
                 % getattr(measure, "name", measure)
             )
         if not clusters:
@@ -222,9 +228,21 @@ class StreamingLabeler:
             range(self.n_clusters), key=lambda i: (len(clusters[i]), -i)
         )
         self._use_sparse = strategy == "sparse-matmul" or (
-            strategy == "auto" and is_jaccard
+            strategy == "auto" and vectorizable
         )
         if self._use_sparse:
+            # Whether a pair of empty sets counts as neighbours under this
+            # measure (all built-in set measures define empty == empty as
+            # similarity 1); decided once, applied per batch.
+            zero = np.zeros(1, dtype=np.int64)
+            self._empty_pair_qualifies = bool(
+                float(
+                    np.asarray(
+                        measure.similarity_from_counts(zero, zero, zero)
+                    ).ravel()[0]
+                )
+                >= self.theta
+            )
             retained = [self.sample[i] for subset in self.fractions for i in subset]
             if item_index is None:
                 item_index = build_item_index(self.sample)
@@ -247,7 +265,7 @@ class StreamingLabeler:
 
     # ------------------------------------------------------------------ #
     def _sparse_counts(self, batch: list[frozenset]) -> np.ndarray:
-        """Jaccard neighbour counts of one batch via the sparse product."""
+        """Vectorized neighbour counts of one batch via the sparse product."""
         n_points = len(batch)
         counts = np.zeros((n_points, self.n_clusters), dtype=float)
         if not n_points:
@@ -267,19 +285,22 @@ class StreamingLabeler:
         rows = intersections.row
         columns = intersections.col
         overlaps = intersections.data.astype(np.int64)
-        unions = batch_sizes[rows] + self._retained_sizes[columns] - overlaps
-        neighbors = (overlaps / unions) >= self.theta
+        similarity = self.measure.similarity_from_counts(
+            overlaps, batch_sizes[rows], self._retained_sizes[columns]
+        )
+        neighbors = similarity >= self.theta
         np.add.at(
             counts,
             (rows[neighbors], self._cluster_of_column[columns[neighbors]]),
             1.0,
         )
 
-        # Pairs of empty sets never intersect, but Jaccard defines them as
-        # identical (similarity 1 >= theta for any theta in [0, 1]); pairs of
-        # one empty and one non-empty set have similarity 0 < theta here.
+        # Pairs of empty sets never intersect, so the product misses them;
+        # whether they qualify was decided once from the measure's
+        # empty-pair similarity.  One empty and one non-empty set have
+        # similarity 0 < theta here for every vectorizable measure.
         empty_batch = np.nonzero(batch_sizes == 0)[0]
-        if empty_batch.size and self._empty_retained.size:
+        if self._empty_pair_qualifies and empty_batch.size and self._empty_retained.size:
             np.add.at(
                 counts,
                 (
@@ -432,9 +453,9 @@ def label_points(
     rng:
         Random generator or seed for the fraction selection.
     strategy:
-        Neighbour-counting strategy: ``"sparse-matmul"`` (Jaccard only),
-        ``"bruteforce"``, or ``"auto"`` (the sparse product when the measure
-        is Jaccard, brute force otherwise).
+        Neighbour-counting strategy: ``"sparse-matmul"`` (measures with the
+        vectorized-counts capability), ``"bruteforce"``, or ``"auto"`` (the
+        sparse product for vectorizable measures, brute force otherwise).
     item_index:
         Optional pre-built item-to-column index covering every item of
         ``sample`` (see :func:`repro.data.encoding.build_item_index`); used

@@ -1,0 +1,49 @@
+"""Brute-force neighbour backend: the executable reference specification.
+
+Evaluates the similarity measure for every pair — ``O(n^2)`` measure
+calls — exactly as the paper defines the neighbour relation (Section
+3.1).  It is the only backend that works with *any*
+:class:`~repro.similarity.base.SetSimilarity`, and the one every fast
+backend is tested bit-identical against.  Like
+``RockClustering._agglomerate_reference`` it is a spec, not a hot path:
+do not optimise it, test against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.similarity.base import SetSimilarity
+
+
+class BruteForceBackend:
+    """All-pairs measure evaluation; the reference implementation."""
+
+    name = "bruteforce"
+
+    def supports(self, measure: SetSimilarity) -> bool:
+        return True
+
+    def build_adjacency(
+        self,
+        transactions: list[frozenset],
+        theta: float,
+        measure: SetSimilarity,
+        item_index: dict | None = None,
+        block_size: int | None = None,
+    ) -> sparse.csr_matrix:
+        n = len(transactions)
+        rows: list[int] = []
+        cols: list[int] = []
+        for i in range(n):
+            left = transactions[i]
+            for j in range(i + 1, n):
+                if measure(left, transactions[j]) >= theta:
+                    rows.append(i)
+                    cols.append(j)
+        data = np.ones(len(rows), dtype=bool)
+        upper = sparse.coo_matrix((data, (rows, cols)), shape=(n, n), dtype=bool)
+        adjacency = (upper + upper.T).tocsr()
+        adjacency.eliminate_zeros()
+        return adjacency

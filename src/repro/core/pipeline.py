@@ -47,6 +47,7 @@ from repro.core.outliers import drop_small_clusters, partition_isolated_points
 from repro.core.rock import RockClustering, RockResult, as_transactions
 from repro.core.sampling import draw_sample, reservoir_sample
 from repro.core.sharding import (
+    DEFAULT_SHARD_STRATEGY,
     SHARD_STRATEGIES,
     ShardClusterResult,
     ShardPlan,
@@ -227,6 +228,11 @@ class RockPipeline:
     engine:
         Agglomeration engine (``"flat"`` or ``"reference"``), propagated to
         :class:`RockClustering`.
+    neighbor_strategy, neighbor_block_size:
+        Neighbour-backend selection (a registered backend name or
+        ``"auto"``) and the blocked backend's row-block height, propagated
+        to every :func:`repro.core.neighbors.compute_neighbors` call the
+        pipeline makes (pre-filter, clustering, summary merge).
     labeling_strategy:
         Neighbour-counting strategy of the labelling pass, passed to
         :func:`repro.core.labeling.label_points`.
@@ -261,6 +267,7 @@ class RockPipeline:
         assign_outliers: bool = True,
         engine: str = "flat",
         neighbor_strategy: str = "auto",
+        neighbor_block_size: int | None = None,
         link_strategy: str = "auto",
         labeling_strategy: str = "auto",
         include_self_links: bool = True,
@@ -284,6 +291,7 @@ class RockPipeline:
         self.assign_outliers = bool(assign_outliers)
         self.engine = engine
         self.neighbor_strategy = neighbor_strategy
+        self.neighbor_block_size = neighbor_block_size
         self.link_strategy = link_strategy
         self.labeling_strategy = labeling_strategy
         self.include_self_links = bool(include_self_links)
@@ -307,6 +315,7 @@ class RockPipeline:
                 measure=self.measure,
                 strategy=self.neighbor_strategy,
                 item_index=item_index,
+                block_size=self.neighbor_block_size,
             )
             participating, isolated = partition_isolated_points(
                 graph, min_neighbors=self.min_neighbors
@@ -326,6 +335,7 @@ class RockPipeline:
             measure=self.measure,
             engine=self.engine,
             neighbor_strategy=self.neighbor_strategy,
+            neighbor_block_size=self.neighbor_block_size,
             link_strategy=self.link_strategy,
             include_self_links=self.include_self_links,
             exponent_function=self.exponent_function,
@@ -774,7 +784,7 @@ class RockPipeline:
         n_shards: int,
         batch_size: int = 1024,
         shard_workers: int | None = None,
-        shard_strategy: str = "round-robin",
+        shard_strategy: str = DEFAULT_SHARD_STRATEGY,
         representatives_per_cluster: int = 16,
         delimiter: str | None = None,
         label_prefix: str | None = None,
@@ -983,6 +993,7 @@ class RockPipeline:
             representatives_per_cluster=representatives_per_cluster,
             rng=merge_rng,
             neighbor_strategy=self.neighbor_strategy,
+            neighbor_block_size=self.neighbor_block_size,
             link_strategy=self.link_strategy,
             include_self_links=self.include_self_links,
             item_index=item_index,

@@ -155,7 +155,14 @@ class RockClustering:
         engine of :mod:`repro.core.engine`) or ``"reference"`` (the paper's
         pseudo-code transcription).  Both produce identical results.
     neighbor_strategy:
-        Passed to :func:`repro.core.neighbors.compute_neighbors`.
+        Passed to :func:`repro.core.neighbors.compute_neighbors`: a
+        registered neighbour-backend name (``"bruteforce"``,
+        ``"vectorized"``, ``"blocked"``, ``"inverted-index"``) or
+        ``"auto"``.
+    neighbor_block_size:
+        Row-block height of the ``"blocked"`` neighbour backend (``None``
+        uses :data:`repro.core.neighbors.DEFAULT_BLOCK_SIZE`); ignored by
+        the other backends.
     link_strategy:
         Passed to :func:`repro.core.links.links_from_neighbors`.
     include_self_links:
@@ -184,6 +191,7 @@ class RockClustering:
         measure: SetSimilarity | None = None,
         engine: str = "flat",
         neighbor_strategy: str = "auto",
+        neighbor_block_size: int | None = None,
         link_strategy: str = "auto",
         include_self_links: bool = True,
         exponent_function: ExponentFunction | None = None,
@@ -202,6 +210,7 @@ class RockClustering:
         self.measure = measure
         self.engine = engine
         self.neighbor_strategy = neighbor_strategy
+        self.neighbor_block_size = neighbor_block_size
         self.link_strategy = link_strategy
         self.include_self_links = bool(include_self_links)
         self.exponent_function = exponent_function
@@ -271,6 +280,7 @@ class RockClustering:
             measure=self.measure,
             strategy=self.neighbor_strategy,
             item_index=item_index,
+            block_size=self.neighbor_block_size,
         )
         links = links_from_neighbors(
             graph, strategy=self.link_strategy, include_self=self.include_self_links

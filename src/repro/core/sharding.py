@@ -78,6 +78,11 @@ from repro.types import MergeStep
 #: Partitioning strategies accepted by :class:`ShardPlan`.
 SHARD_STRATEGIES = ("round-robin", "contiguous", "hash")
 
+#: Strategy used when none is requested; the CLI and
+#: :meth:`repro.core.pipeline.RockPipeline.run_sharded` default to this
+#: constant rather than repeating the literal.
+DEFAULT_SHARD_STRATEGY = SHARD_STRATEGIES[0]
+
 
 def stable_shard_hash(transaction) -> int:
     """Deterministic content hash of a transaction (process-independent).
@@ -386,6 +391,7 @@ def merge_shard_summaries(
     representatives_per_cluster: int = 16,
     rng: np.random.Generator | int | None = None,
     neighbor_strategy: str = "auto",
+    neighbor_block_size: int | None = None,
     link_strategy: str = "auto",
     include_self_links: bool = True,
     item_index: dict | None = None,
@@ -424,7 +430,7 @@ def merge_shard_summaries(
         counts; summaries at or below the bound contribute every member.
     rng:
         Random generator or seed for representative selection.
-    neighbor_strategy, link_strategy, include_self_links:
+    neighbor_strategy, neighbor_block_size, link_strategy, include_self_links:
         Forwarded to :func:`repro.core.neighbors.compute_neighbors` and
         :func:`repro.core.links.links_from_neighbors`.
     item_index:
@@ -495,6 +501,7 @@ def merge_shard_summaries(
         measure=measure,
         strategy=neighbor_strategy,
         item_index=item_index,
+        block_size=neighbor_block_size,
     )
     links = links_from_neighbors(
         graph, strategy=link_strategy, include_self=include_self_links

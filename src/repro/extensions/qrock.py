@@ -57,6 +57,9 @@ class QRock:
         Similarity measure; defaults to Jaccard.
     min_cluster_size:
         Components smaller than this are reported as outliers (label ``-1``).
+    neighbor_strategy, neighbor_block_size:
+        Neighbour-backend selection and blocked-product row height,
+        forwarded to :func:`repro.core.neighbors.compute_neighbors`.
 
     Examples
     --------
@@ -71,11 +74,13 @@ class QRock:
         measure: SetSimilarity | None = None,
         min_cluster_size: int = 1,
         neighbor_strategy: str = "auto",
+        neighbor_block_size: int | None = None,
     ) -> None:
         self.theta = float(theta)
         self.measure = measure
         self.min_cluster_size = int(min_cluster_size)
         self.neighbor_strategy = neighbor_strategy
+        self.neighbor_block_size = neighbor_block_size
         self._labels: np.ndarray | None = None
         self._clusters: list[tuple] | None = None
 
@@ -106,6 +111,7 @@ class QRock:
             theta=self.theta,
             measure=self.measure,
             strategy=self.neighbor_strategy,
+            block_size=self.neighbor_block_size,
         )
         labels, clusters = connected_component_clusters(graph)
         if self.min_cluster_size > 1:

@@ -4,10 +4,19 @@ The ROCK paper uses the Jaccard coefficient between item sets; the library
 also provides Dice, overlap (Simple Matching / Hamming-style) and cosine
 set similarities so baselines and ablations can state their measure
 explicitly.  All measures implement the :class:`SetSimilarity` protocol and
-are registered in a small name-based registry.
+are registered in a small name-based registry.  Measures that can be
+evaluated from pair counts alone additionally implement the
+:class:`VectorizedSetSimilarity` capability
+(``similarity_from_counts`` / ``minimum_intersection``), which is what the
+fast neighbour backends of :mod:`repro.core.neighbors` key on.
 """
 
-from repro.similarity.base import SetSimilarity, pairwise_similarity_matrix
+from repro.similarity.base import (
+    SetSimilarity,
+    VectorizedSetSimilarity,
+    pairwise_similarity_matrix,
+    supports_vectorized_counts,
+)
 from repro.similarity.jaccard import (
     DiceSimilarity,
     JaccardSimilarity,
@@ -24,6 +33,8 @@ from repro.similarity.registry import available_measures, get_measure, register_
 
 __all__ = [
     "SetSimilarity",
+    "VectorizedSetSimilarity",
+    "supports_vectorized_counts",
     "pairwise_similarity_matrix",
     "JaccardSimilarity",
     "DiceSimilarity",

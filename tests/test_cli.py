@@ -140,6 +140,60 @@ class TestEngineFlag:
         assert "clusters" in capsys.readouterr().out
 
 
+class TestNeighborStrategyFlags:
+    def test_choices_come_from_the_registry(self):
+        # The CLI enumerates the backend registry — no drifting literals.
+        from repro.core.neighbors import NEIGHBOR_STRATEGIES
+
+        parser = build_parser()
+        for strategy in NEIGHBOR_STRATEGIES:
+            arguments = parser.parse_args(
+                ["cluster", "x.txt", "--clusters", "2",
+                 "--neighbor-strategy", strategy]
+            )
+            assert arguments.neighbor_strategy == strategy
+
+    def test_defaults(self):
+        arguments = build_parser().parse_args(["cluster", "x.txt", "--clusters", "2"])
+        assert arguments.neighbor_strategy == "auto"
+        assert arguments.neighbor_block_size is None
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "x.txt", "--clusters", "2",
+                 "--neighbor-strategy", "warp"]
+            )
+
+    def test_blocked_backend_end_to_end(self, basket_file, capsys, tmp_path):
+        blocked_out = tmp_path / "blocked.txt"
+        auto_out = tmp_path / "auto.txt"
+        base = [
+            "cluster", str(basket_file), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "2", "--theta", "0.2",
+            "--seed", "3",
+        ]
+        assert main(base + ["--neighbor-strategy", "blocked",
+                            "--neighbor-block-size", "16",
+                            "--output", str(blocked_out)]) == 0
+        assert main(base + ["--output", str(auto_out)]) == 0
+        capsys.readouterr()
+        assert blocked_out.read_text() == auto_out.read_text()
+
+    def test_streaming_honours_neighbor_strategy(self, tmp_path, capsys):
+        baskets = generate_market_baskets(rng=3, n_transactions=120, n_clusters=3)
+        path = tmp_path / "big.txt"
+        write_transactions(baskets, path, label_prefix="class=")
+        code = main([
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "60", "--stream",
+            "--neighbor-strategy", "inverted-index",
+        ])
+        assert code == 0
+        assert "streaming" in capsys.readouterr().out
+
+
 class TestStreamingCli:
     def test_stream_matches_in_memory_labels(self, tmp_path, capsys):
         # The file carries class labels: --stream must strip them exactly

@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.neighbors import NEIGHBOR_STRATEGIES, compute_neighbors
+from repro.core.neighbors import NEIGHBOR_STRATEGIES, available_backends, compute_neighbors
 from repro.errors import ConfigurationError, DataValidationError
 from repro.similarity.jaccard import DiceSimilarity, JaccardSimilarity
+from repro.similarity.overlap import SimpleMatchingSimilarity
 
 
 class TestComputeNeighbors:
@@ -64,16 +65,35 @@ class TestComputeNeighbors:
         assert sub.adjacency[0, 1]
         assert not sub.adjacency[0, 2]
 
-    def test_non_jaccard_measure_uses_bruteforce(self, two_group_transactions):
+    def test_non_jaccard_vectorizable_measure_works(self, two_group_transactions):
         graph = compute_neighbors(two_group_transactions, theta=0.4, measure=DiceSimilarity())
         assert graph.measure_name == "dice"
         assert graph.n_edges() > 0
 
-    def test_vectorized_with_non_jaccard_rejected(self, two_group_transactions):
-        with pytest.raises(ConfigurationError):
-            compute_neighbors(
-                two_group_transactions, 0.4, measure=DiceSimilarity(), strategy="vectorized"
-            )
+    def test_vectorized_accepts_dice(self, two_group_transactions):
+        # The historical Jaccard-only restriction is gone: any measure with
+        # the vectorized-counts capability runs through the fast backends.
+        fast = compute_neighbors(
+            two_group_transactions, 0.4, measure=DiceSimilarity(), strategy="vectorized"
+        )
+        brute = compute_neighbors(
+            two_group_transactions, 0.4, measure=DiceSimilarity(), strategy="bruteforce"
+        )
+        assert (fast.adjacency != brute.adjacency).nnz == 0
+
+    def test_vectorized_with_non_vectorizable_measure_rejected(self, two_group_transactions):
+        measure = SimpleMatchingSimilarity(n_attributes=8)
+        for strategy in ("vectorized", "blocked", "inverted-index"):
+            with pytest.raises(ConfigurationError):
+                compute_neighbors(
+                    two_group_transactions, 0.4, measure=measure, strategy=strategy
+                )
+
+    def test_auto_falls_back_to_bruteforce_for_non_vectorizable(self, two_group_transactions):
+        measure = SimpleMatchingSimilarity(n_attributes=8)
+        graph = compute_neighbors(two_group_transactions, 0.1, measure=measure)
+        assert graph.measure_name == "simple-matching"
+        assert graph.n_edges() > 0
 
     def test_invalid_theta_rejected(self, two_group_transactions):
         with pytest.raises(ConfigurationError):
@@ -95,7 +115,11 @@ class TestComputeNeighbors:
         assert graph.n_edges() == 0
 
     def test_strategies_constant_is_consistent(self):
-        assert set(NEIGHBOR_STRATEGIES) == {"auto", "bruteforce", "vectorized"}
+        assert set(NEIGHBOR_STRATEGIES) == {
+            "auto", "bruteforce", "vectorized", "blocked", "inverted-index"
+        }
+        # The constant is derived from the registry, not a parallel list.
+        assert NEIGHBOR_STRATEGIES == ("auto", *available_backends())
 
     def test_jaccard_threshold_boundary_included(self):
         # Jaccard({1,2,3},{2,3,4}) == 0.5 exactly; theta=0.5 must include it.

@@ -1,0 +1,225 @@
+"""Cross-backend equivalence suite for the neighbour-backend registry.
+
+Every registered backend must produce a bit-identical adjacency matrix on
+the same inputs — over a theta grid including the 0 and 1 extremes, with
+empty and duplicate transactions, and for every measure implementing the
+vectorized-counts capability (Jaccard, overlap coefficient, Dice).  The
+registry's error paths (unknown backends, duplicate registration,
+capability mismatches, bad block sizes) are covered alongside.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.neighbors import (
+    AUTO_BLOCKED_THRESHOLD,
+    DEFAULT_BLOCK_SIZE,
+    NEIGHBOR_STRATEGIES,
+    available_backends,
+    compute_neighbors,
+    get_backend,
+    register_backend,
+    select_backend_name,
+)
+from repro.errors import ConfigurationError
+from repro.similarity.jaccard import (
+    DiceSimilarity,
+    JaccardSimilarity,
+    OverlapCoefficientSimilarity,
+    SetCosineSimilarity,
+)
+from repro.similarity.overlap import SimpleMatchingSimilarity
+
+BACKENDS = ("bruteforce", "vectorized", "blocked", "inverted-index")
+
+#: Thresholds exercised by the grid: both extremes plus interior values
+#: that sit exactly on representable similarity boundaries (0.5 is a
+#: common exact Jaccard/Dice value, so >= comparisons are stressed).
+THETA_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Every measure with the vectorized-counts capability — set cosine
+#: included: its sqrt-based minimum-overlap bound is the most
+#: rounding-prone, so it must face the inverted-index pruning too.
+MEASURES = (
+    JaccardSimilarity(),
+    OverlapCoefficientSimilarity(),
+    DiceSimilarity(),
+    SetCosineSimilarity(),
+)
+
+
+def random_transactions(rng, n, pool=24, max_size=8):
+    return [
+        frozenset(rng.choice(pool, size=int(rng.integers(1, max_size)), replace=False).tolist())
+        for _ in range(n)
+    ]
+
+
+def assert_all_backends_agree(transactions, theta, measure, block_size=None):
+    reference = compute_neighbors(
+        transactions, theta, measure=measure, strategy="bruteforce"
+    ).adjacency
+    for strategy in BACKENDS[1:]:
+        fast = compute_neighbors(
+            transactions, theta, measure=measure, strategy=strategy,
+            block_size=block_size,
+        ).adjacency
+        assert (reference != fast).nnz == 0, (
+            "backend %r disagrees with bruteforce at theta=%s under %s"
+            % (strategy, theta, measure.name)
+        )
+        # Same canonical CSR shape, not just the same pattern.
+        assert fast.shape == reference.shape
+        assert fast.dtype == np.bool_
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("theta", THETA_GRID)
+    @pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+    def test_random_workload(self, theta, measure, rng):
+        transactions = random_transactions(rng, 40)
+        assert_all_backends_agree(transactions, theta, measure)
+
+    @pytest.mark.parametrize("theta", THETA_GRID)
+    @pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+    def test_with_empty_transactions(self, theta, measure, rng):
+        # Empty sets never appear in an incidence product, yet all three
+        # measures define two empty sets as identical (similarity 1).
+        transactions = random_transactions(rng, 20) + [frozenset()] * 3
+        assert_all_backends_agree(transactions, theta, measure)
+
+    @pytest.mark.parametrize("theta", THETA_GRID)
+    @pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+    def test_with_duplicate_transactions(self, theta, measure, rng):
+        base = random_transactions(rng, 15)
+        transactions = base + base[:5] + [frozenset({1, 2, 3})] * 4
+        assert_all_backends_agree(transactions, theta, measure)
+
+    @pytest.mark.parametrize("block_size", [1, 3, 7, 64, 1000])
+    def test_blocked_block_size_never_changes_result(self, block_size, rng):
+        transactions = random_transactions(rng, 35)
+        reference = compute_neighbors(transactions, 0.4, strategy="vectorized").adjacency
+        blocked = compute_neighbors(
+            transactions, 0.4, strategy="blocked", block_size=block_size
+        ).adjacency
+        assert (reference != blocked).nnz == 0
+
+    def test_two_point_and_single_point_inputs(self):
+        for transactions in ([{1, 2, 3}, {2, 3, 4}], [{1, 2}]):
+            assert_all_backends_agree(transactions, 0.5, JaccardSimilarity())
+
+    def test_theta_one_exact_duplicates_only(self, rng):
+        transactions = [frozenset({1, 2}), frozenset({1, 2}), frozenset({1, 2, 3})]
+        for strategy in BACKENDS:
+            graph = compute_neighbors(transactions, 1.0, strategy=strategy)
+            assert graph.adjacency[0, 1]
+            assert not graph.adjacency[0, 2]
+
+    def test_shared_item_index_accepted_by_all_fast_backends(self, rng):
+        from repro.data.encoding import build_item_index
+
+        transactions = random_transactions(rng, 25)
+        index = build_item_index(transactions)
+        for strategy in BACKENDS[1:]:
+            with_index = compute_neighbors(
+                transactions, 0.4, strategy=strategy, item_index=index
+            ).adjacency
+            without = compute_neighbors(transactions, 0.4, strategy=strategy).adjacency
+            assert (with_index != without).nnz == 0
+
+
+class TestAutoSelection:
+    def test_non_vectorizable_measure_goes_bruteforce(self):
+        measure = SimpleMatchingSimilarity(n_attributes=4)
+        assert select_backend_name(measure, 10) == "bruteforce"
+        assert select_backend_name(measure, 10**6) == "bruteforce"
+
+    def test_small_inputs_use_one_shot_vectorized(self):
+        assert select_backend_name(JaccardSimilarity(), 100) == "vectorized"
+        assert select_backend_name(JaccardSimilarity(), AUTO_BLOCKED_THRESHOLD - 1) == "vectorized"
+
+    def test_large_inputs_switch_to_blocked(self):
+        assert select_backend_name(JaccardSimilarity(), AUTO_BLOCKED_THRESHOLD) == "blocked"
+        assert select_backend_name(DiceSimilarity(), AUTO_BLOCKED_THRESHOLD + 1) == "blocked"
+
+
+class TestRegistryErrorPaths:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            compute_neighbors([{1, 2}], 0.5, strategy="bogus")
+        # The error enumerates what *is* available.
+        assert "auto" in str(excinfo.value)
+        assert "blocked" in str(excinfo.value)
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("definitely-not-registered")
+
+    def test_underscore_alias_resolves(self):
+        # The issue-style spelling inverted_index is accepted as well.
+        assert get_backend("inverted_index").name == "inverted-index"
+        graph = compute_neighbors([{1, 2}, {1, 2, 3}], 0.5, strategy="inverted_index")
+        assert graph.adjacency[0, 1]
+
+    def test_duplicate_registration_rejected(self):
+        class Dummy:
+            name = "bruteforce"
+
+            def supports(self, measure):
+                return True
+
+            def build_adjacency(self, *args, **kwargs):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ConfigurationError):
+            register_backend(Dummy())
+
+    def test_nameless_backend_rejected(self):
+        class Nameless:
+            name = ""
+
+        with pytest.raises(ConfigurationError):
+            register_backend(Nameless())
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_neighbors([{1, 2}, {2, 3}], 0.5, strategy="blocked", block_size=0)
+        with pytest.raises(ConfigurationError):
+            compute_neighbors([{1, 2}, {2, 3}], 0.5, block_size=-4)
+
+    def test_strategies_constant_mirrors_registry(self):
+        assert NEIGHBOR_STRATEGIES == ("auto", *available_backends())
+        assert DEFAULT_BLOCK_SIZE > 0
+
+    def test_late_registered_backend_reaches_the_cli(self):
+        # The plugin path: a backend registered after import must be
+        # accepted by compute_neighbors and by the CLI parser, which
+        # enumerates the registry at build time.
+        from repro.cli import build_parser
+        from repro.core.neighbors import base as backend_registry
+        from repro.core.neighbors import neighbor_strategies
+
+        class ConstantBackend:
+            name = "test-constant"
+
+            def supports(self, measure):
+                return True
+
+            def build_adjacency(self, transactions, theta, measure,
+                                item_index=None, block_size=None):
+                from repro.core.neighbors import complete_adjacency
+
+                return complete_adjacency(len(transactions))
+
+        register_backend(ConstantBackend())
+        try:
+            assert "test-constant" in neighbor_strategies()
+            graph = compute_neighbors([{1}, {2}], 0.9, strategy="test-constant")
+            assert graph.n_edges() == 1
+            arguments = build_parser().parse_args(
+                ["cluster", "x.txt", "--clusters", "2",
+                 "--neighbor-strategy", "test-constant"]
+            )
+            assert arguments.neighbor_strategy == "test-constant"
+        finally:
+            del backend_registry._REGISTRY["test-constant"]

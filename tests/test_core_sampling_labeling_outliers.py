@@ -268,7 +268,33 @@ class TestLabelingStrategies:
             sparse_result.neighbor_counts, brute_result.neighbor_counts
         )
 
-    def test_auto_uses_bruteforce_for_non_jaccard(self):
+    @pytest.mark.parametrize("theta", [0.0, 0.3, 0.6, 1.0])
+    def test_sparse_matches_bruteforce_beyond_jaccard(self, theta):
+        # The sparse path keys on the vectorized-counts capability, so the
+        # other set measures get the fast path too — counts included.
+        from repro.similarity.jaccard import (
+            DiceSimilarity,
+            OverlapCoefficientSimilarity,
+            SetCosineSimilarity,
+        )
+
+        unlabeled, sample, clusters = self._random_setup(5)
+        for measure in (DiceSimilarity(), OverlapCoefficientSimilarity(),
+                        SetCosineSimilarity()):
+            sparse_result = label_points(
+                unlabeled, sample, clusters, theta=theta, measure=measure,
+                strategy="sparse-matmul", rng=9,
+            )
+            brute_result = label_points(
+                unlabeled, sample, clusters, theta=theta, measure=measure,
+                strategy="bruteforce", rng=9,
+            )
+            assert np.array_equal(sparse_result.labels, brute_result.labels), measure.name
+            assert np.array_equal(
+                sparse_result.neighbor_counts, brute_result.neighbor_counts
+            ), measure.name
+
+    def test_auto_uses_sparse_for_vectorizable_measures(self):
         from repro.similarity.jaccard import DiceSimilarity
 
         unlabeled, sample, clusters = self._random_setup(5)
@@ -277,14 +303,15 @@ class TestLabelingStrategies:
         )
         assert result.neighbor_counts.shape == (len(unlabeled), len(clusters))
 
-    def test_sparse_with_non_jaccard_rejected(self):
-        from repro.similarity.jaccard import DiceSimilarity
+    def test_sparse_with_non_vectorizable_rejected(self):
+        from repro.similarity.overlap import SimpleMatchingSimilarity
 
         unlabeled, sample, clusters = self._random_setup(6)
         with pytest.raises(ConfigurationError):
             label_points(
                 unlabeled, sample, clusters, theta=0.4,
-                measure=DiceSimilarity(), strategy="sparse-matmul",
+                measure=SimpleMatchingSimilarity(n_attributes=20),
+                strategy="sparse-matmul",
             )
 
     def test_unknown_strategy_rejected(self):

@@ -74,6 +74,20 @@ class TestEngineBenchSmoke:
         assert row["n_merges"] > 0
         assert "agglomerate_speedup" in row
 
+    def test_per_strategy_neighbor_timings_recorded(self):
+        row = time_engine_phases(60, include_reference=False, repeats=1)
+        assert row["neighbors_vectorized_s"] > 0
+        assert row["neighbors_blocked_s"] > 0
+        # The legacy key stays the labelling-ratio denominator.
+        assert row["neighbors_s"] == row["neighbors_vectorized_s"]
+
+    def test_neighbor_metrics_are_gated(self):
+        from repro.bench.perf_gate import DEFAULT_PHASE_METRICS, DEFAULT_PHASE_SLACKS
+
+        for metric in ("neighbors_vectorized_s", "neighbors_blocked_s"):
+            assert metric in DEFAULT_PHASE_METRICS
+            assert DEFAULT_PHASE_SLACKS[metric] <= 0.01
+
     def test_run_engine_bench_writes_json(self, tmp_path):
         path = tmp_path / "BENCH_engine.json"
         payload = run_engine_bench([50], reference_max=50, repeats=1, path=path)

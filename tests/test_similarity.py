@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, DataValidationError
-from repro.similarity.base import pairwise_similarity_matrix, validate_similarity_value
+from repro.similarity.base import (
+    pairwise_similarity_matrix,
+    supports_vectorized_counts,
+    validate_similarity_value,
+)
 from repro.similarity.jaccard import (
     DiceSimilarity,
     JaccardSimilarity,
@@ -70,6 +74,60 @@ class TestOtherSetMeasures:
             for a in sets:
                 for b in sets:
                     assert 0.0 <= measure(a, b) <= 1.0
+
+
+class TestVectorizedCounts:
+    """similarity_from_counts must agree bit-for-bit with __call__."""
+
+    VECTORIZED = (
+        JaccardSimilarity(),
+        DiceSimilarity(),
+        OverlapCoefficientSimilarity(),
+        SetCosineSimilarity(),
+    )
+
+    def test_capability_detection(self):
+        for measure in self.VECTORIZED:
+            assert supports_vectorized_counts(measure)
+        assert not supports_vectorized_counts(SimpleMatchingSimilarity(n_attributes=4))
+
+    def test_counts_match_scalar_calls_exactly(self):
+        pool = list(range(12))
+        sets = [frozenset(), frozenset(pool[:1]), frozenset(pool[:4]),
+                frozenset(pool[2:9]), frozenset(pool)]
+        pairs = [(a, b) for a in sets for b in sets]
+        intersections = np.array([len(a & b) for a, b in pairs], dtype=np.int64)
+        left = np.array([len(a) for a, _ in pairs], dtype=np.int64)
+        right = np.array([len(b) for _, b in pairs], dtype=np.int64)
+        for measure in self.VECTORIZED:
+            vectorized = measure.similarity_from_counts(intersections, left, right)
+            scalar = np.array([measure(a, b) for a, b in pairs])
+            # Bit-identical, not approximately equal: the cross-backend
+            # adjacency guarantee rests on this.
+            assert np.array_equal(vectorized, scalar), measure.name
+
+    def test_empty_pair_is_one(self):
+        zero = np.zeros(1, dtype=np.int64)
+        for measure in self.VECTORIZED:
+            assert measure.similarity_from_counts(zero, zero, zero)[0] == 1.0
+
+    def test_minimum_intersection_is_a_valid_bound(self):
+        # For every (a, b, theta): any i with similarity >= theta satisfies
+        # i >= minimum_intersection(theta, a, b).
+        sizes = np.arange(1, 10, dtype=np.int64)
+        for measure in self.VECTORIZED:
+            for theta in (0.1, 0.5, 0.9, 1.0):
+                for a in sizes:
+                    for b in sizes:
+                        bound = float(measure.minimum_intersection(
+                            theta, np.array([a]), np.array([b])
+                        )[0])
+                        for i in range(0, min(a, b) + 1):
+                            sim = float(measure.similarity_from_counts(
+                                np.array([i]), np.array([a]), np.array([b])
+                            )[0])
+                            if sim >= theta:
+                                assert i >= bound - 1e-9 * (1.0 + bound)
 
 
 class TestRecordMeasures:
