@@ -1,0 +1,166 @@
+"""Incremental-ingest benchmark: online ingest vs a from-scratch re-run.
+
+The value proposition of :mod:`repro.core.incremental` is that absorbing
+new points into a live clustering is cheaper than re-running the whole
+pipeline on the grown data set.  This benchmark measures exactly that
+claim on the standard tight-cluster basket workload and turns it into two
+gates:
+
+* **equivalence gate** — ``run_online`` over the full data set (refresh
+  disabled) must produce labels bit-identical to ``run_streaming`` on the
+  same data and seed, re-checked here at benchmark scale;
+* **perf gate** — after bootstrapping on the first 80% of the points,
+  ingesting the final 20% through :meth:`RockPipeline.ingest` must beat a
+  from-scratch ``run_online`` over all points — the re-run it replaces:
+  both leave the same artifact behind (labels for every point plus a live
+  session with the exact maintained link matrix, ready for further
+  ingest).  A plain ``run_streaming`` re-run is reported alongside for
+  context; it is cheaper than the live state it does *not* maintain, so
+  it is a reference point, not the gate.  Both sides are measured in the
+  same process, so the comparison divides machine speed out exactly like
+  the sharding gate.
+
+A refresh exercise rides along: the same ingest tail with a tight
+``refresh_threshold`` must trigger at least one full re-cluster and stay
+seed-reproducible.
+
+Run modes (see ``conftest.bench_full``): smoke ingests the tail of ~1200
+baskets with a 300-point sample, full (``REPRO_BENCH_FULL=1``) the tail of
+4000 baskets with an 800-point sample — the ISSUE-5 gate size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import bench_full, write_record
+
+from repro.bench.engine_bench import BENCH_CLUSTERS, BENCH_THETA, WORKLOAD
+from repro.core.pipeline import RockPipeline
+from repro.datasets.market_basket import generate_market_baskets
+
+#: Fraction of the stream ingested incrementally by the perf gate.
+INGEST_TAIL_FRACTION = 0.2
+
+#: Batch size of both the streaming labelling pass and the ingest loop.
+BATCH_SIZE = 1024
+
+
+def _pipeline(sample_size: int, rng: int = 7) -> RockPipeline:
+    return RockPipeline(
+        n_clusters=BENCH_CLUSTERS,
+        theta=BENCH_THETA,
+        sample_size=sample_size,
+        min_cluster_size=2,
+        rng=rng,
+    )
+
+
+def _ingest_batches(transactions, batch_size: int):
+    for start in range(0, len(transactions), batch_size):
+        yield transactions[start:start + batch_size]
+
+
+def test_benchmark_incremental_ingest(results_dir):
+    if bench_full():
+        n, sample_size = 4000, 800
+    else:
+        n, sample_size = 1200, 300
+    boundary = int(n * (1.0 - INGEST_TAIL_FRACTION))
+    data = generate_market_baskets(n_transactions=n, rng=0, **WORKLOAD)
+    transactions = data.transactions
+
+    # ---- equivalence gate: online == streaming on the full stream ---- #
+    streamed = _pipeline(sample_size).run_streaming(
+        transactions, batch_size=BATCH_SIZE
+    )
+    online = _pipeline(sample_size).run_online(
+        transactions, batch_size=BATCH_SIZE
+    )
+    assert np.array_equal(online.labels, streamed.labels), (
+        "run_online labels diverged from run_streaming at n=%d" % n
+    )
+
+    # ---- perf gate: ingest of the final 20% vs a from-scratch run ---- #
+    pipeline = _pipeline(sample_size)
+    bootstrap = pipeline.run_online(transactions[:boundary], batch_size=BATCH_SIZE)
+    tail = transactions[boundary:]
+    start = time.perf_counter()
+    for batch in _ingest_batches(tail, BATCH_SIZE):
+        pipeline.ingest(batch)
+    ingest_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rerun = _pipeline(sample_size).run_online(transactions, batch_size=BATCH_SIZE)
+    rerun_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    _pipeline(sample_size).run_streaming(transactions, batch_size=BATCH_SIZE)
+    streaming_seconds = time.perf_counter() - start
+    speedup = rerun_seconds / max(ingest_seconds, 1e-9)
+
+    session = pipeline.online_session
+    assert session.n_ingested >= len(tail)
+
+    # ---- refresh exercise: tight threshold, reproducible ------------- #
+    def refreshing_tail_labels():
+        refresh_pipeline = _pipeline(sample_size)
+        refresh_pipeline.run_online(
+            transactions[:boundary],
+            batch_size=BATCH_SIZE,
+            refresh_threshold=0.05,
+        )
+        chunks = [
+            refresh_pipeline.ingest(batch).labels
+            for batch in _ingest_batches(tail, BATCH_SIZE)
+        ]
+        return refresh_pipeline.online_session.n_refreshes, np.concatenate(chunks)
+
+    refreshes_a, labels_a = refreshing_tail_labels()
+    refreshes_b, labels_b = refreshing_tail_labels()
+    assert refreshes_a >= 1, "tight refresh threshold never triggered"
+    assert refreshes_a == refreshes_b
+    assert np.array_equal(labels_a, labels_b), (
+        "refreshing ingest not seed-reproducible"
+    )
+
+    lines = ["[INCREMENTAL] online ingest vs from-scratch re-run"]
+    lines.append(
+        "workload: market-basket, n=%d, sample=%d, theta=%s, clusters=%d, "
+        "tail=%d points" % (n, sample_size, BENCH_THETA, BENCH_CLUSTERS, len(tail))
+    )
+    lines.append(
+        "  from-scratch run_online     %.3fs  (%d clusters, %d outliers)"
+        % (rerun_seconds, rerun.n_clusters, rerun.n_outliers)
+    )
+    lines.append(
+        "  run_streaming (no live state) %.3fs  [context only]"
+        % streaming_seconds
+    )
+    lines.append(
+        "  ingest final %d%%            %.3fs  (%.1fx faster, %d live clusters)"
+        % (
+            int(INGEST_TAIL_FRACTION * 100),
+            ingest_seconds,
+            speedup,
+            len(session.live_clusters()),
+        )
+    )
+    lines.append(
+        "  refresh exercise: %d refreshes at threshold 0.05, reproducible"
+        % refreshes_a
+    )
+    gate_ok = ingest_seconds < rerun_seconds
+    lines.append(
+        "  perf gate: %s (ingest %.3fs must beat the run_online re-run %.3fs)"
+        % ("PASS" if gate_ok else "FAIL", ingest_seconds, rerun_seconds)
+    )
+    write_record(results_dir, "INCREMENTAL_ingest", "\n".join(lines))
+    assert gate_ok, (
+        "ingesting the final %d%% (%.3fs) did not beat a from-scratch "
+        "run_online re-run (%.3fs) at n=%d" % (
+            int(INGEST_TAIL_FRACTION * 100), ingest_seconds, rerun_seconds, n,
+        )
+    )
+    assert bootstrap.parameters["online"] is True

@@ -17,7 +17,11 @@ sample plus one batch while producing the same labels as an in-memory run.
 With ``--shards N`` (N > 1; implies the out-of-core mode) the clustering
 phase itself is sharded: every shard clusters its own slice of the sample
 (``--shard-workers`` threads in parallel), the per-shard cluster summaries
-are merged, and the file is labelled against the merged clustering.
+are merged, and the file is labelled against the merged clustering.  With
+``--online`` the file is *ingested* through the incremental engine
+(:mod:`repro.core.incremental`): every batch is labelled and spliced into
+a live clustering, and ``--refresh-threshold`` bounds its drift by
+triggering full re-clusters.
 ``experiment`` runs one of the reproduced paper experiments by id.
 ``sweep`` reports the theta-sensitivity table for a data file.
 """
@@ -87,7 +91,18 @@ def _command_cluster(arguments) -> int:
         raise ConfigurationError(
             "--shards must be at least 1, got %d" % arguments.shards
         )
-    if arguments.stream or arguments.shards > 1:
+    if arguments.online and (arguments.stream or arguments.shards > 1):
+        raise ConfigurationError(
+            "--online conflicts with --stream/--shards: pick exactly one "
+            "out-of-core mode (online ingest already labels the file batch "
+            "by batch)"
+        )
+    if arguments.refresh_threshold is not None and not arguments.online:
+        raise ConfigurationError(
+            "--refresh-threshold requires --online (it bounds the drift of "
+            "the live online clustering)"
+        )
+    if arguments.stream or arguments.online or arguments.shards > 1:
         return _command_cluster_streaming(arguments)
     transactions, labels, n_records = _load_input(arguments)
     result = rock_cluster(
@@ -124,23 +139,29 @@ def _command_cluster(arguments) -> int:
 def _command_cluster_streaming(arguments) -> int:
     """Out-of-core variant of ``cluster``: label the file batch by batch.
 
-    Handles both ``--stream`` (one in-memory sample, streamed labelling)
-    and ``--shards N`` with N > 1 (sharded clustering through
-    :meth:`RockPipeline.run_sharded`); both modes require the transactions
-    format and an explicit ``--sample-size``.
+    Handles ``--stream`` (one in-memory sample, streamed labelling),
+    ``--shards N`` with N > 1 (sharded clustering through
+    :meth:`RockPipeline.run_sharded`) and ``--online`` (incremental ingest
+    through :meth:`RockPipeline.run_online`); all modes require the
+    transactions format and an explicit ``--sample-size``.
     """
-    mode = "sharded x%d" % arguments.shards if arguments.shards > 1 else "streaming"
+    if arguments.shards > 1:
+        mode = "sharded x%d" % arguments.shards
+    elif arguments.online:
+        mode = "online"
+    else:
+        mode = "streaming"
     if arguments.format != "transactions":
         raise ConfigurationError(
-            "--stream/--shards require --format transactions "
+            "--stream/--shards/--online require --format transactions "
             "(one transaction per line)"
         )
     if arguments.sample_size is None:
         raise ConfigurationError(
-            "--stream/--shards require --sample-size: without it the whole "
-            "file would be clustered in memory, defeating the out-of-core "
-            "mode (see repro.core.sampling.chernoff_sample_size for how "
-            "large the sample must be)"
+            "--stream/--shards/--online require --sample-size: without it "
+            "the whole file would be clustered in memory, defeating the "
+            "out-of-core mode (see repro.core.sampling.chernoff_sample_size "
+            "for how large the sample must be)"
         )
     pipeline = RockPipeline(
         n_clusters=arguments.clusters,
@@ -162,6 +183,15 @@ def _command_cluster_streaming(arguments) -> int:
             shard_strategy=arguments.shard_strategy,
             label_prefix=arguments.label_prefix,
         )
+    elif arguments.online:
+        result = pipeline.run_online(
+            arguments.path,
+            batch_size=arguments.batch_size,
+            refresh_threshold=arguments.refresh_threshold,
+            label_prefix=arguments.label_prefix,
+        )
+        if result.parameters.get("n_refreshes"):
+            mode += ", %d refreshes" % result.parameters["n_refreshes"]
     else:
         result = pipeline.run_streaming(
             arguments.path,
@@ -280,6 +310,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--batch-size", type=int, default=1024,
         help="transactions per labelling batch with --stream (default 1024)",
+    )
+    cluster.add_argument(
+        "--online", action="store_true",
+        help="ingest the file through the incremental engine: the sample is "
+             "clustered once, then every batch is labelled and spliced into "
+             "the live clustering (transactions format and --sample-size "
+             "required; conflicts with --stream/--shards)",
+    )
+    cluster.add_argument(
+        "--refresh-threshold", type=float, default=None,
+        help="with --online: re-cluster all live points when the inserted "
+             "fraction since the last full clustering exceeds this positive "
+             "fraction (default: never refresh)",
     )
     cluster.add_argument(
         "--shards", type=int, default=1,

@@ -20,8 +20,11 @@ The modules follow the structure of the ROCK paper:
 * :mod:`repro.core.outliers` — outlier handling (Section 4.5);
 * :mod:`repro.core.sharding` — sharded clustering: shard plans, parallel
   per-shard clustering and the summary-merge agglomeration;
+* :mod:`repro.core.incremental` — online ingest: a live clustering that
+  accepts new points in batches (splice + frontier re-agglomeration +
+  drift-triggered refresh);
 * :mod:`repro.core.pipeline` — the end-to-end sample/cluster/label pipeline
-  (in-memory, streaming and sharded entry points).
+  (in-memory, streaming, sharded and online entry points).
 """
 
 from repro.core.goodness import (
@@ -33,6 +36,11 @@ from repro.core.goodness import (
 )
 from repro.core.engine import FlatAgglomerationEngine, flat_agglomerate
 from repro.core.heaps import AddressableMaxHeap
+from repro.core.incremental import (
+    IncrementalRock,
+    IngestResult,
+    validate_refresh_threshold,
+)
 from repro.core.labeling import (
     LabelingResult,
     StreamingLabeler,
@@ -73,6 +81,9 @@ __all__ = [
     "goodness",
     "theta_power",
     "AddressableMaxHeap",
+    "IncrementalRock",
+    "IngestResult",
+    "validate_refresh_threshold",
     "ENGINES",
     "FlatAgglomerationEngine",
     "flat_agglomerate",

@@ -34,7 +34,14 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.neighbors import NeighborGraph
+from repro.core.pairfold import PAIR_FOLD_LIMIT, fold_pair_counts
 from repro.errors import ConfigurationError
+
+#: Module-level aliases of the shared pair-fold machinery
+#: (:mod:`repro.core.pairfold`); the folding loop reads them as globals so
+#: tests can shrink the buffer limit per module.
+_PAIR_FOLD_LIMIT = PAIR_FOLD_LIMIT
+_fold_pair_counts = fold_pair_counts
 
 #: Strategies accepted by :func:`compute_links`.
 LINK_STRATEGIES = ("auto", "neighbor-lists", "sparse-matmul")
@@ -94,28 +101,6 @@ def links_from_neighbors(
 def _links_by_matmul(adjacency: sparse.csr_matrix) -> sparse.csr_matrix:
     counted = adjacency.astype(np.int64)
     return (counted @ counted.T).tocsr()
-
-
-#: Pair occurrences buffered before folding into the running unique-pair
-#: counts (bounds peak memory to unique pairs + one buffer, ~16 MB).
-_PAIR_FOLD_LIMIT = 2_000_000
-
-
-def _fold_pair_counts(
-    running: tuple[np.ndarray, np.ndarray] | None,
-    buffered: list[np.ndarray],
-) -> tuple[np.ndarray, np.ndarray]:
-    """Merge buffered pair-code chunks into the running (codes, counts)."""
-    codes, occurrences = np.unique(np.concatenate(buffered), return_counts=True)
-    occurrences = occurrences.astype(np.int64)
-    if running is None:
-        return codes, occurrences
-    merged_codes = np.concatenate([running[0], codes])
-    merged_counts = np.concatenate([running[1], occurrences])
-    unique_codes, inverse = np.unique(merged_codes, return_inverse=True)
-    totals = np.zeros(unique_codes.size, dtype=np.int64)
-    np.add.at(totals, inverse, merged_counts)
-    return unique_codes, totals
 
 
 def _links_by_neighbor_lists(adjacency: sparse.csr_matrix) -> sparse.csr_matrix:

@@ -23,8 +23,11 @@ producing bit-identical adjacencies on the same inputs:
   are verified exactly.
 
 ``strategy="auto"`` (the default everywhere) picks brute force for
-non-vectorizable measures, the one-shot product for small inputs and the
-blocked product above :data:`AUTO_BLOCKED_THRESHOLD` points; see
+non-vectorizable measures, the one-shot product for small inputs, the
+blocked product above :data:`AUTO_BLOCKED_THRESHOLD` points, and — at
+that scale, when the posting-list statistics mark the workload as sparse
+and rare-item (:func:`candidate_pair_density` at or below
+:data:`AUTO_INVERTED_MAX_DENSITY`) — the inverted index; see
 :func:`select_backend_name`.
 """
 
@@ -34,11 +37,14 @@ from collections.abc import Sequence
 
 from repro.core.neighbors.base import (
     AUTO_BLOCKED_THRESHOLD,
+    AUTO_INVERTED_MAX_DENSITY,
+    AUTO_INVERTED_MIN_POINTS,
     AUTO_STRATEGY,
     DEFAULT_BLOCK_SIZE,
     DEFAULT_NEIGHBOR_STRATEGY,
     NeighborBackend,
     available_backends,
+    candidate_pair_density,
     get_backend,
     normalize_backend_name,
     register_backend,
@@ -132,7 +138,9 @@ def compute_neighbors(
 
     name = normalize_backend_name(strategy)
     if name == AUTO_STRATEGY:
-        name = select_backend_name(measure, len(transactions))
+        name = select_backend_name(
+            measure, len(transactions), transactions=transactions
+        )
     backend = get_backend(name)
     if not backend.supports(measure):
         hint = getattr(
@@ -155,7 +163,10 @@ def compute_neighbors(
 
 __all__ = [
     "AUTO_BLOCKED_THRESHOLD",
+    "AUTO_INVERTED_MAX_DENSITY",
+    "AUTO_INVERTED_MIN_POINTS",
     "AUTO_STRATEGY",
+    "candidate_pair_density",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_NEIGHBOR_STRATEGY",
     "NEIGHBOR_STRATEGIES",

@@ -16,6 +16,8 @@ every vectorizable measure.
 
 from __future__ import annotations
 
+from collections import Counter
+from collections.abc import Sequence
 from typing import Protocol, runtime_checkable
 
 from scipy import sparse
@@ -38,6 +40,21 @@ DEFAULT_BLOCK_SIZE = 512
 #: it the blocked product is both faster (it only computes the upper
 #: triangle) and memory-bounded.
 AUTO_BLOCKED_THRESHOLD = 2048
+
+#: Point count at which ``auto`` starts considering the inverted index at
+#: all.  Below it the one-shot/blocked products are fast regardless of
+#: sparsity, so the posting-list statistics pass is not worth running.
+AUTO_INVERTED_MIN_POINTS = AUTO_BLOCKED_THRESHOLD
+
+#: Candidate-pair density at or below which ``auto`` picks the inverted
+#: index over the blocked product.  The inverted index's work scales with
+#: the squared posting-list lengths (the candidate mass), not with
+#: ``n^2``: when the posting lists generate candidates for at most this
+#: fraction of all unordered pairs — a sparse, rare-item workload — it
+#: skips almost every pair, while the matmul backends still pay the block
+#: scheduling over all rows.  Dense tight-cluster workloads sit far above
+#: this bound and keep the blocked product.
+AUTO_INVERTED_MAX_DENSITY = 0.02
 
 
 @runtime_checkable
@@ -121,17 +138,58 @@ def get_backend(name: str) -> NeighborBackend:
         ) from None
 
 
-def select_backend_name(measure: SetSimilarity, n_points: int) -> str:
+def candidate_pair_density(
+    transactions: Sequence[frozenset], n_points: int | None = None
+) -> float:
+    """Fraction of unordered pairs the posting lists generate as candidates.
+
+    The inverted-index backend enumerates, for every item, the pairs of
+    points sharing it; its total work is therefore bounded by the
+    *candidate mass* ``sum_i f_i (f_i - 1) / 2`` over the item frequencies
+    ``f_i`` (pairs counted once per shared item).  Dividing by the number
+    of unordered point pairs gives a scale-free density: ``0`` means no
+    two points share an item, values above ``1`` mean the average pair
+    shares more than one item (a dense workload where candidate pruning
+    cannot win).  One ``O(total items)`` counting pass — cheap next to any
+    neighbour computation.
+    """
+    counts = Counter(item for transaction in transactions for item in transaction)
+    n = len(transactions) if n_points is None else int(n_points)
+    if n < 2:
+        return 0.0
+    candidate_mass = sum(count * (count - 1) for count in counts.values()) / 2.0
+    return candidate_mass / (n * (n - 1) / 2.0)
+
+
+def select_backend_name(
+    measure: SetSimilarity,
+    n_points: int,
+    transactions: Sequence[frozenset] | None = None,
+) -> str:
     """The backend ``auto`` resolves to for ``measure`` at ``n_points``.
 
     Measures without the
     :class:`~repro.similarity.base.VectorizedSetSimilarity` capability can
     only be evaluated pair by pair (brute force).  Vectorizable measures
-    use the one-shot matmul up to :data:`AUTO_BLOCKED_THRESHOLD` points and
-    the memory-bounded blocked product beyond it.
+    use the one-shot matmul up to :data:`AUTO_BLOCKED_THRESHOLD` points
+    and the memory-bounded blocked product beyond it — unless
+    ``transactions`` are supplied and their posting-list statistics mark
+    the workload as sparse and rare-item
+    (:func:`candidate_pair_density` at or below
+    :data:`AUTO_INVERTED_MAX_DENSITY` with at least
+    :data:`AUTO_INVERTED_MIN_POINTS` points), where the inverted index
+    skips almost every pair and wins.  Without ``transactions`` (size-only
+    callers) the choice is as before the heuristic existed.
     """
     if not supports_vectorized_counts(measure):
         return "bruteforce"
+    if (
+        transactions is not None
+        and n_points >= AUTO_INVERTED_MIN_POINTS
+        and candidate_pair_density(transactions, n_points)
+        <= AUTO_INVERTED_MAX_DENSITY
+    ):
+        return "inverted-index"
     if n_points >= AUTO_BLOCKED_THRESHOLD:
         return "blocked"
     return "vectorized"

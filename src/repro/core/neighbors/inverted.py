@@ -2,10 +2,10 @@
 
 Instead of multiplying incidence matrices, this backend walks a classic
 inverted index: for every item, the *posting list* of the points carrying
-it (one CSC column of the incidence matrix).  A point's candidate
-neighbours are exactly the points sharing at least one of its items, and
-their intersection counts fall out of one ``bincount`` over the
-concatenated posting lists.  Candidates are then pruned with the
+it (one CSC column of the incidence matrix).  A pair of points is a
+candidate exactly when the points share at least one item, and counting
+how often each encoded pair occurs across all posting lists yields the
+pair's intersection size for free.  Candidates are then pruned with the
 measure's theta-dependent **minimum-overlap bound**
 (:meth:`~repro.similarity.base.VectorizedSetSimilarity.minimum_intersection`
 — e.g. a Jaccard pair needs ``|A ∩ B| >= theta (|A|+|B|) / (1+theta)``)
@@ -16,10 +16,18 @@ verification, never prune a boundary pair — which is what keeps the
 adjacency bit-identical to the other backends.
 
 Work scales with the squared posting-list lengths (items shared by many
-points dominate), not with ``n^2``: on sparse, high-theta workloads whose
-items are rare this skips most pairs entirely; on the dense tight-cluster
-benchmark shape the matmul backends win.  Peak memory is one point's
-concatenated posting lists plus the kept edges.
+points dominate), not with ``n^2``: on sparse, rare-item workloads this
+skips most pairs entirely — which is exactly when ``auto`` picks it (see
+:func:`repro.core.neighbors.base.select_backend_name` and
+:data:`repro.core.neighbors.base.AUTO_INVERTED_MAX_DENSITY`); on the
+dense tight-cluster benchmark shape the matmul backends win.  The sweep
+is item-driven and fully vectorised: posting lists are grouped by length
+so each group's unordered pairs come out of one fancy-indexing pass (no
+per-point Python loop), and pair occurrences are folded into the running
+unique-pair counts every :data:`repro.core.pairfold.PAIR_FOLD_LIMIT`
+entries — the same bounded-buffer pattern the link computation uses — so
+peak memory tracks the number of *unique* candidate pairs plus one
+buffer, not the total pair mass.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.core.pairfold import PAIR_FOLD_LIMIT, fold_pair_counts
 from repro.core.neighbors.base import VECTORIZED_CAPABILITY_HINT
 from repro.core.neighbors.graph import complete_adjacency, empty_pair_edges
 from repro.core.neighbors.vectorized import incidence_and_sizes, threshold_count_pairs
@@ -59,53 +68,78 @@ class InvertedIndexBackend:
             return complete_adjacency(n)
         incidence, sizes = incidence_and_sizes(transactions, item_index)
         postings = incidence.tocsc()
+        postings.sort_indices()
+        indptr = postings.indptr.astype(np.int64)
+        point_ids = postings.indices.astype(np.int64)
+        posting_lengths = np.diff(indptr)
 
-        edge_rows: list[np.ndarray] = []
-        edge_cols: list[np.ndarray] = []
-        for i in range(n):
-            items = incidence.indices[incidence.indptr[i]:incidence.indptr[i + 1]]
-            if not len(items):
-                continue
-            occurrences = np.concatenate(
-                [
-                    postings.indices[postings.indptr[item]:postings.indptr[item + 1]]
-                    for item in items
-                ]
+        # Item-driven candidate sweep, grouped by posting-list length: all
+        # items shared by exactly ``length`` points contribute their
+        # C(length, 2) unordered pairs in one vectorised pass (posting
+        # lists are index-sorted, so the upper-triangle template already
+        # emits each pair from its smaller index).  Pair occurrences are
+        # folded into the running unique-pair counts before the buffer
+        # outgrows PAIR_FOLD_LIMIT, and the fold result doubles as the
+        # per-pair intersection count (a pair occurs once per shared item).
+        running: tuple[np.ndarray, np.ndarray] | None = None
+        pair_chunks: list[np.ndarray] = []
+        buffered = 0
+        for length in np.unique(posting_lengths[posting_lengths >= 2]).tolist():
+            starts = indptr[:-1][posting_lengths == length]
+            template_left, template_right = np.triu_indices(length, k=1)
+            pairs_per_list = template_left.size
+            # Two-level chunking keeps every fancy-indexing allocation at
+            # or under the fold limit: lists are taken in groups whose
+            # combined pair count fits, and a single list whose C(len, 2)
+            # already exceeds it walks its pair template in segments.
+            lists_per_chunk = max(1, PAIR_FOLD_LIMIT // pairs_per_list)
+            segment = (
+                pairs_per_list
+                if pairs_per_list <= PAIR_FOLD_LIMIT
+                else PAIR_FOLD_LIMIT
             )
-            # Each unordered pair is emitted once, from its smaller index.
-            occurrences = occurrences[occurrences > i]
-            if not len(occurrences):
-                continue
-            # Candidate ids and their intersection counts in time
-            # proportional to the posting lists, not to n: an O(n) bincount
-            # per point would make the whole backend Theta(n^2) even on
-            # sparse workloads.
-            candidates, candidate_counts = np.unique(occurrences, return_counts=True)
+            for chunk_start in range(0, starts.size, lists_per_chunk):
+                chunk_starts = starts[chunk_start:chunk_start + lists_per_chunk]
+                lists = point_ids[chunk_starts[:, None] + np.arange(length)]
+                for segment_start in range(0, pairs_per_list, segment):
+                    left = template_left[segment_start:segment_start + segment]
+                    right = template_right[segment_start:segment_start + segment]
+                    codes = lists[:, left].ravel() * n + lists[:, right].ravel()
+                    pair_chunks.append(codes)
+                    buffered += codes.size
+                    if buffered >= PAIR_FOLD_LIMIT:
+                        running = fold_pair_counts(running, pair_chunks)
+                        pair_chunks = []
+                        buffered = 0
+        if pair_chunks:
+            running = fold_pair_counts(running, pair_chunks)
+
+        if running is not None:
+            codes, candidate_counts = running
+            candidate_rows = codes // n
+            candidate_cols = codes % n
 
             # Minimum-overlap bound: pairs that cannot reach theta are
             # dropped before the exact check.  The slack keeps rounding
             # one-sided (extra candidates verify and fail; boundary pairs
             # are never lost).
             bound = np.asarray(
-                measure.minimum_intersection(theta, sizes[i], sizes[candidates])
+                measure.minimum_intersection(
+                    theta, sizes[candidate_rows], sizes[candidate_cols]
+                )
             )
             admitted = candidate_counts >= bound - 1e-9 * (1.0 + np.abs(bound))
-            if not admitted.any():
-                continue
-            candidates = candidates[admitted]
-            rows, cols = threshold_count_pairs(
-                np.full(len(candidates), i, dtype=np.int64),
-                candidates.astype(np.int64),
+            upper_rows, upper_cols = threshold_count_pairs(
+                candidate_rows[admitted],
+                candidate_cols[admitted],
                 candidate_counts[admitted],
                 sizes,
                 theta,
                 measure,
             )
-            edge_rows.append(rows)
-            edge_cols.append(cols)
-
-        upper_rows = np.concatenate(edge_rows) if edge_rows else np.empty(0, dtype=np.int64)
-        upper_cols = np.concatenate(edge_cols) if edge_cols else np.empty(0, dtype=np.int64)
+        else:
+            upper_rows = np.empty(0, dtype=np.int64)
+            upper_cols = np.empty(0, dtype=np.int64)
         extra_rows, extra_cols = empty_pair_edges(sizes, theta, measure)
         all_rows = np.concatenate([upper_rows, upper_cols, extra_rows])
         all_cols = np.concatenate([upper_cols, upper_rows, extra_cols])

@@ -1,0 +1,37 @@
+"""Bounded-memory folding of encoded point-pair occurrence streams.
+
+Both the link computation (:mod:`repro.core.links`) and the inverted-index
+neighbour backend (:mod:`repro.core.neighbors.inverted`) enumerate large
+streams of unordered point pairs encoded as ``first * n + second`` scalars
+and need their occurrence counts.  Materialising the whole stream before
+counting would peak at the total pair mass; folding buffered chunks into a
+running unique-pair count every :data:`PAIR_FOLD_LIMIT` entries keeps peak
+memory at the number of *unique* pairs plus one buffer instead.  This
+module holds that shared machinery (it sits below both consumers, so
+neither import direction cycles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Pair occurrences buffered before folding into the running unique-pair
+#: counts (bounds peak memory to unique pairs + one buffer, ~16 MB).
+PAIR_FOLD_LIMIT = 2_000_000
+
+
+def fold_pair_counts(
+    running: tuple[np.ndarray, np.ndarray] | None,
+    buffered: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge buffered pair-code chunks into the running ``(codes, counts)``."""
+    codes, occurrences = np.unique(np.concatenate(buffered), return_counts=True)
+    occurrences = occurrences.astype(np.int64)
+    if running is None:
+        return codes, occurrences
+    merged_codes = np.concatenate([running[0], codes])
+    merged_counts = np.concatenate([running[1], occurrences])
+    unique_codes, inverse = np.unique(merged_codes, return_inverse=True)
+    totals = np.zeros(unique_codes.size, dtype=np.int64)
+    np.add.at(totals, inverse, merged_counts)
+    return unique_codes, totals

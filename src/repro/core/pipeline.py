@@ -13,7 +13,7 @@ The result exposes labels over the *full* input, cluster membership, the
 intermediate artefacts and per-phase timings, which is what the scalability
 benchmarks consume.
 
-Three entry points share that structure.  :meth:`RockPipeline.run` takes
+Four entry points share that structure.  :meth:`RockPipeline.run` takes
 the whole data set in memory.  :meth:`RockPipeline.run_streaming` takes a
 re-iterable source (a transaction file path, an in-memory collection or an
 iterator factory) and keeps peak memory bounded by the sample plus one
@@ -29,6 +29,15 @@ cluster summaries are merged by a weighted summary agglomeration, and the
 merged clustering labels the full source through the same streaming
 labeler.  With one shard it takes the streaming path unchanged, so
 ``n_shards=1`` is bit-identical to :meth:`RockPipeline.run_streaming`.
+:meth:`RockPipeline.run_online` is the online-ingest counterpart: the same
+sampling and clustering phases bootstrap an
+:class:`repro.core.incremental.IncrementalRock` session, the remainder is
+*ingested* batch by batch (labelled through the shared
+:class:`~repro.core.labeling.StreamingLabeler` while the live clustering
+absorbs every batch), and :meth:`RockPipeline.ingest` keeps accepting new
+batches after the run returns.  Without a refresh trigger the labels are
+bit-identical to :meth:`RockPipeline.run_streaming` on the same data and
+seed.
 """
 
 from __future__ import annotations
@@ -41,6 +50,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.goodness import ExponentFunction
+from repro.core.incremental import (
+    IncrementalRock,
+    IngestResult,
+    validate_refresh_threshold,
+)
 from repro.core.labeling import LabelingResult, StreamingLabeler, label_points
 from repro.core.neighbors import compute_neighbors
 from repro.core.outliers import drop_small_clusters, partition_isolated_points
@@ -136,6 +150,42 @@ class RockPipelineResult:
             ClusterSummary(cluster_id=i, size=len(members), member_indices=tuple(members))
             for i, members in enumerate(self.clusters)
         ]
+
+
+def _pending_sample_positions(
+    sample_indices, sample_position_of, isolated, pruned_points
+) -> list[int]:
+    """Full-data-set positions of sampled points the labeler must place.
+
+    The isolated points the pre-filter set aside plus the members of
+    pruned clusters, deduplicated in increasing stream order — shared by
+    every out-of-core entry point.
+    """
+    pending: list[int] = []
+    pending.extend(sample_indices[i] for i in isolated)
+    pending.extend(sample_position_of[j] for j in pruned_points)
+    return sorted(set(pending))
+
+
+def _pending_batches(batches, sample_set: set):
+    """Yield ``(transactions, positions)`` of the non-sample stream points.
+
+    Walks the normalised source batch by batch, skipping the stream
+    positions in ``sample_set``; every out-of-core labelling/ingest path
+    shares this iteration so the batch boundaries (and with them the
+    bit-identical-labels contracts) can never drift apart.
+    """
+    position = 0
+    for batch in batches():
+        pending_batch: list[frozenset] = []
+        pending_positions: list[int] = []
+        for transaction in batch:
+            if position not in sample_set:
+                pending_batch.append(frozenset(transaction))
+                pending_positions.append(position)
+            position += 1
+        if pending_batch:
+            yield pending_batch, pending_positions
 
 
 def _rebatch(transactions, batch_size: int):
@@ -297,6 +347,7 @@ class RockPipeline:
         self.include_self_links = bool(include_self_links)
         self.rng = np.random.default_rng(rng)
         self.strict = bool(strict)
+        self._online_session: IncrementalRock | None = None
 
     # ------------------------------------------------------------------ #
     def _cluster_sample(self, sample: list[frozenset], item_index: dict, timings: dict):
@@ -483,20 +534,13 @@ class RockPipeline:
         label_chunks: list[np.ndarray] = []
         labeled_indices: list[int] = []
         if has_remainder:
-            position = 0
-            for batch in batches():
-                pending_batch: list[frozenset] = []
-                pending_positions: list[int] = []
-                for transaction in batch:
-                    if position not in sample_set:
-                        pending_batch.append(frozenset(transaction))
-                        pending_positions.append(position)
-                    position += 1
-                if pending_batch:
-                    result = labeler.label_batch(pending_batch)
-                    labels[pending_positions] = result.labels
-                    labeled_indices.extend(pending_positions)
-                    label_chunks.append(result.labels)
+            for pending_batch, pending_positions in _pending_batches(
+                batches, sample_set
+            ):
+                result = labeler.label_batch(pending_batch)
+                labels[pending_positions] = result.labels
+                labeled_indices.extend(pending_positions)
+                label_chunks.append(result.labels)
         if sample_pending:
             result = labeler.label_batch(
                 [transaction_of_sample_index[i] for i in sample_pending]
@@ -510,6 +554,52 @@ class RockPipeline:
             n_outliers=labeler.n_outliers,
         )
         return labeling_result, labeled_indices
+
+    # ------------------------------------------------------------------ #
+    def _draw_streaming_sample(
+        self, batches, known_length: int | None, sample_method: str, timings: dict
+    ) -> tuple[int, list[int], list[frozenset]]:
+        """Phase 1 of the out-of-core entry points: draw the sample.
+
+        Counts the source (unless its length is known), draws the sample
+        indices exactly as :meth:`run` does (or via single-pass reservoir
+        sampling for ``sample_method="reservoir"``) and collects the
+        sampled transactions in one pass.  Returns ``(n_points,
+        sample_indices, sample)`` and records the ``"sampling"`` timing.
+        Raises :class:`DataValidationError` on an empty source.
+        """
+        phase_start = time.perf_counter()
+        if sample_method == "reservoir" and self.sample_size is not None:
+            sample_indices, sample, n_points = reservoir_sample(
+                itertools.chain.from_iterable(batches()),
+                self.sample_size,
+                rng=self.rng,
+            )
+        else:
+            if known_length is not None:
+                n_points = known_length
+            else:
+                n_points = sum(len(batch) for batch in batches())
+            if n_points and (self.sample_size is None or self.sample_size >= n_points):
+                sample_indices = list(range(n_points))
+            elif n_points:
+                sample_indices, _ = draw_sample(
+                    range(n_points), self.sample_size, rng=self.rng
+                )
+            else:
+                sample_indices = []
+            wanted = set(sample_indices)
+            sample = []
+            position = 0
+            for batch in batches():
+                for transaction in batch:
+                    if position in wanted:
+                        sample.append(frozenset(transaction))
+                    position += 1
+        if not n_points:
+            raise DataValidationError("cannot cluster an empty streaming source")
+        timings["sampling"] = time.perf_counter() - phase_start
+        return n_points, sample_indices, sample
 
     # ------------------------------------------------------------------ #
     def run(self, data) -> RockPipelineResult:
@@ -682,38 +772,10 @@ class RockPipeline:
         )
 
         # ---- Phase 1: sampling pass(es) over the source -------------- #
-        phase_start = time.perf_counter()
-        if sample_method == "reservoir" and self.sample_size is not None:
-            sample_indices, sample, n_points = reservoir_sample(
-                itertools.chain.from_iterable(batches()),
-                self.sample_size,
-                rng=self.rng,
-            )
-        else:
-            if known_length is not None:
-                n_points = known_length
-            else:
-                n_points = sum(len(batch) for batch in batches())
-            if n_points and (self.sample_size is None or self.sample_size >= n_points):
-                sample_indices = list(range(n_points))
-            elif n_points:
-                sample_indices, _ = draw_sample(
-                    range(n_points), self.sample_size, rng=self.rng
-                )
-            else:
-                sample_indices = []
-            wanted = set(sample_indices)
-            sample = []
-            position = 0
-            for batch in batches():
-                for transaction in batch:
-                    if position in wanted:
-                        sample.append(frozenset(transaction))
-                    position += 1
-        if not n_points:
-            raise DataValidationError("cannot cluster an empty streaming source")
+        n_points, sample_indices, sample = self._draw_streaming_sample(
+            batches, known_length, sample_method, timings
+        )
         sample_set = set(sample_indices)
-        timings["sampling"] = time.perf_counter() - phase_start
 
         # ---- Phases 2-4 on the in-memory sample ---------------------- #
         # The item index covers the sample only: remainder items outside it
@@ -740,10 +802,9 @@ class RockPipeline:
         # ---- Phase 5: batched labelling pass ------------------------- #
         phase_start = time.perf_counter()
         transaction_of_sample_index = dict(zip(sample_indices, sample))
-        sample_pending: list[int] = []
-        sample_pending.extend(sample_indices[i] for i in isolated)
-        sample_pending.extend(sample_position_of[j] for j in pruned_points)
-        sample_pending = sorted(set(sample_pending))
+        sample_pending = _pending_sample_positions(
+            sample_indices, sample_position_of, isolated, pruned_points
+        )
         has_remainder = n_points > len(sample_indices)
 
         labeling_result, labeled_indices = self._label_out_of_core(
@@ -776,6 +837,255 @@ class RockPipeline:
             },
         )
 
+
+    # ------------------------------------------------------------------ #
+    @property
+    def online_session(self) -> IncrementalRock | None:
+        """The live :class:`IncrementalRock` session of the last
+        :meth:`run_online` call, or ``None`` before one ran."""
+        return self._online_session
+
+    def ingest(self, batch) -> IngestResult:
+        """Feed one more batch into the live online session.
+
+        Requires a prior :meth:`run_online` on this pipeline.  The batch is
+        labelled through the session's current
+        :class:`~repro.core.labeling.StreamingLabeler` and spliced into the
+        live clustering (triggering a refresh when drift exceeds the
+        session's threshold).  The returned labels are in the session's
+        *current* labelling space — the bootstrap clusters until the first
+        refresh, the refreshed clusters afterwards (see
+        :class:`repro.core.incremental.IngestResult`); the final
+        :class:`RockPipelineResult` numbering is a size-ordered view of
+        those spaces.
+        """
+        if self._online_session is None:
+            raise ConfigurationError(
+                "no live online session; call run_online(source) before "
+                "ingest(batch)"
+            )
+        return self._online_session.ingest(batch)
+
+    # ------------------------------------------------------------------ #
+    def run_online(
+        self,
+        source,
+        batch_size: int = 1024,
+        refresh_threshold: float | None = None,
+        sample_method: str = "exact",
+        delimiter: str | None = None,
+        label_prefix: str | None = None,
+    ) -> RockPipelineResult:
+        """Execute the pipeline in online-ingest mode over ``source``.
+
+        The online counterpart of :meth:`run_streaming`: the sample is
+        drawn and clustered exactly as there, but the clustering then
+        *bootstraps* an :class:`repro.core.incremental.IncrementalRock`
+        session and the disk-resident remainder is **ingested** batch by
+        batch — each batch is labelled through the shared
+        :class:`~repro.core.labeling.StreamingLabeler` *and* spliced into
+        the live link matrix, heaps and clusters, so the clustering keeps
+        absorbing the stream.  After the run returns, :meth:`ingest`
+        keeps accepting new batches against the same session
+        (:attr:`online_session`).
+
+        Parameters are those of :meth:`run_streaming` plus
+        ``refresh_threshold``: when the fraction of points inserted since
+        the last full clustering exceeds it, the session re-clusters every
+        live point from the maintained link matrix and subsequent batches
+        are labelled against the refreshed clusters.  ``None`` (the
+        default) never refreshes.
+
+        Determinism: without a refresh trigger the labels are
+        **bit-identical** to :meth:`run_streaming` on the same data and
+        seed, for any ``batch_size`` (the labeler is constructed at the
+        same point of the generator sequence and ingest consumes no
+        randomness).  With refreshes, the run is seed-reproducible for a
+        given batch split; labels assigned after a refresh live in the
+        refreshed clustering's space and the final numbering is a
+        size-ordered view over all assignments
+        (``parameters["n_refreshes"]`` reports how many happened).
+
+        Returns
+        -------
+        RockPipelineResult
+            The shared result shape with ``parameters["online"]`` set.
+            ``rock_result`` describes the bootstrap clustering of the
+            sample; ``labeling_result`` keeps only the per-point labels
+            (empty ``neighbor_counts``), like :meth:`run_streaming`.
+        """
+        if sample_method not in STREAMING_SAMPLE_METHODS:
+            raise ConfigurationError(
+                "unknown sample_method %r; expected one of %s"
+                % (sample_method, ", ".join(STREAMING_SAMPLE_METHODS))
+            )
+        refresh_threshold = validate_refresh_threshold(refresh_threshold)
+        total_start = time.perf_counter()
+        timings: dict[str, float] = {}
+        batches, known_length = _transaction_batches(
+            source, batch_size, delimiter=delimiter, label_prefix=label_prefix
+        )
+
+        # ---- Phase 1: sampling pass(es) over the source -------------- #
+        n_points, sample_indices, sample = self._draw_streaming_sample(
+            batches, known_length, sample_method, timings
+        )
+        sample_set = set(sample_indices)
+
+        # ---- Phases 2-4 on the in-memory sample ---------------------- #
+        item_index = build_item_index(sample)
+        (
+            clustered_sample,
+            participating,
+            isolated,
+            rock_result,
+            kept_clusters,
+            pruned_points,
+        ) = self._cluster_sample(sample, item_index, timings)
+
+        sample_position_of = {j: sample_indices[i] for j, i in enumerate(participating)}
+        cluster_members_full = [
+            tuple(sorted(sample_position_of[j] for j in members))
+            for members in kept_clusters
+        ]
+        labels = np.full(n_points, -1, dtype=int)
+        for label, members in enumerate(cluster_members_full):
+            labels[list(members)] = label
+
+        # ---- Phase 5: bootstrap the live session, ingest the rest ---- #
+        phase_start = time.perf_counter()
+        session = IncrementalRock(
+            n_clusters=self.n_clusters,
+            theta=self.theta,
+            measure=self.measure,
+            exponent_function=self.exponent_function,
+            labeling_fraction=self.labeling_fraction,
+            labeling_strategy=self.labeling_strategy,
+            assign_outliers=self.assign_outliers,
+            neighbor_strategy=self.neighbor_strategy,
+            neighbor_block_size=self.neighbor_block_size,
+            link_strategy=self.link_strategy,
+            include_self_links=self.include_self_links,
+            refresh_threshold=refresh_threshold,
+            rng=self.rng,
+        )
+        session.bootstrap(clustered_sample, kept_clusters, item_index=item_index)
+        self._online_session = session
+
+        transaction_of_sample_index = dict(zip(sample_indices, sample))
+        sample_pending = _pending_sample_positions(
+            sample_indices, sample_position_of, isolated, pruned_points
+        )
+        has_remainder = n_points > len(sample_indices)
+
+        # Every refresh opens a fresh labelling space; global label ids
+        # are the per-space labels shifted by the previous spaces' sizes,
+        # so assignments from different spaces never collide.
+        space_sizes = [len(kept_clusters)]
+        offsets = [0]
+        label_chunks: list[np.ndarray] = []
+        labeled_indices: list[int] = []
+
+        def ingest_pending(pending_batch, pending_positions):
+            result = session.ingest(pending_batch)
+            chunk = result.labels.copy()
+            chunk[chunk >= 0] += offsets[result.label_space]
+            labels[pending_positions] = chunk
+            labeled_indices.extend(pending_positions)
+            label_chunks.append(chunk)
+            if result.refreshed:
+                offsets.append(offsets[-1] + space_sizes[-1])
+                space_sizes.append(session.n_labeler_clusters)
+
+        if has_remainder:
+            for pending_batch, pending_positions in _pending_batches(
+                batches, sample_set
+            ):
+                ingest_pending(pending_batch, pending_positions)
+        if sample_pending:
+            ingest_pending(
+                [transaction_of_sample_index[i] for i in sample_pending],
+                sample_pending,
+            )
+        timings["labeling"] = time.perf_counter() - phase_start
+
+        if label_chunks:
+            labeling_labels = np.concatenate(label_chunks)
+        else:
+            labeling_labels, labeled_indices = None, None
+
+        # ---- Final assembly across labelling spaces ------------------ #
+        # The ordinary _finalize assumes one label space with no empty
+        # clusters; refreshed runs can leave globally-unused labels (a
+        # refreshed cluster no batch point landed in), so group and
+        # renumber by decreasing size (ties: first member) here — fully
+        # vectorised, since this walks the whole out-of-core stream.
+        placed_positions = np.nonzero(labels >= 0)[0]
+        present, inverse = np.unique(labels[placed_positions], return_inverse=True)
+        group_sizes = np.bincount(inverse)
+        first_member = np.full(present.size, n_points, dtype=np.int64)
+        np.minimum.at(first_member, inverse, placed_positions)
+        order = sorted(
+            range(present.size),
+            key=lambda group: (-int(group_sizes[group]), int(first_member[group])),
+        )
+        # Lookup array over old (global-space) label ids -> final labels.
+        new_label_of = np.full(int(present[-1]) + 1 if present.size else 1, -1)
+        new_label_of[present[order]] = np.arange(present.size)
+        final_labels = np.full(n_points, -1, dtype=int)
+        final_labels[placed_positions] = new_label_of[labels[placed_positions]]
+
+        if placed_positions.size:
+            final_of_placed = new_label_of[labels[placed_positions]]
+            by_final_label = placed_positions[
+                np.argsort(final_of_placed, kind="stable")
+            ]
+            boundaries = np.cumsum(np.bincount(final_of_placed))[:-1]
+            clusters = [
+                tuple(members.tolist())
+                for members in np.split(by_final_label, boundaries)
+            ]
+        else:  # pragma: no cover - kept clusters always hold sample members
+            clusters = []
+
+        labeling_result = None
+        if labeling_labels is not None:
+            remapped = labeling_labels.copy()
+            placed = remapped >= 0
+            remapped[placed] = new_label_of[labeling_labels[placed]]
+            labeling_result = LabelingResult(
+                labels=remapped,
+                neighbor_counts=np.zeros((0, len(clusters)), dtype=float),
+                n_outliers=int(np.sum(remapped == -1)),
+            )
+
+        timings["total"] = time.perf_counter() - total_start
+        parameters = {
+            "n_clusters": self.n_clusters,
+            "theta": self.theta,
+            "sample_size": self.sample_size,
+            "min_neighbors": self.min_neighbors,
+            "min_cluster_size": self.min_cluster_size,
+            "labeling_fraction": self.labeling_fraction,
+            "assign_outliers": self.assign_outliers,
+            "engine": self.engine,
+            "online": True,
+            "batch_size": int(batch_size),
+            "sample_method": sample_method,
+            "refresh_threshold": refresh_threshold,
+            "n_refreshes": session.n_refreshes,
+        }
+        return RockPipelineResult(
+            labels=final_labels,
+            clusters=clusters,
+            sample_indices=list(sample_indices),
+            rock_result=rock_result,
+            labeling_result=labeling_result,
+            labeled_indices=labeled_indices,
+            n_outliers=int(np.sum(final_labels == -1)),
+            timings=timings,
+            parameters=parameters,
+        )
 
     # ------------------------------------------------------------------ #
     def run_sharded(

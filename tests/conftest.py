@@ -1,13 +1,27 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also registers the pinned hypothesis profile CI runs under
+(``HYPOTHESIS_PROFILE=ci``): examples are derandomized (a fixed seed, so
+every run explores the same cases — no flaky shrink sessions on shared
+runners) and the per-example deadline is disabled (CI hardware jitter must
+not fail a property that passes locally).  The default profile stays
+untouched for local runs.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.data.dataset import CategoricalDataset, TransactionDataset
 from repro.datasets.mushroom import generate_mushroom_like
 from repro.datasets.votes import generate_votes_like
+
+settings.register_profile("ci", deadline=None, derandomize=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,0 +1,121 @@
+"""Golden-fixture definitions and regeneration script.
+
+Each case runs one pipeline execution mode — in-memory ``run``, streaming,
+sharded, online, and online-with-refresh — on the same small seeded
+mushroom-like slice and records the exact labels and cluster summary as a
+committed JSON fixture.  ``tests/test_golden.py`` re-runs every case and
+diffs the outcome against the fixture, so *any* behavioural drift in the
+label pipeline (sampling, clustering, labelling, merge, splice order, RNG
+consumption) fails loudly rather than slipping through as a silent quality
+change.  Every future execution mode should add a case here.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the diff together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.pipeline import RockPipeline
+from repro.core.rock import as_transactions
+from repro.datasets.mushroom import generate_mushroom_like
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Shape of the mushroom-like slice every case clusters: 8 uneven latent
+#: groups, 180 records, fixed generator seed.
+DATASET_PARAMS = dict(
+    group_sizes_edible=(40, 25, 15, 10),
+    group_sizes_poisonous=(35, 30, 20, 5),
+    rng=11,
+)
+
+#: Pipeline parameters shared by every case (the paper's mushroom theta).
+PIPELINE_PARAMS = dict(
+    n_clusters=8,
+    theta=0.8,
+    sample_size=120,
+    min_cluster_size=2,
+    rng=0,
+)
+
+BATCH_SIZE = 32
+
+
+def golden_transactions() -> list[frozenset]:
+    """The mushroom-slice transactions every golden case clusters."""
+    dataset = generate_mushroom_like(**DATASET_PARAMS)
+    return as_transactions(dataset)
+
+
+def _pipeline() -> RockPipeline:
+    return RockPipeline(**PIPELINE_PARAMS)
+
+
+def run_case(mode: str):
+    """Execute one golden case; returns its ``RockPipelineResult``."""
+    transactions = golden_transactions()
+    if mode == "run":
+        return _pipeline().run(transactions)
+    if mode == "streaming":
+        return _pipeline().run_streaming(transactions, batch_size=BATCH_SIZE)
+    if mode == "sharded":
+        return _pipeline().run_sharded(
+            transactions, n_shards=2, batch_size=BATCH_SIZE
+        )
+    if mode == "online":
+        return _pipeline().run_online(transactions, batch_size=BATCH_SIZE)
+    if mode == "online_refresh":
+        return _pipeline().run_online(
+            transactions, batch_size=BATCH_SIZE, refresh_threshold=0.25
+        )
+    raise ValueError("unknown golden mode %r" % mode)
+
+
+#: Every committed case, in fixture-file order.
+MODES = ("run", "streaming", "sharded", "online", "online_refresh")
+
+
+def summarize(mode: str, result) -> dict:
+    """The committed shape of one case: labels + cluster summary."""
+    summary = {
+        "mode": mode,
+        "dataset": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in DATASET_PARAMS.items()
+        },
+        "pipeline": dict(PIPELINE_PARAMS),
+        "batch_size": BATCH_SIZE,
+        "labels": [int(label) for label in result.labels],
+        "cluster_sizes": [int(size) for size in result.cluster_sizes()],
+        "n_clusters": int(result.n_clusters),
+        "n_outliers": int(result.n_outliers),
+    }
+    if mode == "online_refresh":
+        summary["n_refreshes"] = int(result.parameters["n_refreshes"])
+    return summary
+
+
+def fixture_path(mode: str) -> Path:
+    return GOLDEN_DIR / ("%s.json" % mode)
+
+
+def main() -> None:
+    for mode in MODES:
+        payload = summarize(mode, run_case(mode))
+        fixture_path(mode).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            "wrote %s: %d clusters, %d outliers"
+            % (fixture_path(mode).name, payload["n_clusters"], payload["n_outliers"])
+        )
+
+
+if __name__ == "__main__":
+    main()

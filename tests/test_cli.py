@@ -246,6 +246,134 @@ class TestStreamingCli:
         assert "require --sample-size" in capsys.readouterr().err
 
 
+class TestOnlineCli:
+    def _basket_path(self, tmp_path, n=160):
+        baskets = generate_market_baskets(rng=3, n_transactions=n, n_clusters=3)
+        path = tmp_path / "online.txt"
+        write_transactions(baskets, path, label_prefix="class=")
+        return path
+
+    def _base(self, path):
+        return [
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "60", "--seed", "5",
+        ]
+
+    def test_online_flags_parsed_with_defaults(self):
+        arguments = build_parser().parse_args(
+            ["cluster", "x.txt", "--format", "transactions", "--clusters", "2"]
+        )
+        assert arguments.online is False
+        assert arguments.refresh_threshold is None
+
+    def test_online_cli_matches_stream_cli(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        online_out = tmp_path / "online_labels.txt"
+        stream_out = tmp_path / "stream_labels.txt"
+        assert main(self._base(path) + ["--online", "--batch-size", "32",
+                                        "--output", str(online_out)]) == 0
+        assert main(self._base(path) + ["--stream", "--batch-size", "32",
+                                        "--output", str(stream_out)]) == 0
+        captured = capsys.readouterr().out
+        assert "online" in captured
+        assert online_out.read_text() == stream_out.read_text()
+
+    def test_online_with_refresh_threshold_runs(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        code = main(self._base(path) + ["--online", "--batch-size", "16",
+                                        "--refresh-threshold", "0.25"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "refreshes" in captured
+
+    # ---- conflicting mode flags ---------------------------------------- #
+    def test_online_conflicts_with_stream(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        code = main(self._base(path) + ["--online", "--stream"])
+        assert code == 2
+        assert "--online conflicts with --stream/--shards" in capsys.readouterr().err
+
+    def test_online_conflicts_with_shards(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        code = main(self._base(path) + ["--online", "--shards", "2"])
+        assert code == 2
+        assert "--online conflicts with --stream/--shards" in capsys.readouterr().err
+
+    def test_all_three_modes_at_once_rejected(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        code = main(
+            self._base(path) + ["--online", "--stream", "--shards", "2"]
+        )
+        assert code == 2
+        assert "pick exactly one" in capsys.readouterr().err
+
+    def test_stream_plus_multi_shards_still_allowed(self, tmp_path, capsys):
+        # --stream with --shards N is the historical spelling of the
+        # sharded mode (shards imply streaming); it must keep working.
+        path = self._basket_path(tmp_path)
+        code = main(self._base(path) + ["--stream", "--shards", "2"])
+        assert code == 0
+        assert "sharded x2" in capsys.readouterr().out
+
+    # ---- invalid --refresh-threshold ----------------------------------- #
+    def test_refresh_threshold_without_online_rejected(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        code = main(self._base(path) + ["--refresh-threshold", "0.5"])
+        assert code == 2
+        assert "--refresh-threshold requires --online" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-0.5", "nan"])
+    def test_non_positive_refresh_threshold_rejected(self, tmp_path, capsys, value):
+        path = self._basket_path(tmp_path)
+        code = main(
+            self._base(path) + ["--online", "--refresh-threshold", value]
+        )
+        assert code == 2
+        assert "refresh_threshold must be a positive fraction" in (
+            capsys.readouterr().err
+        )
+
+    # ---- other online error paths -------------------------------------- #
+    def test_online_requires_transactions_format(self, tmp_path, capsys):
+        votes = generate_votes_like(n_republicans=20, n_democrats=20, rng=1)
+        path = tmp_path / "votes.csv"
+        from repro.data.io import write_categorical_csv
+
+        write_categorical_csv(votes, path)
+        code = main([
+            "cluster", str(path), "--clusters", "2", "--online",
+            "--sample-size", "20",
+        ])
+        assert code == 2
+        assert "require --format transactions" in capsys.readouterr().err
+
+    def test_online_requires_sample_size(self, tmp_path, capsys):
+        path = tmp_path / "b.txt"
+        path.write_text("a b\nc d\n")
+        code = main([
+            "cluster", str(path), "--format", "transactions",
+            "--clusters", "2", "--online",
+        ])
+        assert code == 2
+        assert "require --sample-size" in capsys.readouterr().err
+
+    def test_unknown_neighbor_strategy_lists_the_registry(self, capsys):
+        # argparse rejects the value and its message enumerates the live
+        # registry choices, so a user sees what is actually available.
+        from repro.core.neighbors import NEIGHBOR_STRATEGIES
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "x.txt", "--clusters", "2",
+                 "--neighbor-strategy", "warp"]
+            )
+        message = capsys.readouterr().err
+        assert "warp" in message
+        for strategy in NEIGHBOR_STRATEGIES:
+            assert strategy in message
+
+
 class TestShardedCli:
     def _basket_path(self, tmp_path, n=240):
         baskets = generate_market_baskets(rng=3, n_transactions=n, n_clusters=3)

@@ -13,9 +13,12 @@ import pytest
 
 from repro.core.neighbors import (
     AUTO_BLOCKED_THRESHOLD,
+    AUTO_INVERTED_MAX_DENSITY,
+    AUTO_INVERTED_MIN_POINTS,
     DEFAULT_BLOCK_SIZE,
     NEIGHBOR_STRATEGIES,
     available_backends,
+    candidate_pair_density,
     compute_neighbors,
     get_backend,
     register_backend,
@@ -141,6 +144,125 @@ class TestAutoSelection:
     def test_large_inputs_switch_to_blocked(self):
         assert select_backend_name(JaccardSimilarity(), AUTO_BLOCKED_THRESHOLD) == "blocked"
         assert select_backend_name(DiceSimilarity(), AUTO_BLOCKED_THRESHOLD + 1) == "blocked"
+
+
+class TestAutoInvertedHeuristic:
+    """Decision boundary of the posting-list-density inverted-index pick."""
+
+    @staticmethod
+    def rare_item_transactions(n):
+        # Every item occurs exactly twice: candidate mass n/2 pairs out of
+        # n(n-1)/2, density ~ 1/(n-1) — deep inside the sparse regime.
+        return [frozenset({i // 2, 10**6 + i}) for i in range(n)]
+
+    @staticmethod
+    def dense_transactions(n):
+        # Every point shares item 0 with every other: density >= 1.
+        return [frozenset({0, i}) for i in range(n)]
+
+    def test_density_of_disjoint_transactions_is_zero(self):
+        assert candidate_pair_density([frozenset({1}), frozenset({2})]) == 0.0
+        assert candidate_pair_density([frozenset({1})]) == 0.0
+
+    def test_density_of_fully_shared_item_is_one(self):
+        assert candidate_pair_density(self.dense_transactions(100)) >= 1.0
+
+    def test_density_counts_pairs_once_per_shared_item(self):
+        # Two points sharing two items: mass 2 over 1 pair -> density 2.
+        transactions = [frozenset({1, 2}), frozenset({1, 2})]
+        assert candidate_pair_density(transactions) == pytest.approx(2.0)
+
+    def test_sparse_rare_item_workload_picks_inverted_index(self):
+        n = AUTO_INVERTED_MIN_POINTS
+        transactions = self.rare_item_transactions(n)
+        assert candidate_pair_density(transactions) <= AUTO_INVERTED_MAX_DENSITY
+        assert (
+            select_backend_name(JaccardSimilarity(), n, transactions)
+            == "inverted-index"
+        )
+
+    def test_dense_workload_keeps_blocked(self):
+        n = AUTO_INVERTED_MIN_POINTS
+        transactions = self.dense_transactions(n)
+        assert (
+            select_backend_name(JaccardSimilarity(), n, transactions) == "blocked"
+        )
+
+    def test_below_scale_threshold_stays_vectorized_even_when_sparse(self):
+        n = AUTO_INVERTED_MIN_POINTS - 1
+        transactions = self.rare_item_transactions(n)
+        assert (
+            select_backend_name(JaccardSimilarity(), n, transactions)
+            == "vectorized"
+        )
+
+    def test_without_transactions_the_size_only_choice_is_unchanged(self):
+        assert (
+            select_backend_name(JaccardSimilarity(), AUTO_INVERTED_MIN_POINTS)
+            == "blocked"
+        )
+
+    def test_non_vectorizable_measure_still_goes_bruteforce(self):
+        measure = SimpleMatchingSimilarity(n_attributes=4)
+        transactions = self.rare_item_transactions(AUTO_INVERTED_MIN_POINTS)
+        assert (
+            select_backend_name(measure, len(transactions), transactions)
+            == "bruteforce"
+        )
+
+    def test_boundary_density_is_inclusive(self):
+        # A synthetic workload sitting exactly on the density bound picks
+        # the inverted index (<=, not <): n points, one shared item per
+        # pair tuned so mass / pairs == AUTO_INVERTED_MAX_DENSITY.
+        n = AUTO_INVERTED_MIN_POINTS
+        pairs_budget = int(AUTO_INVERTED_MAX_DENSITY * n * (n - 1) / 2)
+        # items shared by exactly two points, one per budgeted pair
+        transactions = [frozenset({10**6 + i}) for i in range(n)]
+        transactions = [set(t) for t in transactions]
+        pair = 0
+        for item in range(pairs_budget):
+            left = (2 * item) % n
+            right = (2 * item + 1) % n
+            transactions[left].add(item)
+            transactions[right].add(item)
+            pair += 1
+        transactions = [frozenset(t) for t in transactions]
+        density = candidate_pair_density(transactions)
+        assert density == pytest.approx(AUTO_INVERTED_MAX_DENSITY, rel=1e-3)
+        assert (
+            select_backend_name(JaccardSimilarity(), n, transactions)
+            == "inverted-index"
+        )
+
+    @pytest.mark.parametrize("fold_limit", [1, 3, 7, 50])
+    def test_inverted_sweep_identical_under_tiny_fold_limits(
+        self, rng, monkeypatch, fold_limit
+    ):
+        # Forces every chunk path of the item-driven sweep — multi-list
+        # chunks, single-list chunks and template segmentation — and the
+        # mid-stream folds; the adjacency must stay bit-identical to the
+        # unchunked run (mirrors the links.py fold-limit test).
+        from repro.core.neighbors import inverted as inverted_module
+
+        transactions = random_transactions(rng, 40)
+        reference = compute_neighbors(
+            transactions, 0.4, strategy="inverted-index"
+        ).adjacency
+        monkeypatch.setattr(inverted_module, "PAIR_FOLD_LIMIT", fold_limit)
+        chunked = compute_neighbors(
+            transactions, 0.4, strategy="inverted-index"
+        ).adjacency
+        assert (reference != chunked).nnz == 0
+
+    def test_auto_compute_neighbors_uses_the_heuristic_end_to_end(self, rng):
+        # A small-scale sanity check that the auto path accepts the
+        # transactions argument: below the scale threshold nothing changes.
+        transactions = random_transactions(rng, 30)
+        auto = compute_neighbors(transactions, 0.4, strategy="auto").adjacency
+        explicit = compute_neighbors(
+            transactions, 0.4, strategy="vectorized"
+        ).adjacency
+        assert (auto != explicit).nnz == 0
 
 
 class TestRegistryErrorPaths:

@@ -1,0 +1,68 @@
+"""Golden regression tests: every execution mode vs its committed fixture.
+
+The fixtures under ``tests/golden/`` pin the exact labels and cluster
+summaries of small seeded runs of all pipeline modes (in-memory /
+streaming / sharded / online / online-with-refresh) on a mushroom-dataset
+slice.  A failure here means the label pipeline's observable behaviour
+changed; if the change is intentional, regenerate with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the updated fixtures with the change.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+_spec = importlib.util.spec_from_file_location(
+    "golden_regenerate", GOLDEN_DIR / "regenerate.py"
+)
+golden = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden)
+
+
+@pytest.mark.parametrize("mode", golden.MODES)
+def test_mode_matches_committed_fixture(mode):
+    path = golden.fixture_path(mode)
+    assert path.is_file(), (
+        "missing golden fixture %s; run tests/golden/regenerate.py" % path
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    actual = golden.summarize(mode, golden.run_case(mode))
+    # Compare field by field so a mismatch names what drifted instead of
+    # dumping two full JSON blobs.
+    for key in expected:
+        assert actual.get(key) == expected[key], (
+            "golden drift in mode=%s field=%r (intentional? regenerate the "
+            "fixtures and commit them with the change)" % (mode, key)
+        )
+    assert set(actual) == set(expected)
+
+
+def test_fixtures_cover_every_mode():
+    committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(golden.MODES)
+
+
+def test_online_fixture_agrees_with_streaming_fixture():
+    # The determinism contract in fixture form: without a refresh trigger
+    # the online labels are bit-identical to the streaming labels.
+    streaming = json.loads(
+        golden.fixture_path("streaming").read_text(encoding="utf-8")
+    )
+    online = json.loads(golden.fixture_path("online").read_text(encoding="utf-8"))
+    assert online["labels"] == streaming["labels"]
+
+
+def test_refresh_fixture_actually_refreshed():
+    payload = json.loads(
+        golden.fixture_path("online_refresh").read_text(encoding="utf-8")
+    )
+    assert payload["n_refreshes"] >= 1

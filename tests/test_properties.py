@@ -6,7 +6,9 @@ from hypothesis import strategies as st
 
 from repro.core.goodness import default_expected_links_exponent, goodness, theta_power
 from repro.core.heaps import AddressableMaxHeap
-from repro.core.links import links_from_neighbors
+from repro.core.incremental import IncrementalRock
+from repro.core.labeling import StreamingLabeler
+from repro.core.links import cross_cluster_links, links_from_neighbors
 from repro.core.neighbors import compute_neighbors
 from repro.core.rock import RockClustering
 from repro.evaluation.metrics import (
@@ -173,6 +175,143 @@ class TestClusteringProperties:
         assert members == list(range(len(transactions)))
         # Never fewer clusters than requested unless there are fewer points.
         assert model.n_clusters_ >= min(n_clusters, len(transactions))
+
+
+# ----------------------------------------------------------------------- #
+# Incremental-ingest invariants
+# ----------------------------------------------------------------------- #
+@st.composite
+def ingest_schedules(draw):
+    """A bootstrap set plus a stream of new points cut into random batches.
+
+    Returns ``(bootstrap, stream, batches)`` where ``batches`` is a
+    partition of ``stream`` into contiguous non-empty batches — the
+    "batched-ingest schedule" whose split must never change any label.
+    """
+    bootstrap = draw(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=10), max_size=6),
+            min_size=3,
+            max_size=10,
+        )
+    )
+    stream = draw(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=14), max_size=6),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    cuts = draw(
+        st.sets(st.integers(min_value=1, max_value=max(1, len(stream) - 1)))
+    )
+    boundaries = [0, *sorted(c for c in cuts if c < len(stream)), len(stream)]
+    batches = [
+        stream[start:stop]
+        for start, stop in zip(boundaries, boundaries[1:])
+        if stop > start
+    ]
+    return bootstrap, stream, batches
+
+
+def _bootstrap_session(bootstrap, theta, n_clusters=2, rng=0, **kwargs):
+    clusters = RockClustering(n_clusters=n_clusters, theta=theta).fit(bootstrap).clusters_
+    session = IncrementalRock(n_clusters=n_clusters, theta=theta, rng=rng, **kwargs)
+    session.bootstrap(bootstrap, clusters)
+    return session, clusters
+
+
+class TestIncrementalProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        schedule=ingest_schedules(),
+        theta=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_batched_ingest_equals_batch_labeling(self, schedule, theta):
+        # Incremental ≡ batch: the labels of a stream are independent of
+        # the ingest batch split and identical to labelling the whole
+        # stream in one StreamingLabeler pass over the bootstrap clusters.
+        bootstrap, stream, batches = schedule
+        session, clusters = _bootstrap_session(bootstrap, theta)
+        labeler = StreamingLabeler(
+            bootstrap, clusters, theta=theta, rng=np.random.default_rng(0)
+        )
+        expected = labeler.label_batch(stream).labels
+        incremental = np.concatenate(
+            [session.ingest(batch).labels for batch in batches]
+        )
+        np.testing.assert_array_equal(incremental, expected)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        schedule=ingest_schedules(),
+        theta=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_link_matrix_and_heaps_after_every_ingest(self, schedule, theta):
+        # After every ingest the maintained adjacency and link matrix are
+        # bit-identical to a from-scratch recomputation over the live
+        # points, the clusters partition them, and the cross-link stores /
+        # addressable heaps mirror the link matrix exactly.
+        bootstrap, _stream, batches = schedule
+        session, _clusters = _bootstrap_session(bootstrap, theta)
+        for batch in batches:
+            session.ingest(batch)
+            graph = compute_neighbors(session.live_points, theta=theta)
+            assert (session.adjacency_ != graph.adjacency).nnz == 0
+            fresh = links_from_neighbors(graph)
+            assert (session.links_ != fresh).nnz == 0
+            members = sorted(
+                index
+                for cluster in session.live_clusters()
+                for index in cluster
+            )
+            assert members == list(range(session.n_points))
+            current_entries = {
+                (min(left, right), max(left, right), count)
+                for _neg, _seq, left, right, count in session._pair_heap
+                if left in session._members and right in session._members
+            }
+            for cluster_id, row in session._cluster_links.items():
+                for other, count in row.items():
+                    assert session._cluster_links[other][cluster_id] == count
+                    assert count == cross_cluster_links(
+                        session.links_,
+                        session._members[cluster_id],
+                        session._members[other],
+                    )
+                    assert (
+                        min(cluster_id, other),
+                        max(cluster_id, other),
+                        count,
+                    ) in current_entries
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        schedule=ingest_schedules(),
+        theta=st.floats(min_value=0.1, max_value=0.9),
+        refresh_threshold=st.floats(min_value=0.1, max_value=2.0),
+    )
+    def test_refreshing_sessions_are_seed_reproducible(
+        self, schedule, theta, refresh_threshold
+    ):
+        # With a refresh threshold, the same schedule and seed must give
+        # the same labels, label spaces and refresh points on every run.
+        bootstrap, _stream, batches = schedule
+        outcomes = []
+        for _ in range(2):
+            session, _clusters = _bootstrap_session(
+                bootstrap, theta, refresh_threshold=refresh_threshold
+            )
+            results = [session.ingest(batch) for batch in batches]
+            outcomes.append(
+                (
+                    [result.labels.tolist() for result in results],
+                    [result.label_space for result in results],
+                    [result.refreshed for result in results],
+                    session.n_refreshes,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
 
 
 # ----------------------------------------------------------------------- #
