@@ -29,6 +29,8 @@ import pytest
 
 from conftest import bench_full, engine_bench_sizes, write_record
 
+from repro.data.io import atomic_write_text
+
 from repro.bench.engine_bench import run_engine_bench, time_engine_phases
 from repro.bench.perf_gate import (
     BASELINE_FILENAME,
@@ -80,8 +82,9 @@ def test_benchmark_engine_phases(results_dir):
         path=BASELINE_PATH if full else None,
     )
     if not full:
-        (results_dir / "BENCH_engine_smoke.json").write_text(
-            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        atomic_write_text(
+            results_dir / "BENCH_engine_smoke.json",
+            json.dumps(payload, indent=2) + "\n",
         )
     write_record(results_dir, "ENGINE_phase_timings", _render(payload))
 

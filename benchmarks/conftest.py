@@ -24,6 +24,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.data.io import atomic_write_text
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -70,5 +72,5 @@ def max_sample() -> int:
 def write_record(results_dir: Path, name: str, text: str) -> None:
     """Persist a rendered experiment record and echo it to stdout."""
     path = results_dir / ("%s.txt" % name)
-    path.write_text(text + "\n", encoding="utf-8")
+    atomic_write_text(path, text + "\n")
     print("\n" + text)

@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.labeling import label_points, label_points_streaming
+from repro.data.io import atomic_write_text
 from repro.core.links import links_from_neighbors
 from repro.core.neighbors import compute_neighbors
 from repro.core.rock import RockClustering
@@ -238,7 +239,7 @@ def run_engine_bench(
         "sizes": rows,
     }
     if path is not None:
-        Path(path).write_text(
-            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        atomic_write_text(
+            Path(path), json.dumps(payload, indent=2, sort_keys=False) + "\n"
         )
     return payload

@@ -102,6 +102,15 @@ def _command_cluster(arguments) -> int:
             "--refresh-threshold requires --online (it bounds the drift of "
             "the live online clustering)"
         )
+    if not arguments.online and (
+        arguments.snapshot_dir is not None
+        or arguments.snapshot_every is not None
+        or arguments.resume
+    ):
+        raise ConfigurationError(
+            "--snapshot-dir/--snapshot-every/--resume require --online "
+            "(checkpoints capture the live incremental session)"
+        )
     if arguments.stream or arguments.online or arguments.shards > 1:
         return _command_cluster_streaming(arguments)
     transactions, labels, n_records = _load_input(arguments)
@@ -189,6 +198,9 @@ def _command_cluster_streaming(arguments) -> int:
             batch_size=arguments.batch_size,
             refresh_threshold=arguments.refresh_threshold,
             label_prefix=arguments.label_prefix,
+            snapshot_dir=arguments.snapshot_dir,
+            snapshot_every=arguments.snapshot_every,
+            resume=arguments.resume,
         )
         if result.parameters.get("n_refreshes"):
             mode += ", %d refreshes" % result.parameters["n_refreshes"]
@@ -325,6 +337,24 @@ def build_parser() -> argparse.ArgumentParser:
              "fraction (default: never refresh)",
     )
     cluster.add_argument(
+        "--snapshot-dir", default=None,
+        help="with --online: checkpoint the live session into this directory "
+             "(write-ahead log + periodic snapshots; a killed run resumes "
+             "bit-identically with --resume)",
+    )
+    cluster.add_argument(
+        "--snapshot-every", type=int, default=None,
+        help="with --snapshot-dir: checkpoint after every N ingested batches "
+             "(default: only at start and end; the WAL still makes every "
+             "batch durable)",
+    )
+    cluster.add_argument(
+        "--resume", action="store_true",
+        help="with --snapshot-dir: recover from the last durable checkpoint "
+             "plus the WAL tail instead of starting over (falls back to a "
+             "fresh run when the directory holds no checkpoint)",
+    )
+    cluster.add_argument(
         "--shards", type=int, default=1,
         help="shard the clustering phase across N shards (N > 1 implies the "
              "out-of-core mode: transactions format and --sample-size "
@@ -371,8 +401,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return arguments.handler(arguments)
     except ReproError as error:
+        # Exit 3 keeps library errors distinguishable from argparse usage
+        # errors, which exit 2.
         print("error: %s" % error, file=sys.stderr)
-        return 2
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

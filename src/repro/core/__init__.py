@@ -67,6 +67,7 @@ from repro.core.sharding import (
     SHARD_STRATEGIES,
     ShardClusterResult,
     ShardPlan,
+    ShardRunResults,
     SummaryMergeResult,
     allocate_sample_sizes,
     cluster_shards,
@@ -115,6 +116,7 @@ __all__ = [
     "SHARD_STRATEGIES",
     "ShardClusterResult",
     "ShardPlan",
+    "ShardRunResults",
     "SummaryMergeResult",
     "allocate_sample_sizes",
     "cluster_shards",

@@ -475,6 +475,138 @@ class IncrementalRock:
         return clusters
 
     # ------------------------------------------------------------------ #
+    # State capture / restore (the persistence layer's view of a session)
+    # ------------------------------------------------------------------ #
+    def config_dict(self) -> dict:
+        """The session configuration as JSON-compatible values.
+
+        Recorded in every snapshot manifest and compared on restore: resuming
+        under different parameters would break the restore ≡ uninterrupted
+        contract, so a mismatch is refused
+        (:class:`~repro.errors.SnapshotConfigMismatchError`).
+        """
+        return {
+            "n_clusters": self.n_clusters,
+            "theta": self.theta,
+            "measure": getattr(self.measure, "name", type(self.measure).__name__),
+            "labeling_fraction": self.labeling_fraction,
+            "labeling_strategy": self.labeling_strategy,
+            "assign_outliers": self.assign_outliers,
+            "neighbor_strategy": self.neighbor_strategy,
+            "neighbor_block_size": self.neighbor_block_size,
+            "link_strategy": self.link_strategy,
+            "include_self_links": self.include_self_links,
+            "refresh_threshold": self.refresh_threshold,
+        }
+
+    def session_state(self) -> dict:
+        """Capture the complete live state for a snapshot.
+
+        Everything a later :meth:`from_session_state` needs to continue the
+        session bit-for-bit: the maintained matrices, cluster stores, the
+        pair heap *verbatim* (recomputing it would renumber the heap
+        sequence counter and change deterministic tie-breaking), the
+        labeler's retained fractions and the RNG stream position.  The
+        measure and exponent function are code, not data — the caller
+        re-supplies them on restore.
+        """
+        self._require_bootstrapped()
+        return {
+            "config": self.config_dict(),
+            "counters": {
+                "n_refreshes": int(self.n_refreshes),
+                "n_ingested": int(self.n_ingested),
+                "base_points": int(self._base_points),
+                "inserted_since_refresh": int(self._inserted_since_refresh),
+                "next_cluster_id": int(self._next_cluster_id),
+                "heap_seq": int(self._heap_seq),
+            },
+            "rng": self.rng.bit_generator.state,
+            "points": list(self._points),
+            "item_index": dict(self._item_index),
+            "members": {int(k): list(v) for k, v in self._members.items()},
+            "cluster_links": {
+                int(k): dict(row) for k, row in self._cluster_links.items()
+            },
+            "cluster_of": list(self._cluster_of),
+            "heap": [tuple(entry) for entry in self._pair_heap],
+            "labeler": self._labeler.state(),
+            "arrays": {
+                "adjacency": self._adjacency.copy(),
+                "links": self._links.copy(),
+                "incidence": self._incidence.copy(),
+                "sizes": self._sizes.copy(),
+            },
+        }
+
+    @classmethod
+    def from_session_state(
+        cls,
+        state: dict,
+        measure: SetSimilarity | None = None,
+        exponent_function: ExponentFunction | None = None,
+    ) -> "IncrementalRock":
+        """Rebuild a live session from :meth:`session_state` output.
+
+        The restored session's subsequent :meth:`ingest` calls are
+        bit-identical to the uninterrupted original: matrices, cluster
+        stores and the pair heap are reinstated verbatim, the labeler is
+        rebuilt without consuming RNG, and the generator resumes at the
+        captured stream position.
+        """
+        config = state["config"]
+        session = cls(
+            n_clusters=config["n_clusters"],
+            theta=config["theta"],
+            measure=measure,
+            exponent_function=exponent_function,
+            labeling_fraction=config["labeling_fraction"],
+            labeling_strategy=config["labeling_strategy"],
+            assign_outliers=config["assign_outliers"],
+            neighbor_strategy=config["neighbor_strategy"],
+            neighbor_block_size=config["neighbor_block_size"],
+            link_strategy=config["link_strategy"],
+            include_self_links=config["include_self_links"],
+            refresh_threshold=config["refresh_threshold"],
+        )
+        rng_state = state["rng"]
+        bit_generator = getattr(np.random, rng_state["bit_generator"])()
+        session.rng = np.random.Generator(bit_generator)
+        session.rng.bit_generator.state = rng_state
+
+        counters = state["counters"]
+        session.n_refreshes = counters["n_refreshes"]
+        session.n_ingested = counters["n_ingested"]
+        session._base_points = counters["base_points"]
+        session._inserted_since_refresh = counters["inserted_since_refresh"]
+        session._next_cluster_id = counters["next_cluster_id"]
+        session._heap_seq = counters["heap_seq"]
+
+        session._labeler = StreamingLabeler.from_state(
+            state["labeler"],
+            theta=session.theta,
+            measure=session.measure,
+            exponent_function=session.exponent_function,
+            assign_outliers=session.assign_outliers,
+        )
+        session._points = [frozenset(t) for t in state["points"]]
+        session._item_index = dict(state["item_index"])
+        session._members = {int(k): list(v) for k, v in state["members"].items()}
+        session._cluster_links = {
+            int(k): dict(row) for k, row in state["cluster_links"].items()
+        }
+        session._cluster_of = list(state["cluster_of"])
+        session._pair_heap = [tuple(entry) for entry in state["heap"]]
+        session._exponent = 1.0 + 2.0 * session.exponent_function(session.theta)
+
+        arrays = state["arrays"]
+        session._adjacency = arrays["adjacency"].tocsr()
+        session._links = arrays["links"].tocsr()
+        session._incidence = arrays["incidence"].tocsr()
+        session._sizes = np.asarray(arrays["sizes"], dtype=np.int64)
+        return session
+
+    # ------------------------------------------------------------------ #
     # Ingest
     # ------------------------------------------------------------------ #
     def ingest(self, batch: Sequence[frozenset]) -> IngestResult:

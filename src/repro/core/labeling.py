@@ -213,14 +213,8 @@ class StreamingLabeler:
         self.fractions = select_labeling_fractions(
             clusters, fraction=labeling_fraction, rng=rng
         )
+        self._exponent = exponent_function(self.theta)
         self.n_clusters = len(self.fractions)
-        exponent = exponent_function(self.theta)
-        self.normalisers = np.array(
-            [(len(subset) + 1.0) ** exponent for subset in self.fractions], dtype=float
-        )
-        self.subset_sizes = np.asarray(
-            [len(subset) for subset in self.fractions], dtype=float
-        )
         # Fallback target of ``assign_outliers=False``: with every raw count
         # at zero the argmax-count rule degenerates to the largest cluster
         # (first one on ties).
@@ -229,6 +223,30 @@ class StreamingLabeler:
         )
         self._use_sparse = strategy == "sparse-matmul" or (
             strategy == "auto" and vectorizable
+        )
+        self._bind_derived(item_index)
+        # Running totals across batches (the merged summary).
+        self.n_batches = 0
+        self.n_points = 0
+        self.n_outliers = 0
+
+    # ------------------------------------------------------------------ #
+    def _bind_derived(self, item_index: dict | None) -> None:
+        """Build the sparse-strategy structures from the retained fractions.
+
+        Shared by the constructor and :meth:`from_state`: everything here is
+        a pure function of ``sample``, ``fractions``, ``theta``, ``measure``
+        and ``item_index`` — no RNG is consumed, which is what lets a
+        restored labeler reproduce the original bit-for-bit.
+        """
+        measure = self.measure
+        self.n_clusters = len(self.fractions)
+        self.normalisers = np.array(
+            [(len(subset) + 1.0) ** self._exponent for subset in self.fractions],
+            dtype=float,
+        )
+        self.subset_sizes = np.asarray(
+            [len(subset) for subset in self.fractions], dtype=float
         )
         if self._use_sparse:
             # Whether a pair of empty sets counts as neighbours under this
@@ -258,10 +276,67 @@ class StreamingLabeler:
                 [len(t) for t in retained], dtype=np.int64
             )
             self._empty_retained = np.nonzero(self._retained_sizes == 0)[0]
-        # Running totals across batches (the merged summary).
-        self.n_batches = 0
-        self.n_points = 0
-        self.n_outliers = 0
+
+    # ------------------------------------------------------------------ #
+    def state(self) -> dict:
+        """Everything needed to rebuild this labeler without consuming RNG.
+
+        The retained fractions were drawn from the caller's generator in the
+        constructor; persisting them (rather than redrawing on restore) is
+        what keeps a restored session on the original random stream.  The
+        measure and exponent function are *not* captured — they are code,
+        not data — and must be re-supplied to :meth:`from_state`.
+        """
+        return {
+            "sample": list(self.sample),
+            "fractions": [list(subset) for subset in self.fractions],
+            "fallback_label": int(self._fallback_label),
+            "use_sparse": bool(self._use_sparse),
+            "item_index": dict(self._item_index) if self._use_sparse else None,
+            "n_batches": int(self.n_batches),
+            "n_points": int(self.n_points),
+            "n_outliers": int(self.n_outliers),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        theta: float,
+        measure: SetSimilarity | None = None,
+        exponent_function: ExponentFunction | None = None,
+        assign_outliers: bool = True,
+    ) -> "StreamingLabeler":
+        """Rebuild a labeler from :meth:`state` output.
+
+        Derived structures (normalisers, retained incidence) are recomputed
+        deterministically from the stored fractions; no random draw happens,
+        so the caller's RNG stream is untouched.
+        """
+        if measure is None:
+            measure = JaccardSimilarity()
+        if exponent_function is None:
+            exponent_function = default_expected_links_exponent
+        if state["use_sparse"] and not supports_vectorized_counts(measure):
+            raise ConfigurationError(
+                "labeler state was captured under the sparse-matmul strategy "
+                "but %r lacks the vectorized-counts capability"
+                % getattr(measure, "name", measure)
+            )
+        labeler = cls.__new__(cls)
+        labeler.theta = float(theta)
+        labeler.measure = measure
+        labeler.assign_outliers = bool(assign_outliers)
+        labeler.sample = [frozenset(t) for t in state["sample"]]
+        labeler.fractions = [list(subset) for subset in state["fractions"]]
+        labeler._exponent = exponent_function(labeler.theta)
+        labeler._fallback_label = int(state["fallback_label"])
+        labeler._use_sparse = bool(state["use_sparse"])
+        labeler._bind_derived(state["item_index"])
+        labeler.n_batches = int(state["n_batches"])
+        labeler.n_points = int(state["n_points"])
+        labeler.n_outliers = int(state["n_outliers"])
+        return labeler
 
     # ------------------------------------------------------------------ #
     def _sparse_counts(self, batch: list[frozenset]) -> np.ndarray:

@@ -77,8 +77,12 @@ from repro.errors import (
     ConfigurationError,
     DataValidationError,
     InsufficientLinksError,
+    SnapshotConfigMismatchError,
+    SnapshotCorruptionError,
 )
+from repro.persistence.session import PersistentSession
 from repro.similarity.base import SetSimilarity
+from repro.similarity.jaccard import JaccardSimilarity
 from repro.types import ClusterSummary
 
 #: Sampling strategies accepted by :meth:`RockPipeline.run_streaming`.
@@ -242,6 +246,121 @@ def _transaction_batches(
     return factory, len(transactions)
 
 
+class _OnlineIngestState:
+    """Mutable label bookkeeping of one :meth:`RockPipeline.run_online`.
+
+    Everything the final assembly needs that the ``IncrementalRock`` session
+    does not itself hold: the full-stream label array, per-batch label
+    chunks, the refresh label-space offsets and the progress counters saying
+    which pending batches were already absorbed.  ``to_extra`` packs it into
+    the snapshot's caller-state slot and ``from_extra`` rebuilds it, so a
+    resumed run continues exactly where the checkpoint left off.
+    """
+
+    KIND_REMAINDER = "remainder"
+    KIND_SAMPLE = "sample"
+
+    def __init__(
+        self,
+        n_points: int,
+        labels: np.ndarray,
+        space_sizes,
+        sample_indices,
+        sample_pending,
+        sample_pending_transactions,
+        has_remainder: bool,
+        rock_result,
+        batch_size: int,
+        sample_method: str,
+    ):
+        self.n_points = int(n_points)
+        self.labels = labels
+        self.label_chunks: list[np.ndarray] = []
+        self.labeled_indices: list[int] = []
+        # Every refresh opens a fresh labelling space; global label ids
+        # are the per-space labels shifted by the previous spaces' sizes,
+        # so assignments from different spaces never collide.
+        self.offsets = [0]
+        self.space_sizes = list(space_sizes)
+        self.sample_indices = list(sample_indices)
+        self.sample_pending = list(sample_pending)
+        self.sample_pending_transactions = list(sample_pending_transactions)
+        self.has_remainder = bool(has_remainder)
+        self.rock_result = rock_result
+        self.batch_size = int(batch_size)
+        self.sample_method = sample_method
+        self.remainder_done = 0
+        self.sample_pending_done = False
+
+    def apply(self, session: IncrementalRock, payload) -> None:
+        """Splice one logged payload: ingest, place labels, advance progress."""
+        batch, positions, kind = payload
+        result = session.ingest(batch)
+        chunk = result.labels.copy()
+        chunk[chunk >= 0] += self.offsets[result.label_space]
+        self.labels[positions] = chunk
+        self.labeled_indices.extend(positions)
+        self.label_chunks.append(chunk)
+        if result.refreshed:
+            self.offsets.append(self.offsets[-1] + self.space_sizes[-1])
+            self.space_sizes.append(session.n_labeler_clusters)
+        if kind == self.KIND_REMAINDER:
+            self.remainder_done += 1
+        else:
+            self.sample_pending_done = True
+
+    def to_extra(self) -> dict:
+        return {
+            "online": {
+                "n_points": self.n_points,
+                "labels": self.labels.copy(),
+                "label_chunks": [chunk.copy() for chunk in self.label_chunks],
+                "labeled_indices": list(self.labeled_indices),
+                "offsets": list(self.offsets),
+                "space_sizes": list(self.space_sizes),
+                "sample_indices": list(self.sample_indices),
+                "sample_pending": list(self.sample_pending),
+                "sample_pending_transactions": list(
+                    self.sample_pending_transactions
+                ),
+                "has_remainder": self.has_remainder,
+                "rock_result": self.rock_result,
+                "batch_size": self.batch_size,
+                "sample_method": self.sample_method,
+                "remainder_done": self.remainder_done,
+                "sample_pending_done": self.sample_pending_done,
+            }
+        }
+
+    @classmethod
+    def from_extra(cls, extra: dict | None) -> "_OnlineIngestState":
+        stored = (extra or {}).get("online")
+        if stored is None:
+            raise SnapshotCorruptionError(
+                "checkpoint carries no online-pipeline state — it was not "
+                "written by run_online(snapshot_dir=...); resume the bare "
+                "session through PersistentSession.resume instead"
+            )
+        state = cls(
+            n_points=stored["n_points"],
+            labels=stored["labels"],
+            space_sizes=stored["space_sizes"],
+            sample_indices=stored["sample_indices"],
+            sample_pending=stored["sample_pending"],
+            sample_pending_transactions=stored["sample_pending_transactions"],
+            has_remainder=stored["has_remainder"],
+            rock_result=stored["rock_result"],
+            batch_size=stored["batch_size"],
+            sample_method=stored["sample_method"],
+        )
+        state.label_chunks = list(stored["label_chunks"])
+        state.labeled_indices = list(stored["labeled_indices"])
+        state.offsets = list(stored["offsets"])
+        state.remainder_done = int(stored["remainder_done"])
+        state.sample_pending_done = bool(stored["sample_pending_done"])
+        return state
+
+
 class RockPipeline:
     """Configurable sample/cluster/label ROCK pipeline.
 
@@ -348,6 +467,7 @@ class RockPipeline:
         self.rng = np.random.default_rng(rng)
         self.strict = bool(strict)
         self._online_session: IncrementalRock | None = None
+        self._online_store: PersistentSession | None = None
 
     # ------------------------------------------------------------------ #
     def _cluster_sample(self, sample: list[frozenset], item_index: dict, timings: dict):
@@ -845,6 +965,14 @@ class RockPipeline:
         :meth:`run_online` call, or ``None`` before one ran."""
         return self._online_session
 
+    @property
+    def online_store(self) -> PersistentSession | None:
+        """The durable store of the last ``run_online(snapshot_dir=...)``
+        call, or ``None`` when the run was not persisted.  Post-run
+        :meth:`ingest` calls are *not* logged through it automatically;
+        drive the store's own ``ingest`` for durable post-run batches."""
+        return self._online_store
+
     def ingest(self, batch) -> IngestResult:
         """Feed one more batch into the live online session.
 
@@ -875,6 +1003,9 @@ class RockPipeline:
         sample_method: str = "exact",
         delimiter: str | None = None,
         label_prefix: str | None = None,
+        snapshot_dir: str | os.PathLike | None = None,
+        snapshot_every: int | None = None,
+        resume: bool = False,
     ) -> RockPipelineResult:
         """Execute the pipeline in online-ingest mode over ``source``.
 
@@ -906,6 +1037,21 @@ class RockPipeline:
         size-ordered view over all assignments
         (``parameters["n_refreshes"]`` reports how many happened).
 
+        Durability: with ``snapshot_dir`` the run becomes crash-safe — every
+        ingested batch is appended to a write-ahead log *before* it mutates
+        the session and a checksummed checkpoint of the full session (plus
+        the pipeline's label bookkeeping) is written atomically every
+        ``snapshot_every`` batches and at the end of the run.  With
+        ``resume=True`` and a durable checkpoint present, the sampling and
+        clustering phases are skipped entirely: the session is restored from
+        the checkpoint, the WAL tail is replayed, and only the not-yet-
+        ingested batches of ``source`` are processed — the final result is
+        bit-identical to the uninterrupted run (``source``, ``batch_size``
+        and the session parameters must match; mismatches raise
+        :class:`~repro.errors.SnapshotConfigMismatchError`).  ``resume=True``
+        with no checkpoint on disk simply runs fresh, so a crash-recovery
+        loop can pass it unconditionally.
+
         Returns
         -------
         RockPipelineResult
@@ -920,6 +1066,27 @@ class RockPipeline:
                 % (sample_method, ", ".join(STREAMING_SAMPLE_METHODS))
             )
         refresh_threshold = validate_refresh_threshold(refresh_threshold)
+        if snapshot_dir is None and snapshot_every is not None:
+            raise ConfigurationError(
+                "snapshot_every requires snapshot_dir (there is nowhere to "
+                "write the checkpoints)"
+            )
+        if snapshot_dir is None and resume:
+            raise ConfigurationError(
+                "resume=True requires snapshot_dir (there is nothing to "
+                "resume from)"
+            )
+        if resume and PersistentSession.can_resume(snapshot_dir):
+            return self._resume_online(
+                source,
+                batch_size,
+                refresh_threshold,
+                sample_method,
+                delimiter,
+                label_prefix,
+                snapshot_dir,
+                snapshot_every,
+            )
         total_start = time.perf_counter()
         timings: dict[str, float] = {}
         batches, known_length = _transaction_batches(
@@ -976,41 +1143,166 @@ class RockPipeline:
         sample_pending = _pending_sample_positions(
             sample_indices, sample_position_of, isolated, pruned_points
         )
-        has_remainder = n_points > len(sample_indices)
-
-        # Every refresh opens a fresh labelling space; global label ids
-        # are the per-space labels shifted by the previous spaces' sizes,
-        # so assignments from different spaces never collide.
-        space_sizes = [len(kept_clusters)]
-        offsets = [0]
-        label_chunks: list[np.ndarray] = []
-        labeled_indices: list[int] = []
-
-        def ingest_pending(pending_batch, pending_positions):
-            result = session.ingest(pending_batch)
-            chunk = result.labels.copy()
-            chunk[chunk >= 0] += offsets[result.label_space]
-            labels[pending_positions] = chunk
-            labeled_indices.extend(pending_positions)
-            label_chunks.append(chunk)
-            if result.refreshed:
-                offsets.append(offsets[-1] + space_sizes[-1])
-                space_sizes.append(session.n_labeler_clusters)
-
-        if has_remainder:
-            for pending_batch, pending_positions in _pending_batches(
-                batches, sample_set
-            ):
-                ingest_pending(pending_batch, pending_positions)
-        if sample_pending:
-            ingest_pending(
-                [transaction_of_sample_index[i] for i in sample_pending],
-                sample_pending,
+        state = _OnlineIngestState(
+            n_points=n_points,
+            labels=labels,
+            space_sizes=[len(kept_clusters)],
+            sample_indices=sample_indices,
+            sample_pending=sample_pending,
+            sample_pending_transactions=[
+                transaction_of_sample_index[i] for i in sample_pending
+            ],
+            has_remainder=n_points > len(sample_indices),
+            rock_result=rock_result,
+            batch_size=int(batch_size),
+            sample_method=sample_method,
+        )
+        store = None
+        if snapshot_dir is not None:
+            store = PersistentSession.create(
+                snapshot_dir,
+                session,
+                snapshot_every=snapshot_every,
+                extra=state.to_extra(),
             )
+        self._online_store = store
+
+        self._online_ingest_loop(session, store, state, batches)
         timings["labeling"] = time.perf_counter() - phase_start
 
-        if label_chunks:
-            labeling_labels = np.concatenate(label_chunks)
+        return self._finalize_online(
+            state, session, refresh_threshold, timings, total_start
+        )
+
+    # ------------------------------------------------------------------ #
+    def _resume_online(
+        self,
+        source,
+        batch_size: int,
+        refresh_threshold: float | None,
+        sample_method: str,
+        delimiter: str | None,
+        label_prefix: str | None,
+        snapshot_dir,
+        snapshot_every: int | None,
+    ) -> RockPipelineResult:
+        """Continue an interrupted :meth:`run_online` from its snapshots.
+
+        Recovery = restore the last durable checkpoint (session + label
+        bookkeeping), replay the WAL tail through the same bookkeeping, and
+        push only the still-pending batches of ``source`` — no re-sampling,
+        no re-clustering, no RNG divergence.
+        """
+        total_start = time.perf_counter()
+        timings: dict[str, float] = {}
+        batches, _known_length = _transaction_batches(
+            source, batch_size, delimiter=delimiter, label_prefix=label_prefix
+        )
+        store = PersistentSession.resume(
+            snapshot_dir,
+            snapshot_every=snapshot_every,
+            measure=self.measure,
+            exponent_function=self.exponent_function,
+            expected_config=self._online_expected_config(refresh_threshold),
+            defer_replay=True,
+        )
+        session = store.session
+        state = _OnlineIngestState.from_extra(store.extra)
+        if state.batch_size != int(batch_size) or state.sample_method != sample_method:
+            raise SnapshotConfigMismatchError(
+                "checkpoint in %s was written with batch_size=%d, "
+                "sample_method=%r but the resume requested batch_size=%d, "
+                "sample_method=%r — the stream split must match for the "
+                "resumed labels to stay identical"
+                % (
+                    snapshot_dir,
+                    state.batch_size,
+                    state.sample_method,
+                    int(batch_size),
+                    sample_method,
+                )
+            )
+        phase_start = time.perf_counter()
+        store.replay_pending(lambda payload: state.apply(session, payload))
+        self._online_session = session
+        self._online_store = store
+
+        self._online_ingest_loop(session, store, state, batches)
+        timings["labeling"] = time.perf_counter() - phase_start
+        return self._finalize_online(
+            state, session, refresh_threshold, timings, total_start
+        )
+
+    def _online_expected_config(self, refresh_threshold: float | None) -> dict:
+        """The session config a checkpoint must match to be resumed here."""
+        measure = self.measure if self.measure is not None else JaccardSimilarity()
+        return {
+            "n_clusters": self.n_clusters,
+            "theta": self.theta,
+            "measure": getattr(measure, "name", type(measure).__name__),
+            "labeling_fraction": self.labeling_fraction,
+            "labeling_strategy": self.labeling_strategy,
+            "assign_outliers": self.assign_outliers,
+            "neighbor_strategy": self.neighbor_strategy,
+            "neighbor_block_size": self.neighbor_block_size,
+            "link_strategy": self.link_strategy,
+            "include_self_links": self.include_self_links,
+            "refresh_threshold": refresh_threshold,
+        }
+
+    def _online_ingest_loop(self, session, store, state, batches) -> None:
+        """Drive every still-pending batch through the live session.
+
+        Shared by the fresh and resumed paths: the progress counters in
+        ``state`` say which pending batches a restored checkpoint already
+        absorbed; each remaining payload is WAL-logged *before* the splice
+        and a checkpoint is written every ``snapshot_every`` applied batches
+        plus once at the end of the loop.
+        """
+
+        def ingest_payload(payload):
+            if store is not None:
+                store.log(payload)
+            state.apply(session, payload)
+            if store is not None:
+                store.batch_applied(state.to_extra)
+
+        if state.has_remainder:
+            sample_set = set(state.sample_indices)
+            skip = state.remainder_done
+            for index, (pending_batch, pending_positions) in enumerate(
+                _pending_batches(batches, sample_set)
+            ):
+                if index < skip:
+                    continue
+                ingest_payload(
+                    (pending_batch, pending_positions, state.KIND_REMAINDER)
+                )
+        if state.sample_pending and not state.sample_pending_done:
+            ingest_payload(
+                (
+                    state.sample_pending_transactions,
+                    state.sample_pending,
+                    state.KIND_SAMPLE,
+                )
+            )
+        if store is not None:
+            store.close(extra=state.to_extra())
+
+    def _finalize_online(
+        self,
+        state: _OnlineIngestState,
+        session: IncrementalRock,
+        refresh_threshold: float | None,
+        timings: dict,
+        total_start: float,
+    ) -> RockPipelineResult:
+        """Assemble the result of an online run from its ingest state."""
+        labels = state.labels
+        n_points = state.n_points
+        if state.label_chunks:
+            labeling_labels = np.concatenate(state.label_chunks)
+            labeled_indices = list(state.labeled_indices)
         else:
             labeling_labels, labeled_indices = None, None
 
@@ -1070,16 +1362,16 @@ class RockPipeline:
             "assign_outliers": self.assign_outliers,
             "engine": self.engine,
             "online": True,
-            "batch_size": int(batch_size),
-            "sample_method": sample_method,
+            "batch_size": state.batch_size,
+            "sample_method": state.sample_method,
             "refresh_threshold": refresh_threshold,
             "n_refreshes": session.n_refreshes,
         }
         return RockPipelineResult(
             labels=final_labels,
             clusters=clusters,
-            sample_indices=list(sample_indices),
-            rock_result=rock_result,
+            sample_indices=list(state.sample_indices),
+            rock_result=state.rock_result,
             labeling_result=labeling_result,
             labeled_indices=labeled_indices,
             n_outliers=int(np.sum(final_labels == -1)),
@@ -1274,7 +1566,9 @@ class RockPipeline:
                 timings=shard_timings,
             )
 
-        shard_results = cluster_shards(shard_samples, cluster_one, shard_workers)
+        shard_results = cluster_shards(
+            shard_samples, cluster_one, shard_workers, strict=self.strict
+        )
         timings["neighbors"] = sum(
             result.timings.get("neighbors", 0.0) for result in shard_results
         )
@@ -1390,6 +1684,7 @@ class RockPipeline:
                 "shard_workers": shard_workers,
                 "batch_size": int(batch_size),
                 "representatives_per_cluster": int(representatives_per_cluster),
+                "skipped_shards": list(shard_results.skipped_shards),
             },
         )
 

@@ -56,6 +56,7 @@ Determinism
 from __future__ import annotations
 
 import hashlib
+import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -71,7 +72,8 @@ from repro.core.goodness import (
 from repro.core.links import links_from_neighbors
 from repro.core.neighbors import compute_neighbors
 from repro.data.encoding import build_item_index
-from repro.errors import ConfigurationError, DataValidationError
+from repro.errors import ConfigurationError, DataValidationError, ShardExecutionError
+from repro.persistence import failpoints
 from repro.similarity.base import SetSimilarity
 from repro.types import MergeStep
 
@@ -303,12 +305,32 @@ class ShardClusterResult:
         return [len(members) for members in self.clusters]
 
 
+class ShardRunResults(list):
+    """Per-shard clustering results plus fault-tolerance metadata.
+
+    A plain ``list`` of the surviving :class:`ShardClusterResult` objects
+    (in shard order), so existing consumers keep working unchanged, with
+    two extra attributes describing what :func:`cluster_shards` had to drop:
+
+    * ``skipped_shards`` — ids of shards whose worker failed every attempt
+      (empty in a fault-free run);
+    * ``errors`` — ``{shard_id: exception}`` of the terminal failures.
+    """
+
+    def __init__(self, results=(), skipped_shards=None, errors=None):
+        super().__init__(results)
+        self.skipped_shards: list[int] = list(skipped_shards or [])
+        self.errors: dict[int, Exception] = dict(errors or {})
+
+
 def cluster_shards(
     shard_samples: Sequence[tuple[list[frozenset], list[int]]],
     cluster_one: Callable[[int, list[frozenset], list[int]], ShardClusterResult],
     shard_workers: int | None = None,
-) -> list[ShardClusterResult]:
-    """Cluster every shard sample, optionally in parallel.
+    retries: int = 1,
+    strict: bool = False,
+) -> ShardRunResults:
+    """Cluster every shard sample, optionally in parallel, with retries.
 
     Parameters
     ----------
@@ -322,16 +344,35 @@ def cluster_shards(
         be deterministic and must not consume shared random state: with
         ``shard_workers > 1`` the calls run on a
         :class:`~concurrent.futures.ThreadPoolExecutor` in unspecified
-        order.
+        order — and the same two properties are what make a *retry* of a
+        failed shard reproduce the exact result a fault-free run would
+        have produced (the shard's sample was drawn before the worker ran).
     shard_workers:
         Maximum number of worker threads; ``None`` or ``1`` clusters the
         shards serially.
+    retries:
+        How many times a failed shard is re-attempted (same inputs, hence
+        same result).  ``0`` disables retrying.
+    strict:
+        When ``True``, a shard that fails every attempt raises
+        :class:`~repro.errors.ShardExecutionError`; otherwise the run
+        degrades gracefully — a warning is emitted, the shard is recorded
+        in ``skipped_shards`` and the surviving shards carry the run.  All
+        shards failing raises regardless (there is nothing left to merge).
 
     Returns
     -------
-    list[ShardClusterResult]
-        One result per non-empty shard, in shard order regardless of
-        completion order.
+    ShardRunResults
+        The surviving results in shard order regardless of completion
+        order, plus ``skipped_shards`` / ``errors`` metadata.
+
+    Notes
+    -----
+    The failpoints ``shard.worker`` (any shard) and ``shard.worker.<id>``
+    (one specific shard) inject a failure at the start of a worker attempt;
+    armed with ``times=1`` they make exactly one attempt fail, which is how
+    the recovery suite asserts that a retried run is identical to a
+    fault-free one.
     """
     tasks = [
         (shard_id, sample, positions)
@@ -342,11 +383,66 @@ def cluster_shards(
         raise ConfigurationError(
             "shard_workers must be positive or None, got %r" % shard_workers
         )
+    if retries < 0:
+        raise ConfigurationError("retries must be non-negative, got %r" % retries)
+
+    def attempt(shard_id, sample, positions) -> ShardClusterResult:
+        failpoints.hit("shard.worker")
+        failpoints.hit("shard.worker.%d" % shard_id)
+        return cluster_one(shard_id, sample, positions)
+
+    def run_with_retry(task):
+        """Returns ``(result_or_None, error_or_None)`` for one shard."""
+        shard_id = task[0]
+        last_error: Exception | None = None
+        for _ in range(retries + 1):
+            try:
+                return attempt(*task), None
+            except Exception as error:  # noqa: BLE001 - isolate worker faults
+                last_error = error
+        return None, last_error
+
     if shard_workers is None or shard_workers == 1 or len(tasks) <= 1:
-        return [cluster_one(*task) for task in tasks]
-    with ThreadPoolExecutor(max_workers=int(shard_workers)) as executor:
-        futures = [executor.submit(cluster_one, *task) for task in tasks]
-        return [future.result() for future in futures]
+        outcomes = [run_with_retry(task) for task in tasks]
+    else:
+        with ThreadPoolExecutor(max_workers=int(shard_workers)) as executor:
+            futures = [executor.submit(run_with_retry, task) for task in tasks]
+            outcomes = [future.result() for future in futures]
+
+    results = ShardRunResults()
+    for task, (result, error) in zip(tasks, outcomes):
+        if result is not None:
+            results.append(result)
+        else:
+            shard_id = task[0]
+            results.skipped_shards.append(shard_id)
+            results.errors[shard_id] = error
+    if results.skipped_shards:
+        detail = "; ".join(
+            "shard %d: %s" % (shard_id, results.errors[shard_id])
+            for shard_id in results.skipped_shards
+        )
+        if strict:
+            raise ShardExecutionError(
+                "%d of %d shard worker(s) failed after %d attempt(s) each "
+                "(%s); rerun without strict=True to degrade to the "
+                "surviving shards" % (
+                    len(results.skipped_shards), len(tasks), retries + 1, detail
+                )
+            )
+        if not results:
+            raise ShardExecutionError(
+                "every shard worker failed after %d attempt(s) each (%s); "
+                "there are no surviving shards to merge" % (retries + 1, detail)
+            )
+        warnings.warn(
+            "%d of %d shard worker(s) failed after %d attempt(s) each and "
+            "were skipped (%s); clustering continues on the surviving shards"
+            % (len(results.skipped_shards), len(tasks), retries + 1, detail),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return results
 
 
 @dataclass

@@ -16,11 +16,60 @@ dependencies are NumPy and SciPy.
 from __future__ import annotations
 
 import os
+import tempfile
 from collections.abc import Sequence
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.data.dataset import CategoricalDataset, TransactionDataset
 from repro.errors import ConfigurationError, DataValidationError, DatasetUnavailableError
+
+
+@contextmanager
+def atomic_write(path: str | os.PathLike, mode: str = "w", encoding: str | None = "utf-8"):
+    """Write a file atomically: tmp file in the same directory + fsync + rename.
+
+    A reader never observes a partially written file — it sees either the
+    old contents or the complete new contents, even if the writer dies
+    mid-write (the orphaned ``*.tmp`` sibling is removed on the next
+    successful write to the same path).  Binary writes pass ``mode="wb"``
+    and ``encoding=None``.
+
+    Yields the open temporary-file handle; on normal exit the handle is
+    flushed, fsynced and renamed over ``path``.  On error the temporary
+    file is deleted and ``path`` is left untouched.
+    """
+    resolved = Path(path)
+    resolved.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=resolved.parent, prefix=resolved.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, resolved)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str | os.PathLike, text: str, encoding: str = "utf-8") -> Path:
+    """Atomically replace ``path`` with ``text`` (see :func:`atomic_write`)."""
+    with atomic_write(path, encoding=encoding) as handle:
+        handle.write(text)
+    return Path(path)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data`` (see :func:`atomic_write`)."""
+    with atomic_write(path, mode="wb", encoding=None) as handle:
+        handle.write(data)
+    return Path(path)
 
 
 def _require_file(path: str | os.PathLike) -> Path:
@@ -147,8 +196,7 @@ def write_categorical_csv(
     Returns the path written.
     """
     resolved = Path(path)
-    resolved.parent.mkdir(parents=True, exist_ok=True)
-    with resolved.open("w", encoding="utf-8") as handle:
+    with atomic_write(resolved) as handle:
         for i, record in enumerate(dataset):
             values = [
                 missing_token if value is None else str(value) for value in record
@@ -282,8 +330,7 @@ def write_transactions(
     the path written.
     """
     resolved = Path(path)
-    resolved.parent.mkdir(parents=True, exist_ok=True)
-    with resolved.open("w", encoding="utf-8") as handle:
+    with atomic_write(resolved) as handle:
         for i, transaction in enumerate(dataset):
             tokens = sorted(str(item) for item in transaction)
             if label_prefix is not None and dataset.has_labels:

@@ -54,3 +54,39 @@ class InsufficientLinksError(ReproError, RuntimeError):
 
 class DatasetUnavailableError(ReproError, FileNotFoundError):
     """A real-world data file was requested but is not present on disk."""
+
+
+class PersistenceError(ReproError, RuntimeError):
+    """Base class for snapshot / write-ahead-log durability failures."""
+
+
+class SnapshotNotFoundError(PersistenceError, FileNotFoundError):
+    """No durable checkpoint exists in the requested snapshot directory."""
+
+
+class SnapshotCorruptionError(PersistenceError):
+    """A checkpoint is unreadable: missing blobs, bad JSON or a checksum
+    mismatch.  The message names the offending file so an operator can fall
+    back to an older checkpoint or discard the directory."""
+
+
+class SnapshotVersionError(PersistenceError):
+    """A checkpoint was written by an incompatible snapshot-format version."""
+
+
+class SnapshotConfigMismatchError(PersistenceError):
+    """A checkpoint's recorded session configuration disagrees with the
+    configuration of the session or pipeline asking to restore it.  Resuming
+    under different parameters would silently break the restore ≡
+    uninterrupted determinism contract, so it is refused instead."""
+
+
+class WalCorruptionError(PersistenceError):
+    """A write-ahead-log record in the *middle* of the log failed its
+    checksum.  (A torn or corrupt record at the *tail* is expected after a
+    crash and is truncated silently, never raised.)"""
+
+
+class ShardExecutionError(ReproError, RuntimeError):
+    """A shard worker failed even after retrying and ``strict=True`` forbids
+    degrading to the surviving shards."""

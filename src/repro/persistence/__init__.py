@@ -1,0 +1,40 @@
+"""Crash-safe durability layer for long-lived clustering sessions.
+
+The package provides three pieces, layered bottom-up:
+
+* :mod:`repro.persistence.failpoints` — a fault-injection registry used by
+  the recovery test suite (and CI) to kill the process at precise points
+  inside a snapshot write, a WAL append or a shard worker.
+* :mod:`repro.persistence.wal` + :mod:`repro.persistence.snapshot` — the
+  on-disk format: checksummed versioned checkpoint directories written
+  atomically, and a length-prefixed checksummed write-ahead log whose torn
+  tail is truncated rather than fatal.
+* :mod:`repro.persistence.session` — :class:`PersistentSession`, the
+  durable wrapper around :class:`~repro.core.incremental.IncrementalRock`
+  implementing *WAL-before-mutation* and *snapshot every N batches*, plus
+  resume = last durable checkpoint + WAL-tail replay.
+
+Determinism contract: restoring a session and continuing is bit-identical
+to never having stopped — same labels, same maintained link matrices, same
+RNG stream (see docs/ARCHITECTURE.md, "Persistence & recovery").
+"""
+
+from repro.persistence.failpoints import InjectedFaultError, failpoint
+from repro.persistence.session import PersistentSession
+from repro.persistence.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SessionSnapshot,
+    latest_checkpoint,
+)
+from repro.persistence.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "InjectedFaultError",
+    "PersistentSession",
+    "SessionSnapshot",
+    "SNAPSHOT_FORMAT_VERSION",
+    "WalRecord",
+    "WriteAheadLog",
+    "failpoint",
+    "latest_checkpoint",
+]

@@ -1,0 +1,120 @@
+"""Fault-injection registry for the persistence and sharding layers.
+
+A *failpoint* is a named site in library code — inside the snapshot
+writer, the WAL appender, a shard worker — where a test can ask the
+library to fail on purpose.  Sites call :func:`hit` (or, for sites that
+simulate partial writes, :func:`consume`); when the failpoint is active
+the site raises :class:`InjectedFaultError`, otherwise the call is a
+single dict-emptiness check and costs nothing.
+
+Activation is either lexical::
+
+    with failpoint("snapshot.before-rename"):
+        session.snapshot()          # raises InjectedFaultError inside save
+
+or ambient, for driving a child process from the environment::
+
+    REPRO_FAILPOINTS="wal.torn-append,shard.worker*1" python -m repro ...
+
+The ``*N`` suffix arms a site for exactly ``N`` firings — ``shard.worker*1``
+makes the first shard attempt fail and the retry succeed, which is how the
+retry-path tests assert "one injected worker failure completes via retry".
+
+:class:`InjectedFaultError` deliberately derives from ``RuntimeError``
+only, *not* :class:`~repro.errors.ReproError`: an injected fault must never
+be swallowed by blanket ``except ReproError`` handlers (such as the CLI's),
+otherwise the recovery tests could pass vacuously.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+#: Active failpoints: name -> remaining firings (-1 = unlimited).
+_ACTIVE: dict[str, int] = {}
+
+#: Environment variable listing failpoints to arm at import time.
+ENV_VAR = "REPRO_FAILPOINTS"
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised at an armed failpoint.  Intentionally outside ``ReproError``."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__("injected fault at failpoint %r" % name)
+
+
+def activate(name: str, times: int = -1) -> None:
+    """Arm ``name``; it fires ``times`` times (-1 = until deactivated)."""
+    if times == 0:
+        return
+    _ACTIVE[name] = times
+
+
+def deactivate(name: str) -> None:
+    """Disarm ``name`` (no-op when not armed)."""
+    _ACTIVE.pop(name, None)
+
+
+def reset() -> None:
+    """Disarm every failpoint."""
+    _ACTIVE.clear()
+
+
+def active_failpoints() -> dict[str, int]:
+    """A copy of the armed registry (for diagnostics and tests)."""
+    return dict(_ACTIVE)
+
+
+def consume(name: str) -> bool:
+    """True when ``name`` should fire now; decrements a ``times`` budget.
+
+    For sites that need custom failure behaviour (e.g. writing half a WAL
+    record before raising).  Plain sites use :func:`hit` instead.
+    """
+    if not _ACTIVE:  # fast path: zero overhead when nothing is armed
+        return False
+    remaining = _ACTIVE.get(name)
+    if remaining is None:
+        return False
+    if remaining > 0:
+        if remaining == 1:
+            del _ACTIVE[name]
+        else:
+            _ACTIVE[name] = remaining - 1
+    return True
+
+
+def hit(name: str) -> None:
+    """Raise :class:`InjectedFaultError` when ``name`` is armed."""
+    if consume(name):
+        raise InjectedFaultError(name)
+
+
+@contextmanager
+def failpoint(name: str, times: int = -1):
+    """Arm ``name`` for the duration of the block."""
+    activate(name, times)
+    try:
+        yield
+    finally:
+        deactivate(name)
+
+
+def load_from_env(environ: os._Environ | dict | None = None) -> None:
+    """Arm failpoints listed in ``REPRO_FAILPOINTS`` (``name`` or ``name*N``,
+    comma-separated).  Called once at import; tests may call it again after
+    mutating the environment."""
+    source = os.environ if environ is None else environ
+    spec = source.get(ENV_VAR, "")
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, count = entry.partition("*")
+        activate(name.strip(), int(count) if count else -1)
+
+
+load_from_env()

@@ -1,0 +1,203 @@
+"""Durable wrapper around a live :class:`IncrementalRock` session.
+
+:class:`PersistentSession` implements the recovery protocol the snapshot
+and WAL layers provide the pieces for:
+
+* every ingest payload is appended to the WAL **before** the in-memory
+  session mutates (write-ahead discipline);
+* every ``snapshot_every`` applied batches — and on :meth:`close` — the
+  full session state is checkpointed and the WAL reset;
+* :meth:`PersistentSession.resume` = load the last durable checkpoint,
+  then replay the WAL tail (records above the checkpoint's ``wal_seq``),
+  yielding a session bit-identical to one that never stopped.
+
+The payloads logged are caller-defined: the bare :meth:`ingest` logs the
+batch itself, while :meth:`~repro.core.pipeline.RockPipeline.run_online`
+logs ``(batch, positions, kind)`` tuples and replays them through its own
+bookkeeping (see ``apply`` on :meth:`resume`).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.incremental import IncrementalRock, IngestResult
+from repro.errors import ConfigurationError, SnapshotNotFoundError
+from repro.persistence.snapshot import SessionSnapshot, latest_checkpoint
+from repro.persistence.wal import WriteAheadLog
+
+WAL_NAME = "wal.log"
+
+
+class PersistentSession:
+    """A crash-safe :class:`IncrementalRock`: WAL-before-mutation + periodic
+    checkpoints in ``directory`` (see module docstring).
+
+    Parameters
+    ----------
+    directory:
+        Snapshot directory (created on first checkpoint).
+    session:
+        The live session to make durable.
+    snapshot_every:
+        Checkpoint after every this many applied batches; ``None`` disables
+        periodic checkpoints (the WAL alone still makes ingests durable,
+        and :meth:`close` writes a final checkpoint).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        session: IncrementalRock,
+        snapshot_every: int | None = None,
+        _wal_seq: int = -1,
+    ):
+        if snapshot_every is not None and int(snapshot_every) < 1:
+            raise ConfigurationError(
+                "snapshot_every must be a positive batch count, got %r"
+                % snapshot_every
+            )
+        self.directory = Path(directory)
+        self.session = session
+        self.snapshot_every = int(snapshot_every) if snapshot_every else None
+        self.wal = WriteAheadLog(self.directory / WAL_NAME)
+        self._wal_seq = int(_wal_seq)
+        self._applied_since_snapshot = 0
+        self.n_snapshots = 0
+        self.n_replayed = 0
+        #: Caller-owned restart state from the restored checkpoint (resume).
+        self.extra: dict | None = None
+        #: WAL-tail records recovered but not yet applied (defer_replay).
+        self._pending_records: list = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(
+        cls,
+        directory: str | os.PathLike,
+        session: IncrementalRock,
+        snapshot_every: int | None = None,
+        extra: dict | None = None,
+    ) -> "PersistentSession":
+        """Start durability for a fresh session: write checkpoint 0 now.
+
+        The immediate checkpoint means a crash before the first periodic
+        snapshot can still resume (bootstrap state + WAL replay).
+        """
+        store = cls(directory, session, snapshot_every=snapshot_every)
+        store.snapshot(extra=extra)
+        return store
+
+    @classmethod
+    def resume(
+        cls,
+        directory: str | os.PathLike,
+        snapshot_every: int | None = None,
+        measure=None,
+        exponent_function=None,
+        expected_config: dict | None = None,
+        apply=None,
+        defer_replay: bool = False,
+    ) -> "PersistentSession":
+        """Recover from ``directory``: last durable checkpoint + WAL tail.
+
+        ``apply`` maps each replayed WAL payload back onto the restored
+        session; the default treats payloads as plain ingest batches.  A
+        caller whose ``apply`` needs the restored session or extras first
+        (the online pipeline) passes ``defer_replay=True`` and later calls
+        :meth:`replay_pending`.  A torn trailing WAL record (crash
+        mid-append) is truncated silently; corruption earlier in the log
+        raises :class:`~repro.errors.WalCorruptionError`.  Restored extras
+        are exposed as :attr:`extra`.
+        """
+        snapshot = SessionSnapshot.load(
+            directory,
+            measure=measure,
+            exponent_function=exponent_function,
+            expected_config=expected_config,
+        )
+        store = cls(
+            directory,
+            snapshot.session,
+            snapshot_every=snapshot_every,
+            _wal_seq=snapshot.wal_seq,
+        )
+        store.extra = snapshot.extra
+        store._pending_records = store.wal.recover(after_seq=snapshot.wal_seq)
+        if not defer_replay:
+            if apply is None:
+                apply = snapshot.session.ingest
+            store.replay_pending(apply)
+        return store
+
+    def replay_pending(self, apply) -> int:
+        """Apply the recovered WAL-tail records; returns how many replayed."""
+        records, self._pending_records = self._pending_records, []
+        for record in records:
+            apply(record.payload)
+            self._wal_seq = record.seq
+            self._applied_since_snapshot += 1
+            self.n_replayed += 1
+        return len(records)
+
+    @staticmethod
+    def can_resume(directory: str | os.PathLike) -> bool:
+        """True when ``directory`` holds a durable checkpoint."""
+        return latest_checkpoint(directory) is not None
+
+    # ------------------------------------------------------------------ #
+    # Durable ingest protocol
+    # ------------------------------------------------------------------ #
+    def log(self, payload: object) -> int:
+        """Append ``payload`` to the WAL (durably), *before* any mutation."""
+        seq = self._wal_seq + 1
+        self.wal.append(seq, payload)
+        self._wal_seq = seq
+        return seq
+
+    def batch_applied(self, extra: dict | None = None) -> bool:
+        """Note one applied batch; checkpoint when the interval is due.
+
+        Returns ``True`` when a checkpoint was written.  ``extra`` may be a
+        dict or a zero-argument callable evaluated only when due (so callers
+        can defer building restart state to actual checkpoints).
+        """
+        self._applied_since_snapshot += 1
+        if (
+            self.snapshot_every is not None
+            and self._applied_since_snapshot >= self.snapshot_every
+        ):
+            self.snapshot(extra=extra() if callable(extra) else extra)
+            return True
+        return False
+
+    def ingest(self, batch) -> IngestResult:
+        """Durably ingest one batch (WAL append → mutate → maybe snapshot)."""
+        self.log(list(batch))
+        result = self.session.ingest(batch)
+        self.batch_applied()
+        return result
+
+    def snapshot(self, extra: dict | None = None) -> Path:
+        """Write a checkpoint now and reset the WAL."""
+        path = SessionSnapshot(
+            self.session, extra=extra, wal_seq=self._wal_seq
+        ).save(self.directory)
+        # Only after the checkpoint is durable is the log disposable; a
+        # crash between these two steps is covered by the wal_seq guard.
+        self.wal.reset()
+        self._applied_since_snapshot = 0
+        self.n_snapshots += 1
+        return path
+
+    def close(self, extra: dict | None = None) -> Path | None:
+        """Final checkpoint (skipped when nothing was applied since one)."""
+        if self._applied_since_snapshot or not self.n_snapshots:
+            return self.snapshot(extra=extra)
+        return None
+
+
+__all__ = ["PersistentSession", "SnapshotNotFoundError", "WAL_NAME"]

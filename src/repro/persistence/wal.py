@@ -1,0 +1,148 @@
+"""Length-prefixed, checksummed write-ahead log for session ingests.
+
+Every :meth:`~repro.persistence.session.PersistentSession.ingest` appends
+one record *before* mutating the in-memory session, so a crash at any point
+loses at most work that was never acknowledged.  Recovery replays the tail
+of the log on top of the last durable checkpoint.
+
+Record layout (little-endian)::
+
+    <Q seq> <I length> <I crc32(payload)> <payload: pickle bytes>
+
+``seq`` is a monotone sequence number.  The checkpoint manifest records the
+sequence of the last ingest folded into it (``wal_seq``); replay skips
+records at or below that mark, which makes recovery idempotent even when a
+crash lands in the window between "checkpoint durable" and "log reset".
+
+Corruption policy (the part that matters after a crash):
+
+* a *torn tail* — short header, short payload, or a checksum mismatch on
+  the **final** record — is the expected signature of a mid-append crash.
+  :meth:`WriteAheadLog.recover` truncates the log back to the last good
+  record and carries on.
+* a checksum mismatch **followed by further bytes** means the storage
+  corrupted the middle of the log; replaying past the hole would silently
+  diverge, so :class:`~repro.errors.WalCorruptionError` is raised instead.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import WalCorruptionError
+from repro.persistence import failpoints
+
+_HEADER = struct.Struct("<QII")  # seq, payload length, crc32(payload)
+
+#: Sanity bound on a single record's payload (1 GiB); a larger length field
+#: is treated as corruption, not an allocation request.
+MAX_RECORD_BYTES = 1 << 30
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One recovered log record: its sequence number and unpickled payload."""
+
+    seq: int
+    payload: object
+
+
+class WriteAheadLog:
+    """Append-only durable log of ingest payloads (see module docstring)."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(self, seq: int, payload: object) -> None:
+        """Durably append one record (flush + fsync before returning).
+
+        Failpoints: ``wal.before-append`` fails before any byte is written;
+        ``wal.torn-append`` writes the header plus *half* the payload and
+        then fails, simulating a crash mid-write (power loss, SIGKILL).
+        """
+        failpoints.hit("wal.before-append")
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _HEADER.pack(seq, len(data), zlib.crc32(data))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("ab") as handle:
+            if failpoints.consume("wal.torn-append"):
+                handle.write(header)
+                handle.write(data[: len(data) // 2])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise failpoints.InjectedFaultError("wal.torn-append")
+            handle.write(header)
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def reset(self) -> None:
+        """Truncate the log to empty (called after a successful snapshot)."""
+        if self.path.exists():
+            with self.path.open("wb") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def recover(self, after_seq: int = -1, repair: bool = True) -> list[WalRecord]:
+        """Read every intact record with ``seq > after_seq``.
+
+        A torn or checksum-corrupt *final* record is truncated away when
+        ``repair`` is true (the crash-recovery default).  Corruption that is
+        *not* at the tail raises :class:`WalCorruptionError`.
+        """
+        if not self.path.exists():
+            return []
+        blob = self.path.read_bytes()
+        records: list[WalRecord] = []
+        offset = 0
+        good_end = 0
+        while offset < len(blob):
+            if offset + _HEADER.size > len(blob):
+                break  # torn header at the tail
+            seq, length, crc = _HEADER.unpack_from(blob, offset)
+            body_start = offset + _HEADER.size
+            if length > MAX_RECORD_BYTES or body_start + length > len(blob):
+                break  # impossible length or torn payload at the tail
+            data = blob[body_start:body_start + length]
+            if zlib.crc32(data) != crc:
+                if body_start + length < len(blob):
+                    raise WalCorruptionError(
+                        "WAL %s: checksum mismatch in record seq=%d at byte %d "
+                        "with further records after it — the log is corrupt "
+                        "beyond its tail and cannot be replayed safely"
+                        % (self.path, seq, offset)
+                    )
+                break  # corrupt final record: treat as torn tail
+            try:
+                payload = pickle.loads(data)
+            except Exception as error:
+                raise WalCorruptionError(
+                    "WAL %s: record seq=%d at byte %d passed its checksum but "
+                    "failed to deserialise (%s)" % (self.path, seq, offset, error)
+                ) from error
+            if seq > after_seq:
+                records.append(WalRecord(seq, payload))
+            offset = body_start + length
+            good_end = offset
+        if repair and good_end < len(blob):
+            with self.path.open("r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return records
+
+    def last_seq(self) -> int:
+        """Sequence number of the last intact record (-1 for an empty log)."""
+        records = self.recover(repair=False)
+        return records[-1].seq if records else -1

@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.core.pipeline import RockPipeline
 from repro.core.rock import as_transactions
+from repro.data.io import atomic_write_text
 from repro.datasets.mushroom import generate_mushroom_like
 
 GOLDEN_DIR = Path(__file__).resolve().parent
@@ -108,8 +109,8 @@ def fixture_path(mode: str) -> Path:
 def main() -> None:
     for mode in MODES:
         payload = summarize(mode, run_case(mode))
-        fixture_path(mode).write_text(
-            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        atomic_write_text(
+            fixture_path(mode), json.dumps(payload, indent=2) + "\n"
         )
         print(
             "wrote %s: %d clusters, %d outliers"

@@ -79,7 +79,7 @@ class TestClusterCommand:
 
     def test_missing_file_returns_error_code(self, tmp_path, capsys):
         code = main(["cluster", str(tmp_path / "absent.csv"), "--clusters", "2"])
-        assert code == 2
+        assert code == 3
         assert "error:" in capsys.readouterr().err
 
 
@@ -97,7 +97,7 @@ class TestOtherCommands:
         assert "rock_error" in captured
 
     def test_experiment_unknown_id(self, capsys):
-        assert main(["experiment", "E99"]) == 2
+        assert main(["experiment", "E99"]) == 3
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_sweep_command(self, votes_csv, capsys):
@@ -224,7 +224,7 @@ class TestStreamingCli:
         code = main([
             "cluster", str(votes_csv), "--clusters", "2", "--stream",
         ])
-        assert code == 2
+        assert code == 3
         assert "require --format transactions" in capsys.readouterr().err
 
     def test_stream_flags_parsed(self, tmp_path):
@@ -242,7 +242,7 @@ class TestStreamingCli:
             "cluster", str(path), "--format", "transactions",
             "--clusters", "2", "--stream",
         ])
-        assert code == 2
+        assert code == 3
         assert "require --sample-size" in capsys.readouterr().err
 
 
@@ -291,13 +291,13 @@ class TestOnlineCli:
     def test_online_conflicts_with_stream(self, tmp_path, capsys):
         path = self._basket_path(tmp_path)
         code = main(self._base(path) + ["--online", "--stream"])
-        assert code == 2
+        assert code == 3
         assert "--online conflicts with --stream/--shards" in capsys.readouterr().err
 
     def test_online_conflicts_with_shards(self, tmp_path, capsys):
         path = self._basket_path(tmp_path)
         code = main(self._base(path) + ["--online", "--shards", "2"])
-        assert code == 2
+        assert code == 3
         assert "--online conflicts with --stream/--shards" in capsys.readouterr().err
 
     def test_all_three_modes_at_once_rejected(self, tmp_path, capsys):
@@ -305,7 +305,7 @@ class TestOnlineCli:
         code = main(
             self._base(path) + ["--online", "--stream", "--shards", "2"]
         )
-        assert code == 2
+        assert code == 3
         assert "pick exactly one" in capsys.readouterr().err
 
     def test_stream_plus_multi_shards_still_allowed(self, tmp_path, capsys):
@@ -320,7 +320,7 @@ class TestOnlineCli:
     def test_refresh_threshold_without_online_rejected(self, tmp_path, capsys):
         path = self._basket_path(tmp_path)
         code = main(self._base(path) + ["--refresh-threshold", "0.5"])
-        assert code == 2
+        assert code == 3
         assert "--refresh-threshold requires --online" in capsys.readouterr().err
 
     @pytest.mark.parametrize("value", ["0", "-0.5", "nan"])
@@ -329,7 +329,7 @@ class TestOnlineCli:
         code = main(
             self._base(path) + ["--online", "--refresh-threshold", value]
         )
-        assert code == 2
+        assert code == 3
         assert "refresh_threshold must be a positive fraction" in (
             capsys.readouterr().err
         )
@@ -345,7 +345,7 @@ class TestOnlineCli:
             "cluster", str(path), "--clusters", "2", "--online",
             "--sample-size", "20",
         ])
-        assert code == 2
+        assert code == 3
         assert "require --format transactions" in capsys.readouterr().err
 
     def test_online_requires_sample_size(self, tmp_path, capsys):
@@ -355,7 +355,7 @@ class TestOnlineCli:
             "cluster", str(path), "--format", "transactions",
             "--clusters", "2", "--online",
         ])
-        assert code == 2
+        assert code == 3
         assert "require --sample-size" in capsys.readouterr().err
 
     def test_unknown_neighbor_strategy_lists_the_registry(self, capsys):
@@ -433,7 +433,7 @@ class TestShardedCli:
             "cluster", str(path), "--format", "transactions",
             "--clusters", "2", "--shards", "0",
         ])
-        assert code == 2
+        assert code == 3
         assert "--shards must be at least 1" in capsys.readouterr().err
 
     def test_sharded_requires_sample_size(self, tmp_path, capsys):
@@ -443,5 +443,110 @@ class TestShardedCli:
             "cluster", str(path), "--format", "transactions",
             "--clusters", "2", "--shards", "2",
         ])
-        assert code == 2
+        assert code == 3
         assert "require --sample-size" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """Library errors exit 3, argparse usage errors keep exit 2."""
+
+    def test_repro_error_exits_3(self, tmp_path, capsys):
+        code = main(["cluster", str(tmp_path / "absent.csv"), "--clusters", "2"])
+        assert code == 3
+        message = capsys.readouterr().err
+        assert message.startswith("error:")
+        assert message.count("\n") == 1  # one-line message, no traceback
+
+    def test_argparse_error_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cluster", "x.txt"])  # missing required --clusters
+        assert excinfo.value.code == 2
+
+
+class TestSnapshotCli:
+    def _basket_path(self, tmp_path, n=160):
+        baskets = generate_market_baskets(rng=3, n_transactions=n, n_clusters=3)
+        path = tmp_path / "online.txt"
+        write_transactions(baskets, path, label_prefix="class=")
+        return path
+
+    def _base(self, path):
+        return [
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "60", "--seed", "5", "--online",
+            "--batch-size", "32",
+        ]
+
+    def test_snapshot_flags_parsed_with_defaults(self):
+        arguments = build_parser().parse_args(
+            ["cluster", "x.txt", "--format", "transactions", "--clusters", "2"]
+        )
+        assert arguments.snapshot_dir is None
+        assert arguments.snapshot_every is None
+        assert arguments.resume is False
+
+    @pytest.mark.parametrize("flags", [
+        ["--snapshot-dir", "snaps"],
+        ["--snapshot-every", "2"],
+        ["--resume"],
+    ])
+    def test_snapshot_flags_require_online(self, tmp_path, capsys, flags):
+        path = self._basket_path(tmp_path, n=40)
+        base = [
+            "cluster", str(path), "--format", "transactions",
+            "--clusters", "2", "--sample-size", "20",
+        ]
+        code = main(base + flags)
+        assert code == 3
+        assert "require --online" in capsys.readouterr().err
+
+    def test_snapshot_run_matches_plain_online_run(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        plain_out = tmp_path / "plain.txt"
+        snap_out = tmp_path / "snap.txt"
+        assert main(self._base(path) + ["--output", str(plain_out)]) == 0
+        assert main(self._base(path) + [
+            "--snapshot-dir", str(tmp_path / "snaps"), "--snapshot-every", "1",
+            "--output", str(snap_out),
+        ]) == 0
+        capsys.readouterr()
+        assert plain_out.read_text() == snap_out.read_text()
+        assert (tmp_path / "snaps" / "CURRENT").is_file()
+
+    def test_resume_of_finished_run_reproduces_labels(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        first_out = tmp_path / "first.txt"
+        resumed_out = tmp_path / "resumed.txt"
+        snaps = str(tmp_path / "snaps")
+        assert main(self._base(path) + [
+            "--snapshot-dir", snaps, "--output", str(first_out),
+        ]) == 0
+        assert main(self._base(path) + [
+            "--snapshot-dir", snaps, "--resume", "--output", str(resumed_out),
+        ]) == 0
+        capsys.readouterr()
+        assert first_out.read_text() == resumed_out.read_text()
+
+    def test_resume_without_checkpoint_falls_back_to_fresh_run(
+        self, tmp_path, capsys
+    ):
+        path = self._basket_path(tmp_path)
+        code = main(self._base(path) + [
+            "--snapshot-dir", str(tmp_path / "empty"), "--resume",
+        ])
+        assert code == 0
+        assert "online" in capsys.readouterr().out
+
+    def test_resume_with_mismatched_theta_exits_3(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        snaps = str(tmp_path / "snaps")
+        assert main(self._base(path) + ["--snapshot-dir", snaps]) == 0
+        capsys.readouterr()
+        mismatched = [
+            argument if argument != "0.3" else "0.4"
+            for argument in self._base(path)
+        ]
+        code = main(mismatched + ["--snapshot-dir", snaps, "--resume"])
+        assert code == 3
+        assert "different session configuration" in capsys.readouterr().err

@@ -84,6 +84,31 @@ class TestRockClustering:
         with pytest.raises(InsufficientLinksError):
             RockClustering(n_clusters=1, theta=0.9, strict=True).fit(transactions)
 
+    def test_strict_error_is_actionable_and_typed(self):
+        # The error tells the user both what happened and what to change,
+        # and sits under ReproError so the CLI maps it to exit code 3.
+        from repro.errors import ReproError
+
+        transactions = [{1, 2}, {3, 4}, {5, 6}]
+        with pytest.raises(InsufficientLinksError, match="lower theta") as excinfo:
+            RockClustering(n_clusters=1, theta=0.9, strict=True).fit(transactions)
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, RuntimeError)
+
+    def test_non_strict_default_degrades_instead_of_raising(self):
+        # Same link-starved input, default strict=False: the run completes
+        # with a partial clustering and every point still gets a label.
+        transactions = [{1, 2}, {3, 4}, {5, 6}]
+        model = RockClustering(n_clusters=1, theta=0.9).fit(transactions)
+        assert model.result_.stopped_early
+        assert len(model.labels_) == 3
+
+    def test_strict_is_quiet_when_links_suffice(self, two_group_transactions):
+        model = RockClustering(n_clusters=2, theta=0.4, strict=True).fit(
+            two_group_transactions
+        )
+        assert not model.result_.stopped_early
+
     def test_accepts_categorical_dataset(self, small_categorical_dataset):
         model = RockClustering(n_clusters=2, theta=0.5).fit(small_categorical_dataset)
         assert len(model.labels_) == small_categorical_dataset.n_records

@@ -23,8 +23,9 @@ from repro.core.sharding import (
 )
 from repro.data.io import write_transactions
 from repro.datasets.market_basket import generate_market_baskets
-from repro.errors import ConfigurationError, DataValidationError
+from repro.errors import ConfigurationError, DataValidationError, ShardExecutionError
 from repro.evaluation.metrics import adjusted_rand_index
+from repro.persistence import failpoints
 
 
 @pytest.fixture(scope="module")
@@ -134,6 +135,69 @@ class TestClusterShards:
             cluster_shards([], lambda *a: None, shard_workers=0)
 
 
+class TestShardFaultTolerance:
+    """cluster_shards retries failed workers and degrades gracefully."""
+
+    SAMPLES = [([frozenset({i})], [i]) for i in range(3)]
+
+    @pytest.fixture(autouse=True)
+    def _clean_failpoints(self):
+        failpoints.reset()
+        yield
+        failpoints.reset()
+
+    @staticmethod
+    def _cluster_one(shard_id, sample, positions):
+        return shard_id * 10
+
+    def test_single_failure_recovered_by_retry(self):
+        with failpoints.failpoint("shard.worker", times=1):
+            results = cluster_shards(self.SAMPLES, self._cluster_one)
+        assert list(results) == [0, 10, 20]
+        assert results.skipped_shards == []
+        assert results.errors == {}
+
+    def test_retry_exhaustion_degrades_with_warning(self):
+        # Shard 0 fails both its attempts: the run completes on the
+        # survivors, warns, and records the skip for the caller.
+        with failpoints.failpoint("shard.worker.0", times=2):
+            with pytest.warns(RuntimeWarning, match="shard 0"):
+                results = cluster_shards(self.SAMPLES, self._cluster_one)
+        assert list(results) == [10, 20]
+        assert results.skipped_shards == [0]
+        assert isinstance(results.errors[0], failpoints.InjectedFaultError)
+
+    def test_strict_raises_instead_of_degrading(self):
+        with failpoints.failpoint("shard.worker.1", times=2):
+            with pytest.raises(ShardExecutionError, match="shard"):
+                cluster_shards(self.SAMPLES, self._cluster_one, strict=True)
+
+    def test_all_shards_failing_raises_even_without_strict(self):
+        with failpoints.failpoint("shard.worker"):
+            with pytest.raises(ShardExecutionError):
+                cluster_shards(self.SAMPLES, self._cluster_one)
+
+    def test_retries_zero_means_single_attempt(self):
+        with failpoints.failpoint("shard.worker.2", times=1):
+            with pytest.warns(RuntimeWarning):
+                results = cluster_shards(
+                    self.SAMPLES, self._cluster_one, retries=0
+                )
+        assert results.skipped_shards == [2]
+
+    def test_parallel_workers_also_retry(self):
+        with failpoints.failpoint("shard.worker", times=1):
+            results = cluster_shards(
+                self.SAMPLES, self._cluster_one, shard_workers=3
+            )
+        assert list(results) == [0, 10, 20]
+        assert results.skipped_shards == []
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cluster_shards(self.SAMPLES, self._cluster_one, retries=-1)
+
+
 class TestMergeShardSummaries:
     def test_merges_matching_clusters_across_shards(self):
         # Two shards saw the same two latent groups; the merge must pair
@@ -226,6 +290,47 @@ class TestRunShardedDeterminism:
         # Different sample draws virtually never give identical clusterings
         # on 800 points; equality here would mean the seed is ignored.
         assert not np.array_equal(first.labels, second.labels)
+
+    def test_injected_worker_failure_recovered_identically(self, tight_baskets):
+        # One worker fault absorbed by the retry: the sharded run must be
+        # bit-identical to the no-fault run (per-shard sampling consumed
+        # the RNG before the workers ran, so the retry sees the same
+        # sample) and must not record any skipped shard.
+        transactions = tight_baskets.transactions
+        failpoints.reset()
+        clean = _pipeline().run_sharded(transactions, n_shards=3)
+        try:
+            with failpoints.failpoint("shard.worker", times=1):
+                faulted = _pipeline().run_sharded(transactions, n_shards=3)
+        finally:
+            failpoints.reset()
+        assert np.array_equal(clean.labels, faulted.labels)
+        assert clean.clusters == faulted.clusters
+        assert faulted.parameters["skipped_shards"] == []
+
+    def test_exhausted_worker_degrades_and_records_skip(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        failpoints.reset()
+        try:
+            with failpoints.failpoint("shard.worker.1", times=2):
+                with pytest.warns(RuntimeWarning, match="shard 1"):
+                    result = _pipeline().run_sharded(transactions, n_shards=3)
+        finally:
+            failpoints.reset()
+        assert result.parameters["skipped_shards"] == [1]
+        assert len(result.labels) == 800
+
+    def test_strict_pipeline_raises_on_exhausted_worker(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        failpoints.reset()
+        try:
+            with failpoints.failpoint("shard.worker.1", times=2):
+                with pytest.raises(ShardExecutionError):
+                    _pipeline(strict=True).run_sharded(
+                        tight_baskets.transactions, n_shards=3
+                    )
+        finally:
+            failpoints.reset()
 
 
 class TestRunShardedQuality:

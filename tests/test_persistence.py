@@ -1,0 +1,656 @@
+"""Tests for repro.persistence: failpoints, WAL, snapshots and recovery.
+
+The contract under test (docs/ARCHITECTURE.md, "Persistence & recovery"):
+a session restored from the last durable checkpoint plus the WAL tail is
+*bit-identical* to one that never stopped — same labels, same matrices,
+same RNG stream — no matter where the process was killed.  The kill points
+are exercised through the :mod:`repro.persistence.failpoints` registry
+rather than actual signals, so every crash window is deterministic.
+"""
+
+import os
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalRock
+from repro.core.pipeline import RockPipeline
+from repro.core.rock import RockClustering
+from repro.data.io import write_transactions
+from repro.datasets.market_basket import generate_market_baskets
+from repro.errors import (
+    ConfigurationError,
+    PersistenceError,
+    ReproError,
+    SnapshotConfigMismatchError,
+    SnapshotCorruptionError,
+    SnapshotNotFoundError,
+    SnapshotVersionError,
+    WalCorruptionError,
+)
+from repro.persistence import failpoints
+from repro.persistence.session import PersistentSession
+from repro.persistence.snapshot import (
+    CURRENT_NAME,
+    MANIFEST_NAME,
+    SNAPSHOT_FORMAT_VERSION,
+    SessionSnapshot,
+    latest_checkpoint,
+    list_checkpoints,
+)
+from repro.persistence.wal import WriteAheadLog
+
+# --------------------------------------------------------------------- #
+# Fixtures and helpers
+# --------------------------------------------------------------------- #
+GROUP_A = [
+    frozenset({1, 2, 3}), frozenset({1, 2, 4}),
+    frozenset({1, 3, 4}), frozenset({2, 3, 4}),
+]
+GROUP_B = [
+    frozenset({7, 8, 9}), frozenset({7, 8, 10}),
+    frozenset({7, 9, 10}), frozenset({8, 9, 10}),
+]
+BOOTSTRAP = GROUP_A + GROUP_B
+STREAM_BATCHES = [
+    [frozenset({1, 2}), frozenset({7, 8})],
+    [frozenset({2, 3})],
+    [frozenset({9, 10}), frozenset({1, 4}), frozenset({8, 10})],
+    [frozenset({3, 4}), frozenset({7, 9})],
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+def _session(theta=0.4, rng=0, **kwargs):
+    clusters = RockClustering(n_clusters=2, theta=theta).fit(BOOTSTRAP).clusters_
+    session = IncrementalRock(n_clusters=2, theta=theta, rng=rng, **kwargs)
+    session.bootstrap(BOOTSTRAP, clusters)
+    return session
+
+
+def _assert_sessions_identical(left, right):
+    """Bit-identity over everything the ingest path can observe."""
+    assert (left.adjacency_ != right.adjacency_).nnz == 0
+    assert (left.links_ != right.links_).nnz == 0
+    assert left._members == right._members
+    assert left._cluster_of == right._cluster_of
+    assert {k: dict(v) for k, v in left._cluster_links.items()} == {
+        k: dict(v) for k, v in right._cluster_links.items()
+    }
+    assert left._pair_heap == right._pair_heap
+    assert left.rng.bit_generator.state == right.rng.bit_generator.state
+
+
+def _run_schedule(session, batches):
+    return [session.ingest(batch).labels.tolist() for batch in batches]
+
+
+# --------------------------------------------------------------------- #
+# Failpoint registry
+# --------------------------------------------------------------------- #
+class TestFailpoints:
+    def test_inactive_site_is_a_no_op(self):
+        failpoints.hit("nothing.armed")  # must not raise
+
+    def test_activate_and_budget(self):
+        failpoints.activate("site", times=2)
+        with pytest.raises(failpoints.InjectedFaultError):
+            failpoints.hit("site")
+        with pytest.raises(failpoints.InjectedFaultError):
+            failpoints.hit("site")
+        failpoints.hit("site")  # budget exhausted
+
+    def test_unlimited_budget(self):
+        failpoints.activate("site")
+        for _ in range(5):
+            with pytest.raises(failpoints.InjectedFaultError):
+                failpoints.hit("site")
+
+    def test_zero_times_is_inert(self):
+        failpoints.activate("site", times=0)
+        failpoints.hit("site")
+
+    def test_context_manager_deactivates_on_exit(self):
+        with failpoints.failpoint("site"):
+            assert "site" in failpoints.active_failpoints()
+        assert "site" not in failpoints.active_failpoints()
+        failpoints.hit("site")
+
+    def test_consume_reports_without_raising(self):
+        failpoints.activate("site", times=1)
+        assert failpoints.consume("site") is True
+        assert failpoints.consume("site") is False
+
+    def test_error_is_not_a_repro_error(self):
+        # Injected faults simulate infrastructure crashes; they must not be
+        # swallowed by `except ReproError` handlers (e.g. the CLI).
+        assert not issubclass(failpoints.InjectedFaultError, ReproError)
+
+    def test_load_from_env_parses_names_and_budgets(self):
+        failpoints.load_from_env({failpoints.ENV_VAR: "alpha, beta*2"})
+        active = failpoints.active_failpoints()
+        assert active["alpha"] == -1
+        assert active["beta"] == 2
+
+
+# --------------------------------------------------------------------- #
+# Write-ahead log
+# --------------------------------------------------------------------- #
+class TestWriteAheadLog:
+    def test_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        payloads = [["a", "b"], {"k": 1}, [frozenset({1, 2})]]
+        for seq, payload in enumerate(payloads):
+            wal.append(seq, payload)
+        records = wal.recover()
+        assert [record.seq for record in records] == [0, 1, 2]
+        assert [record.payload for record in records] == payloads
+        assert wal.last_seq() == 2
+
+    def test_after_seq_filters_replayed_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        for seq in range(4):
+            wal.append(seq, seq)
+        tail = wal.recover(after_seq=1)
+        assert [record.seq for record in tail] == [2, 3]
+
+    def test_missing_file_recovers_empty(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "absent.log")
+        assert wal.recover() == []
+        assert wal.last_seq() == -1
+
+    def test_reset_empties_the_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(0, "x")
+        wal.reset()
+        assert wal.recover() == []
+
+    def test_torn_tail_truncated_not_crashed(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for seq in range(3):
+            wal.append(seq, ["payload", seq])
+        intact_size = path.stat().st_size
+        wal.append(3, ["torn"])
+        with path.open("r+b") as handle:  # cut the last record in half
+            handle.truncate(intact_size + 7)
+        records = wal.recover()
+        assert [record.seq for record in records] == [0, 1, 2]
+        assert path.stat().st_size == intact_size  # repaired in place
+
+    def test_torn_append_failpoint_produces_recoverable_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(0, "good")
+        with failpoints.failpoint("wal.torn-append", times=1):
+            with pytest.raises(failpoints.InjectedFaultError):
+                wal.append(1, "half-written")
+        records = wal.recover()
+        assert [record.payload for record in records] == ["good"]
+        wal.append(1, "after-repair")
+        assert [r.payload for r in wal.recover()] == ["good", "after-repair"]
+
+    def test_mid_log_corruption_raises_typed_error(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for seq in range(3):
+            wal.append(seq, "payload-%d" % seq)
+        blob = bytearray(path.read_bytes())
+        header = struct.calcsize("<QII")
+        first = header + len(pickle.dumps("payload-0", pickle.HIGHEST_PROTOCOL))
+        blob[first + header + 2] ^= 0xFF  # flip a byte inside record 1
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WalCorruptionError):
+            wal.recover()
+
+    def test_corrupt_final_record_treated_as_torn(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(0, "keep")
+        keep_size = path.stat().st_size
+        wal.append(1, "scramble")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        records = wal.recover()
+        assert [record.payload for record in records] == ["keep"]
+        assert path.stat().st_size == keep_size
+
+    def test_wal_errors_sit_under_persistence_error(self):
+        assert issubclass(WalCorruptionError, PersistenceError)
+        assert issubclass(PersistenceError, ReproError)
+
+
+# --------------------------------------------------------------------- #
+# Snapshot save/load
+# --------------------------------------------------------------------- #
+class TestSnapshotRoundTrip:
+    def test_restored_session_continues_bit_identically(self, tmp_path):
+        reference = _session()
+        _run_schedule(reference, STREAM_BATCHES[:2])
+
+        interrupted = _session()
+        _run_schedule(interrupted, STREAM_BATCHES[:2])
+        SessionSnapshot(interrupted).save(tmp_path)
+        restored = SessionSnapshot.load(tmp_path).session
+
+        _assert_sessions_identical(restored, reference)
+        tail_restored = _run_schedule(restored, STREAM_BATCHES[2:])
+        tail_reference = _run_schedule(reference, STREAM_BATCHES[2:])
+        assert tail_restored == tail_reference
+        _assert_sessions_identical(restored, reference)
+
+    def test_extra_and_wal_seq_round_trip(self, tmp_path):
+        extra = {"labels": [1, 2, 3], "nested": {"k": "v"}}
+        SessionSnapshot(_session(), extra=extra, wal_seq=17).save(tmp_path)
+        loaded = SessionSnapshot.load(tmp_path)
+        assert loaded.extra == extra
+        assert loaded.wal_seq == 17
+
+    def test_matching_expected_config_loads(self, tmp_path):
+        session = _session()
+        SessionSnapshot(session).save(tmp_path)
+        loaded = SessionSnapshot.load(
+            tmp_path, expected_config=session.config_dict()
+        )
+        assert loaded.session.config_dict() == session.config_dict()
+
+    def test_keep_garbage_collects_old_checkpoints(self, tmp_path):
+        session = _session()
+        SessionSnapshot(session).save(tmp_path, keep=1)
+        SessionSnapshot(session).save(tmp_path, keep=1)
+        assert [p.name for p in list_checkpoints(tmp_path)] == ["checkpoint-000001"]
+        SessionSnapshot(session).save(tmp_path, keep=2)
+        assert len(list_checkpoints(tmp_path)) == 2
+
+    def test_current_pointer_tracks_newest(self, tmp_path):
+        session = _session()
+        SessionSnapshot(session).save(tmp_path, keep=3)
+        SessionSnapshot(session).save(tmp_path, keep=3)
+        pointer = (tmp_path / CURRENT_NAME).read_text().strip()
+        assert pointer == "checkpoint-000001"
+        assert latest_checkpoint(tmp_path).name == pointer
+
+    def test_dangling_current_falls_back_to_newest_dir(self, tmp_path):
+        SessionSnapshot(_session()).save(tmp_path)
+        (tmp_path / CURRENT_NAME).write_text("checkpoint-999999\n")
+        assert latest_checkpoint(tmp_path).name == "checkpoint-000000"
+        assert SessionSnapshot.load(tmp_path).session is not None
+
+
+class TestSnapshotCrashSafety:
+    @pytest.mark.parametrize("site", [
+        "snapshot.before-manifest",
+        "snapshot.before-rename",
+        "snapshot.before-current",
+    ])
+    def test_kill_mid_snapshot_preserves_previous_checkpoint(
+        self, tmp_path, site
+    ):
+        session = _session()
+        SessionSnapshot(session, wal_seq=5).save(tmp_path)
+        _run_schedule(session, STREAM_BATCHES[:1])
+        with failpoints.failpoint(site, times=1):
+            with pytest.raises(failpoints.InjectedFaultError):
+                SessionSnapshot(session, wal_seq=9).save(tmp_path)
+        loaded = SessionSnapshot.load(tmp_path)
+        # Every site recovers to the previous checkpoint: the still-valid
+        # CURRENT pointer wins even when the before-current kill left the
+        # newer directory behind (the un-reset WAL covers the gap either
+        # way, so both answers replay to the same state).
+        assert loaded.wal_seq == 5
+        # After the injected crash the directory keeps working.
+        final = SessionSnapshot(session, wal_seq=9).save(tmp_path)
+        assert SessionSnapshot.load(tmp_path).wal_seq == 9
+        assert final.is_dir()
+
+    def test_stale_tmp_directories_cleaned_on_next_save(self, tmp_path):
+        session = _session()
+        with failpoints.failpoint("snapshot.before-rename", times=1):
+            with pytest.raises(failpoints.InjectedFaultError):
+                SessionSnapshot(session).save(tmp_path)
+        assert list(tmp_path.glob(".tmp-checkpoint-*"))
+        SessionSnapshot(session).save(tmp_path)
+        assert not list(tmp_path.glob(".tmp-checkpoint-*"))
+
+
+class TestSnapshotValidation:
+    def _saved(self, tmp_path):
+        SessionSnapshot(_session()).save(tmp_path)
+        return latest_checkpoint(tmp_path)
+
+    def test_empty_directory_raises_not_found(self, tmp_path):
+        with pytest.raises(SnapshotNotFoundError):
+            SessionSnapshot.load(tmp_path / "nowhere")
+
+    def test_wrong_version_raises_version_error(self, tmp_path):
+        checkpoint = self._saved(tmp_path)
+        manifest_path = checkpoint / MANIFEST_NAME
+        text = manifest_path.read_text().replace(
+            '"version": %d' % SNAPSHOT_FORMAT_VERSION, '"version": 999'
+        )
+        manifest_path.write_text(text)
+        with pytest.raises(SnapshotVersionError, match="version 999"):
+            SessionSnapshot.load(tmp_path)
+
+    def test_mismatched_config_raises_with_differing_keys(self, tmp_path):
+        session = _session()
+        self._saved(tmp_path)
+        wrong = dict(session.config_dict(), theta=0.9)
+        with pytest.raises(SnapshotConfigMismatchError, match="theta"):
+            SessionSnapshot.load(tmp_path, expected_config=wrong)
+
+    def test_corrupted_blob_raises_naming_the_file(self, tmp_path):
+        checkpoint = self._saved(tmp_path)
+        blob_path = checkpoint / "arrays.npz"
+        blob = bytearray(blob_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        blob_path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotCorruptionError, match="arrays.npz"):
+            SessionSnapshot.load(tmp_path)
+
+    def test_missing_blob_raises_corruption(self, tmp_path):
+        checkpoint = self._saved(tmp_path)
+        (checkpoint / "objects.pkl").unlink()
+        with pytest.raises(SnapshotCorruptionError, match="objects.pkl"):
+            SessionSnapshot.load(tmp_path)
+
+    def test_missing_manifest_raises_corruption(self, tmp_path):
+        checkpoint = self._saved(tmp_path)
+        (checkpoint / MANIFEST_NAME).unlink()
+        with pytest.raises(SnapshotCorruptionError, match=MANIFEST_NAME):
+            SessionSnapshot.load(tmp_path)
+
+    def test_unparsable_manifest_raises_corruption(self, tmp_path):
+        checkpoint = self._saved(tmp_path)
+        (checkpoint / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(SnapshotCorruptionError, match="JSON"):
+            SessionSnapshot.load(tmp_path)
+
+    def test_foreign_manifest_raises_corruption(self, tmp_path):
+        checkpoint = self._saved(tmp_path)
+        (checkpoint / MANIFEST_NAME).write_text('{"format": "something-else"}')
+        with pytest.raises(SnapshotCorruptionError):
+            SessionSnapshot.load(tmp_path)
+
+    def test_every_snapshot_error_sits_under_persistence_error(self):
+        for error in (
+            SnapshotNotFoundError,
+            SnapshotCorruptionError,
+            SnapshotVersionError,
+            SnapshotConfigMismatchError,
+        ):
+            assert issubclass(error, PersistenceError)
+
+
+# --------------------------------------------------------------------- #
+# PersistentSession: WAL + snapshots end to end
+# --------------------------------------------------------------------- #
+class TestPersistentSession:
+    def test_create_writes_immediate_checkpoint(self, tmp_path):
+        store = PersistentSession.create(tmp_path, _session())
+        assert store.n_snapshots == 1
+        assert PersistentSession.can_resume(tmp_path)
+
+    def test_crash_without_close_resumes_bit_identically(self, tmp_path):
+        reference = _session()
+        labels_reference = _run_schedule(reference, STREAM_BATCHES)
+
+        store = PersistentSession.create(tmp_path, _session())
+        labels_before = [
+            store.ingest(batch).labels.tolist() for batch in STREAM_BATCHES[:2]
+        ]
+        del store  # simulated kill: no close(), WAL holds the tail
+
+        resumed = PersistentSession.resume(tmp_path)
+        assert resumed.n_replayed == 2
+        labels_after = [
+            resumed.ingest(batch).labels.tolist() for batch in STREAM_BATCHES[2:]
+        ]
+        assert labels_before + labels_after == labels_reference
+        _assert_sessions_identical(resumed.session, reference)
+
+    def test_snapshot_every_checkpoints_and_resets_wal(self, tmp_path):
+        store = PersistentSession.create(tmp_path, _session(), snapshot_every=2)
+        for batch in STREAM_BATCHES[:2]:
+            store.ingest(batch)
+        assert store.n_snapshots == 2  # checkpoint 0 + one periodic
+        assert store.wal.last_seq() == -1  # reset after the checkpoint
+        resumed = PersistentSession.resume(tmp_path)
+        assert resumed.n_replayed == 0
+
+    def test_torn_wal_append_recovers_previous_state(self, tmp_path):
+        reference = _session()
+        _run_schedule(reference, STREAM_BATCHES)
+
+        store = PersistentSession.create(tmp_path, _session())
+        store.ingest(STREAM_BATCHES[0])
+        with failpoints.failpoint("wal.torn-append", times=1):
+            with pytest.raises(failpoints.InjectedFaultError):
+                store.ingest(STREAM_BATCHES[1])
+
+        resumed = PersistentSession.resume(tmp_path)
+        assert resumed.n_replayed == 1  # only the intact first record
+        for batch in STREAM_BATCHES[1:]:
+            resumed.ingest(batch)
+        _assert_sessions_identical(resumed.session, reference)
+
+    def test_crash_between_checkpoint_and_wal_reset_is_idempotent(
+        self, tmp_path
+    ):
+        # The dangerous window: the checkpoint is durable but the WAL was
+        # not reset before the kill.  The wal_seq guard must keep replay
+        # from applying records the checkpoint already contains.
+        reference = _session()
+        _run_schedule(reference, STREAM_BATCHES)
+
+        store = PersistentSession.create(tmp_path, _session())
+        for batch in STREAM_BATCHES[:2]:
+            store.ingest(batch)
+        SessionSnapshot(store.session, wal_seq=store._wal_seq).save(tmp_path)
+        # (no wal.reset() — simulated kill right here)
+
+        resumed = PersistentSession.resume(tmp_path)
+        assert resumed.n_replayed == 0
+        for batch in STREAM_BATCHES[2:]:
+            resumed.ingest(batch)
+        _assert_sessions_identical(resumed.session, reference)
+
+    def test_close_writes_final_checkpoint_once(self, tmp_path):
+        store = PersistentSession.create(tmp_path, _session())
+        store.ingest(STREAM_BATCHES[0])
+        assert store.close() is not None
+        assert store.close() is None  # nothing new since the checkpoint
+
+    def test_kill_mid_periodic_snapshot_then_resume(self, tmp_path):
+        # A crash *inside* a periodic checkpoint write: the previous
+        # checkpoint plus the (not yet reset) WAL must still reconstruct
+        # the full state.
+        reference = _session()
+        _run_schedule(reference, STREAM_BATCHES)
+
+        store = PersistentSession.create(tmp_path, _session(), snapshot_every=2)
+        store.ingest(STREAM_BATCHES[0])
+        with failpoints.failpoint("snapshot.before-rename", times=1):
+            with pytest.raises(failpoints.InjectedFaultError):
+                store.ingest(STREAM_BATCHES[1])  # triggers the checkpoint
+
+        resumed = PersistentSession.resume(tmp_path)
+        assert resumed.n_replayed == 2
+        for batch in STREAM_BATCHES[2:]:
+            resumed.ingest(batch)
+        _assert_sessions_identical(resumed.session, reference)
+
+    def test_invalid_snapshot_every_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            PersistentSession(tmp_path, _session(), snapshot_every=0)
+
+    def test_resume_nothing_raises_not_found(self, tmp_path):
+        with pytest.raises(SnapshotNotFoundError):
+            PersistentSession.resume(tmp_path / "empty")
+
+
+# --------------------------------------------------------------------- #
+# Pipeline wiring: run_online with snapshots and resume
+# --------------------------------------------------------------------- #
+class TestPipelinePersistence:
+    @pytest.fixture(scope="class")
+    def basket_path(self, tmp_path_factory):
+        baskets = generate_market_baskets(rng=3, n_transactions=160, n_clusters=3)
+        path = tmp_path_factory.mktemp("data") / "baskets.txt"
+        write_transactions(baskets, path)
+        return path
+
+    def _pipeline(self):
+        return RockPipeline(
+            n_clusters=3, theta=0.3, sample_size=60, min_cluster_size=2, rng=5
+        )
+
+    def test_snapshot_run_matches_plain_run(self, basket_path, tmp_path):
+        plain = self._pipeline().run_online(basket_path, batch_size=32)
+        persisted = self._pipeline().run_online(
+            basket_path, batch_size=32,
+            snapshot_dir=tmp_path / "snaps", snapshot_every=1,
+        )
+        assert np.array_equal(plain.labels, persisted.labels)
+        assert plain.clusters == persisted.clusters
+        assert (tmp_path / "snaps" / CURRENT_NAME).is_file()
+
+    def test_crash_mid_run_then_resume_is_bit_identical(
+        self, basket_path, tmp_path, monkeypatch
+    ):
+        plain = self._pipeline().run_online(
+            basket_path, batch_size=16, refresh_threshold=0.25
+        )
+
+        # Kill the run via a torn WAL write on the 4th ingest append.
+        calls = {"n": 0}
+        original = WriteAheadLog.append
+
+        def crashing_append(self, seq, payload):
+            calls["n"] += 1
+            if calls["n"] == 4:
+                failpoints.activate("wal.torn-append", times=1)
+            return original(self, seq, payload)
+
+        monkeypatch.setattr(WriteAheadLog, "append", crashing_append)
+        snaps = tmp_path / "snaps"
+        with pytest.raises(failpoints.InjectedFaultError):
+            self._pipeline().run_online(
+                basket_path, batch_size=16, refresh_threshold=0.25,
+                snapshot_dir=snaps, snapshot_every=2,
+            )
+        monkeypatch.setattr(WriteAheadLog, "append", original)
+
+        resumed = self._pipeline().run_online(
+            basket_path, batch_size=16, refresh_threshold=0.25,
+            snapshot_dir=snaps, resume=True,
+        )
+        assert np.array_equal(plain.labels, resumed.labels)
+        assert plain.clusters == resumed.clusters
+        assert plain.parameters["n_refreshes"] == resumed.parameters["n_refreshes"]
+
+    def test_resume_of_completed_run_reproduces_result(
+        self, basket_path, tmp_path
+    ):
+        snaps = tmp_path / "snaps"
+        first = self._pipeline().run_online(
+            basket_path, batch_size=32, snapshot_dir=snaps
+        )
+        resumed = self._pipeline().run_online(
+            basket_path, batch_size=32, snapshot_dir=snaps, resume=True
+        )
+        assert np.array_equal(first.labels, resumed.labels)
+        assert first.clusters == resumed.clusters
+
+    def test_resume_with_different_batch_size_rejected(
+        self, basket_path, tmp_path
+    ):
+        snaps = tmp_path / "snaps"
+        self._pipeline().run_online(basket_path, batch_size=32, snapshot_dir=snaps)
+        with pytest.raises(SnapshotConfigMismatchError, match="batch_size"):
+            self._pipeline().run_online(
+                basket_path, batch_size=16, snapshot_dir=snaps, resume=True
+            )
+
+    def test_resume_with_different_theta_rejected(self, basket_path, tmp_path):
+        snaps = tmp_path / "snaps"
+        self._pipeline().run_online(basket_path, batch_size=32, snapshot_dir=snaps)
+        mismatched = RockPipeline(
+            n_clusters=3, theta=0.5, sample_size=60, min_cluster_size=2, rng=5
+        )
+        with pytest.raises(SnapshotConfigMismatchError, match="theta"):
+            mismatched.run_online(
+                basket_path, batch_size=32, snapshot_dir=snaps, resume=True
+            )
+
+    def test_bare_session_checkpoint_rejected_by_pipeline_resume(
+        self, tmp_path
+    ):
+        # A checkpoint created through PersistentSession directly carries
+        # no online-pipeline bookkeeping; resuming it through run_online
+        # must fail with a typed error, not mislabel the stream.
+        PersistentSession.create(tmp_path, _session())
+        pipeline = RockPipeline(n_clusters=2, theta=0.4, sample_size=6, rng=0)
+        source = [list(batch) for batch in STREAM_BATCHES]
+        flat = [t for batch in source for t in batch] + BOOTSTRAP
+        with pytest.raises((SnapshotCorruptionError, SnapshotConfigMismatchError)):
+            pipeline.run_online(
+                flat, batch_size=4, snapshot_dir=tmp_path, resume=True
+            )
+
+    def test_snapshot_every_without_dir_rejected(self, basket_path):
+        with pytest.raises(ConfigurationError):
+            self._pipeline().run_online(basket_path, snapshot_every=2)
+
+    def test_resume_without_dir_rejected(self, basket_path):
+        with pytest.raises(ConfigurationError):
+            self._pipeline().run_online(basket_path, resume=True)
+
+    def test_env_failpoints_reach_the_snapshot_path(self, tmp_path):
+        # The env-var spelling used by the CI fault-injection job.
+        failpoints.load_from_env(
+            {failpoints.ENV_VAR: "snapshot.before-rename*1"}
+        )
+        with pytest.raises(failpoints.InjectedFaultError):
+            SessionSnapshot(_session()).save(tmp_path)
+        SessionSnapshot(_session()).save(tmp_path)  # budget spent
+
+
+# --------------------------------------------------------------------- #
+# Atomic write helper
+# --------------------------------------------------------------------- #
+class TestAtomicWrite:
+    def test_writes_content_and_leaves_no_tmp_files(self, tmp_path):
+        from repro.data.io import atomic_write_text
+
+        target = tmp_path / "out" / "file.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+        assert [p.name for p in target.parent.iterdir()] == ["file.txt"]
+
+    def test_failure_mid_write_preserves_previous_content(self, tmp_path):
+        from repro.data.io import atomic_write
+
+        target = tmp_path / "file.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as handle:
+                handle.write("partial")
+                raise RuntimeError("killed mid-write")
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["file.txt"]
+
+    def test_bytes_variant(self, tmp_path):
+        from repro.data.io import atomic_write_bytes
+
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"

@@ -1,6 +1,9 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import tempfile
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -312,6 +315,74 @@ class TestIncrementalProperties:
                 )
             )
         assert outcomes[0] == outcomes[1]
+
+
+# ----------------------------------------------------------------------- #
+# Persistence: restore ≡ uninterrupted
+# ----------------------------------------------------------------------- #
+class TestPersistenceProperties:
+    """Snapshot/restore interleaved anywhere in an ingest schedule — with or
+    without an injected crash — must reproduce the uninterrupted run bit for
+    bit (labels, matrices and RNG stream alike)."""
+
+    FAULTS = (None, "snapshot.before-rename", "wal.torn-append")
+
+    @staticmethod
+    def _states_identical(left, right):
+        assert (left.adjacency_ != right.adjacency_).nnz == 0
+        assert (left.links_ != right.links_).nnz == 0
+        assert left._members == right._members
+        assert left._pair_heap == right._pair_heap
+        assert left.rng.bit_generator.state == right.rng.bit_generator.state
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        schedule=ingest_schedules(),
+        theta=st.floats(min_value=0.1, max_value=0.9),
+        data=st.data(),
+    )
+    def test_restore_equals_uninterrupted(self, schedule, theta, data):
+        from repro.persistence import failpoints
+        from repro.persistence.session import PersistentSession
+
+        bootstrap, _stream, batches = schedule
+        reference, _ = _bootstrap_session(bootstrap, theta)
+        expected = [reference.ingest(batch).labels.tolist() for batch in batches]
+
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(batches)), label="cut"
+        )
+        fault = data.draw(st.sampled_from(self.FAULTS), label="fault")
+        failpoints.reset()
+        try:
+            with tempfile.TemporaryDirectory() as tmp:
+                session, _ = _bootstrap_session(bootstrap, theta)
+                store = PersistentSession.create(tmp, session)
+                observed = [
+                    store.ingest(batch).labels.tolist()
+                    for batch in batches[:cut]
+                ]
+                if fault is None:
+                    store.snapshot()
+                elif fault == "snapshot.before-rename":
+                    with failpoints.failpoint(fault, times=1):
+                        with pytest.raises(failpoints.InjectedFaultError):
+                            store.snapshot()
+                elif cut < len(batches):  # torn WAL append mid-ingest
+                    with failpoints.failpoint(fault, times=1):
+                        with pytest.raises(failpoints.InjectedFaultError):
+                            store.ingest(batches[cut])
+                del store  # simulated kill: no close()
+
+                resumed = PersistentSession.resume(tmp)
+                observed.extend(
+                    resumed.ingest(batch).labels.tolist()
+                    for batch in batches[cut:]
+                )
+        finally:
+            failpoints.reset()
+        assert observed == expected
+        self._states_identical(resumed.session, reference)
 
 
 # ----------------------------------------------------------------------- #
