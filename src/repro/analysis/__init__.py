@@ -1,0 +1,57 @@
+"""Static analysis for the determinism/IO/registry contracts of :mod:`repro`.
+
+Every subsystem since PR 1 rests on contracts stated in
+``docs/ARCHITECTURE.md`` — bit-identity needs no hidden RNG state and no
+set-iteration-order dependence; the ``reference`` engine and the
+``bruteforce`` backend are frozen specs; file writes are atomic; strategy
+names live in registries; injected faults must never be swallowed.  This
+package turns each one into a machine-checked lint rule, the same move
+that turned the perf promises into :mod:`repro.bench.perf_gate`.
+
+Run it as ``python -m repro.analysis [paths] [--select/--ignore/--format
+json]``; the tier-1 suite runs the full rule set over ``src/repro`` and
+demands zero findings and zero unexplained suppressions
+(``tests/test_analysis_self.py``).  Silence an individual deliberate
+violation with a trailing ``# repro-lint: disable=<CODE> reason=<why>``
+comment — the suppression is counted and reported, and one without a
+reason fails the run.
+
+Rules register through :func:`register_rule` exactly like neighbour
+backends; third-party checks are one registration call.
+"""
+
+from repro.analysis.base import (
+    Finding,
+    Rule,
+    RuleContext,
+    Suppression,
+    available_rules,
+    get_rule,
+    parse_suppressions,
+    register_rule,
+)
+from repro.analysis.runner import (
+    LintReport,
+    discover_files,
+    lint_source,
+    module_name_for,
+    resolve_codes,
+    run_paths,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "RuleContext",
+    "Suppression",
+    "available_rules",
+    "discover_files",
+    "get_rule",
+    "lint_source",
+    "module_name_for",
+    "parse_suppressions",
+    "register_rule",
+    "resolve_codes",
+    "run_paths",
+]

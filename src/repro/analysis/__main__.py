@@ -1,0 +1,135 @@
+"""Command line of the contract linter: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis src/repro              # full rule set
+    python -m repro.analysis src/repro --select DET  # determinism rules only
+    python -m repro.analysis src/repro --format json
+    python -m repro.analysis --list-rules
+    python -m repro.analysis --regen-spec-pins       # after a deliberate
+                                                     # spec change, commit
+                                                     # the pin diff
+
+Exit codes: 0 clean; 1 findings or unexplained suppressions; 2 usage
+errors (argparse); 3 configuration errors (unknown rule codes, missing
+paths) — matching the main ``repro`` CLI's :class:`ReproError` exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.base import available_rules, get_rule
+from repro.analysis.runner import discover_files, module_name_for, run_paths
+from repro.analysis.rules.spec_freeze import (
+    SPEC_TARGETS,
+    compute_spec_hashes,
+    pins_path,
+)
+from repro.data.io import atomic_write_text
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Machine-check the determinism/IO/registry contracts of repro.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="comma-separated code prefixes to run (e.g. DET,SPEC001)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="comma-separated code prefixes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--regen-spec-pins",
+        action="store_true",
+        help="recompute the SPEC001 structural-hash pins over the given "
+        "paths and rewrite spec_pins.json (commit the diff deliberately)",
+    )
+    return parser
+
+
+def _split_codes(values: list[str] | None) -> list[str] | None:
+    if not values:
+        return None
+    codes: list[str] = []
+    for value in values:
+        codes.extend(part for part in value.split(",") if part.strip())
+    return codes
+
+
+def _regen_spec_pins(paths: list[str]) -> int:
+    sources: dict[str, str] = {}
+    for path in discover_files(list(paths)):
+        module = module_name_for(path)
+        if module in SPEC_TARGETS:
+            sources[module] = path.read_text(encoding="utf-8")
+    missing = sorted(set(SPEC_TARGETS) - set(sources))
+    if missing:
+        print(
+            "error: spec targets not found under the given paths: %s"
+            % ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 3
+    pins = compute_spec_hashes(sources)
+    atomic_write_text(
+        pins_path(), json.dumps(pins, indent=2, sort_keys=True) + "\n"
+    )
+    print("wrote %d spec pin(s) to %s" % (len(pins), pins_path()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.list_rules:
+            for code in available_rules():
+                rule = get_rule(code)
+                print("%s  %s — %s" % (code, rule.name, rule.description))
+            return 0
+        if args.regen_spec_pins:
+            return _regen_spec_pins(args.paths)
+        report = run_paths(
+            list(args.paths),
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 3
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Shared AST helpers for the lint rules.
+
+The rules work on *resolved dotted names*: ``np.random.seed(...)`` must be
+recognised whatever numpy was imported as.  :class:`ImportAliases` builds
+the local-name → canonical-module map from a module's import statements,
+and :func:`resolve_call_name` turns an attribute chain into its canonical
+dotted form through that map.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+
+
+class ImportAliases:
+    """Local binding names mapped to the canonical dotted names they import.
+
+    ``import numpy as np``          → ``np -> numpy``
+    ``import numpy.random``         → ``numpy -> numpy``
+    ``from numpy import random``    → ``random -> numpy.random``
+    ``from datetime import datetime as dt`` → ``dt -> datetime.datetime``
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a`` to package ``a``.
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = "%s.%s" % (node.module, alias.name)
+
+    def resolve(self, dotted: str) -> str:
+        """Canonicalise the first component of ``dotted`` through the map."""
+        head, _, rest = dotted.partition(".")
+        canonical = self.aliases.get(head)
+        if canonical is None:
+            return dotted
+        return canonical + ("." + rest if rest else "")
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call_name(node: ast.Call, aliases: ImportAliases) -> str | None:
+    """Canonical dotted name of a call's target, or ``None`` if dynamic."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    return aliases.resolve(dotted)
+
+
+def string_value(node: ast.expr) -> str | None:
+    """The value of a string constant node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def strip_docstrings(node: ast.AST) -> ast.AST:
+    """Remove every docstring expression from a copy of a parsed tree.
+
+    Used by the SPEC001 structural hash so that documentation edits to a
+    frozen spec never trip the pin — only executable structure does.
+    """
+    node = copy.deepcopy(node)
+    for owner in ast.walk(node):
+        if isinstance(
+            owner, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and owner.body:
+            first = owner.body[0]
+            if (
+                isinstance(first, ast.Expr)
+                and isinstance(first.value, ast.Constant)
+                and isinstance(first.value.value, str)
+            ):
+                owner.body = owner.body[1:] or [ast.Pass()]
+    return node
+
+
+def structural_hash(node: ast.AST) -> str:
+    """SHA-256 of the docstring-free ``ast.dump`` of ``node``.
+
+    ``ast.dump`` without attributes excludes line/column numbers, so the
+    hash is stable under reformatting and comment edits but changes for
+    any change to identifiers, operators, constants or control flow.
+    """
+    stripped = strip_docstrings(node)
+    return hashlib.sha256(ast.dump(stripped).encode("utf-8")).hexdigest()
+
+
+def find_definition(tree: ast.Module, qualname: str) -> ast.AST | None:
+    """Locate a top-level (or class-nested) definition by dotted qualname."""
+    node: ast.AST = tree
+    for part in qualname.split("."):
+        body = getattr(node, "body", None)
+        if body is None:
+            return None
+        for child in body:
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and child.name == part
+            ):
+                node = child
+                break
+        else:
+            return None
+    return node if node is not tree else None

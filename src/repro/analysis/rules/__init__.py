@@ -1,0 +1,23 @@
+"""Built-in lint rules; importing this package registers them all.
+
+One module per contract family, mirroring how the neighbour backends each
+live in their own module and register on import:
+
+* :mod:`repro.analysis.rules.determinism` — DET001 (global RNG), DET002
+  (unsorted set iteration), TIME001 (wall-clock reads in core).
+* :mod:`repro.analysis.rules.spec_freeze` — SPEC001 (AST-hash pins of the
+  reference engine and bruteforce backend).
+* :mod:`repro.analysis.rules.io_discipline` — IO001 (atomic writes only).
+* :mod:`repro.analysis.rules.registry_literals` — REG001 (no drifting
+  strategy-name literals).
+* :mod:`repro.analysis.rules.error_handling` — ERR001 (no fault
+  swallowing, chained re-raises).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    determinism,
+    error_handling,
+    io_discipline,
+    registry_literals,
+    spec_freeze,
+)

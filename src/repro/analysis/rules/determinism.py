@@ -1,0 +1,286 @@
+"""Determinism rules: DET001 (global RNG), DET002 (set iteration), TIME001.
+
+These machine-check the contract row the whole stack rests on
+(``docs/ARCHITECTURE.md`` — "Randomness flows through one numpy generator
+per pipeline"): no hidden global random state, no iteration-order
+dependence on hot paths, no wall-clock reads inside deterministic phases.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import ImportAliases, dotted_name, resolve_call_name
+from repro.analysis.base import Finding, RuleContext, register_rule
+
+#: ``numpy.random`` attributes that *construct* explicit generators — the
+#: only approved uses.  Everything else on ``numpy.random`` is the hidden
+#: module-global RandomState (``np.random.seed`` / ``np.random.shuffle``
+#: / ...), which breaks seed-reproducibility the moment two call sites
+#: share it.
+APPROVED_NUMPY_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class GlobalRandomRule:
+    """DET001: randomness must be threaded as explicit generator parameters."""
+
+    code = "DET001"
+    name = "no-global-rng"
+    description = (
+        "No stdlib random imports and no numpy module-global RNG calls; "
+        "randomness is threaded as np.random.Generator parameters built via "
+        "default_rng(...)"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return True
+
+    def check(self, context: RuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        aliases = ImportAliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(
+                            self._finding(
+                                context,
+                                node,
+                                "stdlib 'random' imported; its module-global "
+                                "state is invisible to the seed contract — "
+                                "use a threaded np.random.Generator",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    findings.append(
+                        self._finding(
+                            context,
+                            node,
+                            "stdlib 'random' imported; its module-global "
+                            "state is invisible to the seed contract — "
+                            "use a threaded np.random.Generator",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                name = resolve_call_name(node, aliases)
+                if name is None or not name.startswith("numpy.random."):
+                    continue
+                tail = name[len("numpy.random."):]
+                if tail.split(".", 1)[0] in APPROVED_NUMPY_RANDOM:
+                    continue
+                findings.append(
+                    self._finding(
+                        context,
+                        node,
+                        "call to module-global numpy RNG %r; construct a "
+                        "generator with np.random.default_rng(...) and "
+                        "thread it as a parameter" % name,
+                    )
+                )
+        return findings
+
+    def _finding(self, context: RuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+#: Callables whose consumption of an iterable is order-insensitive, so a
+#: set argument is fine without sorting.
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"len", "sum", "min", "max", "any", "all", "set", "frozenset", "sorted", "bool"}
+)
+
+#: Callables that materialise their argument's iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+
+def _is_set_display(node: ast.expr) -> bool:
+    """Whether ``node`` syntactically constructs a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in {"set", "frozenset"}:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra on known sets; only certain when both sides are.
+        return _is_set_display(node.left) and _is_set_display(node.right)
+    return False
+
+
+def _is_set_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return isinstance(target, ast.Name) and target.id in {"set", "frozenset", "Set"}
+
+
+class _ScopeSetNames(ast.NodeVisitor):
+    """Names bound to a syntactic set construct, per enclosing scope.
+
+    Deliberately naive: a name counts as set-valued when *any* assignment
+    in the file binds it to a set display, ``set(...)``/``frozenset(...)``
+    call, set comprehension or ``set``-annotated target.  Rebinding to a
+    non-set afterwards is not tracked — the rule prefers a rare false
+    positive (silenced by a reasoned suppression) over silently missing an
+    iteration-order dependence.
+    """
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_display(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and (
+            _is_set_annotation(node.annotation)
+            or (node.value is not None and _is_set_display(node.value))
+        ):
+            self.names.add(node.target.id)
+        self.generic_visit(node)
+
+
+class SetIterationRule:
+    """DET002: iterating a set in ``repro.core`` must go through sorted()."""
+
+    code = "DET002"
+    name = "no-unsorted-set-iteration"
+    description = (
+        "Iteration over set/frozenset values feeding ordering-sensitive "
+        "sinks (for-loops, comprehensions, list/tuple/enumerate) in "
+        "repro.core must be wrapped in sorted(...)"
+    )
+
+    #: Deterministic-core scope: the algorithmic layers whose outputs the
+    #: bit-identity contracts pin.  Interfaces/bench layers are exempt.
+    scope_prefixes = ("repro.core", "repro.similarity", "repro.data.encoding")
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(self.scope_prefixes)
+
+    def check(self, context: RuleContext) -> list[Finding]:
+        collector = _ScopeSetNames()
+        collector.visit(context.tree)
+        set_names = collector.names
+        findings: list[Finding] = []
+
+        def is_known_set(node: ast.expr) -> bool:
+            if _is_set_display(node):
+                return True
+            return isinstance(node, ast.Name) and node.id in set_names
+
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_known_set(node.iter):
+                    findings.append(self._finding(context, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    if is_known_set(generator.iter):
+                        findings.append(self._finding(context, generator.iter))
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _ORDER_SENSITIVE_CALLS and node.args:
+                    if is_known_set(node.args[0]):
+                        findings.append(self._finding(context, node.args[0]))
+        return findings
+
+    def _finding(self, context: RuleContext, node: ast.AST) -> Finding:
+        return Finding(
+            code=self.code,
+            message=(
+                "iteration order of a set/frozenset reaches an "
+                "ordering-sensitive sink; wrap the iterable in sorted(...) "
+                "so results cannot depend on hash seeding"
+            ),
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+#: Wall-clock reads.  ``time.perf_counter``/``monotonic`` are duration
+#: measures used by the timing instrumentation and stay allowed.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule:
+    """TIME001: no wall-clock reads inside deterministic core paths."""
+
+    code = "TIME001"
+    name = "no-wall-clock-in-core"
+    description = (
+        "No time.time()/datetime.now() style wall-clock reads in "
+        "deterministic core paths (perf_counter durations are fine)"
+    )
+
+    scope_prefixes = ("repro.core", "repro.similarity", "repro.data")
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(self.scope_prefixes)
+
+    def check(self, context: RuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        aliases = ImportAliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node, aliases)
+            if name in _WALL_CLOCK_CALLS:
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        message=(
+                            "wall-clock read %r in a deterministic core "
+                            "path; results must not depend on when they "
+                            "are computed" % name
+                        ),
+                        path=context.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                )
+        return findings
+
+
+register_rule(GlobalRandomRule())
+register_rule(SetIterationRule())
+register_rule(WallClockRule())

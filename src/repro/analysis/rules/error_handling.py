@@ -1,0 +1,124 @@
+"""ERR001: exception handling must respect the fault-injection contract.
+
+Two patterns break the contracts of :mod:`repro.errors` and
+:mod:`repro.persistence.failpoints`:
+
+* **Silent broad catch** — a handler for ``Exception``/``BaseException``
+  (or a bare ``except``, or one naming ``InjectedFaultError`` itself) that
+  never re-raises.  Such a handler can swallow an
+  :class:`~repro.persistence.failpoints.InjectedFaultError`, turning a
+  simulated crash into a silent success and voiding the crash-recovery
+  test coverage.  Deliberate fault-isolation boundaries (the shard-worker
+  retry loop) carry a reasoned suppression instead.
+* **Unchained re-wrap** — ``raise SomethingElse(...)`` inside an
+  ``except`` body without ``from err``/``from None``.  Re-wrapping a
+  :class:`~repro.errors.ReproError` subclass without explicit chaining
+  discards the cause an operator needs, and hides whether the implicit
+  context was intended.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Finding, RuleContext, register_rule
+
+#: Exception names whose handlers can observe an injected fault.
+_BROAD_NAMES = frozenset({"Exception", "BaseException", "InjectedFaultError"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+    """Leaf exception-class names a handler catches ('' for bare except)."""
+    if handler.type is None:
+        return [""]
+    nodes = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: list[str] = []
+    for node in nodes:
+        if isinstance(node, ast.Attribute):
+            names.append(node.attr)
+        elif isinstance(node, ast.Name):
+            names.append(node.id)
+        else:
+            names.append("?")
+    return names
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    return any(name == "" or name in _BROAD_NAMES for name in _handler_names(handler))
+
+
+def _walk_handler_body(handler: ast.ExceptHandler):
+    """Walk a handler body without descending into nested handlers."""
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ExceptHandler):
+                continue
+            stack.append(child)
+
+
+class ExceptionContractRule:
+    """ERR001: no fault swallowing, no unchained exception re-wrapping."""
+
+    code = "ERR001"
+    name = "exception-contract"
+    description = (
+        "Broad except handlers must re-raise (InjectedFaultError must never "
+        "be swallowed) and raises inside except bodies must chain with "
+        "'from err' or 'from None'"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return True
+
+    def check(self, context: RuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            raises = [
+                child
+                for child in _walk_handler_body(node)
+                if isinstance(child, ast.Raise)
+            ]
+            if _is_broad(node) and not raises:
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        message=(
+                            "broad except handler never re-raises; it can "
+                            "swallow InjectedFaultError and void the "
+                            "crash-injection coverage — narrow the type or "
+                            "re-raise"
+                        ),
+                        path=context.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                )
+            for raised in raises:
+                if raised.exc is not None and raised.cause is None:
+                    findings.append(
+                        Finding(
+                            code=self.code,
+                            message=(
+                                "raise inside an except body without "
+                                "explicit chaining; add 'from err' (or "
+                                "'from None' to intentionally break the "
+                                "chain) so the ReproError cause survives"
+                            ),
+                            path=context.path,
+                            line=raised.lineno,
+                            col=raised.col_offset,
+                        )
+                    )
+        return findings
+
+
+register_rule(ExceptionContractRule())

@@ -1,0 +1,114 @@
+"""IO001: every file write goes through the atomic-write helpers.
+
+PR 6 made crash-safety a contract: library writers use
+``repro.data.io.atomic_write``/``atomic_write_text``/``atomic_write_bytes``
+(tmp sibling + fsync + rename) or the snapshot machinery's fsynced
+tmp-directory build, so a reader never observes a torn file.  This rule
+stops raw write-mode ``open`` calls (and ``Path.write_text`` /
+``write_bytes``) from creeping back anywhere outside those helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import ImportAliases, resolve_call_name
+from repro.analysis.base import Finding, RuleContext, register_rule
+
+#: Modules allowed to open files for writing: the atomic helpers
+#: themselves and the snapshot/WAL tmp-dir + fsync machinery they wrap.
+ALLOWED_WRITER_MODULES = (
+    "repro.data.io",
+    "repro.persistence.snapshot",
+    "repro.persistence.wal",
+)
+
+
+def _mode_argument(node: ast.Call, position: int) -> str | None:
+    """The literal ``mode=`` string of an open-style call, if statically known."""
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                return value.value
+            return None
+    if len(node.args) > position:
+        value = node.args[position]
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return value.value
+    return None
+
+
+def _is_write_mode(mode: str | None) -> bool:
+    if mode is None:
+        return False
+    return any(flag in mode for flag in ("w", "a", "x", "+"))
+
+
+class AtomicWriteRule:
+    """IO001: no raw write-mode file opens outside the atomic helpers."""
+
+    code = "IO001"
+    name = "atomic-writes-only"
+    description = (
+        "Write-mode open()/Path.open()/write_text()/write_bytes() calls are "
+        "confined to repro.data.io atomic helpers and the snapshot/WAL "
+        "tmp-dir build; everything else must use atomic_write*"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return not module.startswith(ALLOWED_WRITER_MODULES)
+
+    def check(self, context: RuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        aliases = ImportAliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._violation(node, aliases)
+            if message is not None:
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        message=message,
+                        path=context.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                )
+        return findings
+
+    def _violation(self, node: ast.Call, aliases: ImportAliases) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            if _is_write_mode(_mode_argument(node, position=1)):
+                return (
+                    "raw write-mode open(); a crash here leaves a torn file — "
+                    "use repro.data.io.atomic_write/atomic_write_text/"
+                    "atomic_write_bytes"
+                )
+            return None
+        resolved = resolve_call_name(node, aliases)
+        if resolved in {"os.fdopen", "io.open"}:
+            if _is_write_mode(_mode_argument(node, position=1)):
+                return (
+                    "raw write-mode %s(); use the repro.data.io atomic "
+                    "helpers instead" % resolved
+                )
+            return None
+        if isinstance(func, ast.Attribute):
+            if func.attr == "open" and _is_write_mode(_mode_argument(node, position=0)):
+                return (
+                    "raw write-mode .open(); a crash here leaves a torn file — "
+                    "use repro.data.io.atomic_write"
+                )
+            if func.attr in {"write_text", "write_bytes"}:
+                return (
+                    "Path.%s() is not atomic; a crash mid-write leaves a torn "
+                    "file — use repro.data.io.atomic_write_text/"
+                    "atomic_write_bytes" % func.attr
+                )
+        return None
+
+
+register_rule(AtomicWriteRule())

@@ -1,0 +1,146 @@
+"""SPEC001: the executable specifications are frozen by structural hash.
+
+``docs/ARCHITECTURE.md`` and ROADMAP's standing guardrails say *"never
+optimise ``engine="reference"`` or the ``bruteforce`` backend — they are
+the specs everything else is tested against"*.  Until now that was prose.
+This rule pins a SHA-256 of the docstring-free AST dump of each spec
+definition in ``spec_pins.json`` (shipped inside the package) and fails
+whenever the structure changes without the pin being deliberately
+regenerated via ``python -m repro.analysis --regen-spec-pins`` — which
+makes the change show up in review as a pin diff instead of sliding by.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.analysis.astutil import find_definition, structural_hash
+from repro.analysis.base import Finding, RuleContext, register_rule
+
+#: ``module -> [qualnames]`` of the frozen specification definitions.
+SPEC_TARGETS: dict[str, tuple[str, ...]] = {
+    "repro.core.rock": (
+        "RockClustering._agglomerate_reference",
+        "RockClustering._merge_clusters",
+    ),
+    "repro.core.neighbors.bruteforce": ("BruteForceBackend",),
+}
+
+PINS_FILENAME = "spec_pins.json"
+
+
+def pins_path() -> Path:
+    """Location of the committed pin file inside the analysis package."""
+    return Path(__file__).resolve().parent.parent / PINS_FILENAME
+
+
+def load_pins(path: Path | None = None) -> dict[str, str]:
+    """The committed ``{"module::qualname": sha256}`` pin map."""
+    resolved = pins_path() if path is None else Path(path)
+    if not resolved.is_file():
+        return {}
+    return json.loads(resolved.read_text(encoding="utf-8"))
+
+
+def compute_spec_hashes(
+    sources: dict[str, str], targets: dict[str, tuple[str, ...]] | None = None
+) -> dict[str, str]:
+    """Structural hashes for ``{module: source}`` over the spec targets."""
+    targets = SPEC_TARGETS if targets is None else targets
+    hashes: dict[str, str] = {}
+    for module, qualnames in targets.items():
+        source = sources.get(module)
+        if source is None:
+            continue
+        tree = ast.parse(source)
+        for qualname in qualnames:
+            node = find_definition(tree, qualname)
+            if node is not None:
+                hashes["%s::%s" % (module, qualname)] = structural_hash(node)
+    return hashes
+
+
+class SpecFreezeRule:
+    """SPEC001: reference/bruteforce definitions must match their pins."""
+
+    code = "SPEC001"
+    name = "spec-freeze"
+    description = (
+        'AST-structure hashes of engine="reference" and the bruteforce '
+        "neighbour backend must match the committed spec_pins.json "
+        "(regenerate deliberately with --regen-spec-pins)"
+    )
+
+    def __init__(
+        self,
+        targets: dict[str, tuple[str, ...]] | None = None,
+        pins: dict[str, str] | None = None,
+    ) -> None:
+        self.targets = SPEC_TARGETS if targets is None else targets
+        self._pins = pins
+
+    @property
+    def pins(self) -> dict[str, str]:
+        if self._pins is None:
+            self._pins = load_pins()
+        return self._pins
+
+    def applies_to(self, module: str) -> bool:
+        return module in self.targets
+
+    def check(self, context: RuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for qualname in self.targets.get(context.module, ()):
+            key = "%s::%s" % (context.module, qualname)
+            node = find_definition(context.tree, qualname)
+            if node is None:
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        message=(
+                            "frozen spec definition %r is missing; the "
+                            "executable specification must not be removed "
+                            "or renamed" % key
+                        ),
+                        path=context.path,
+                        line=1,
+                    )
+                )
+                continue
+            actual = structural_hash(node)
+            pinned = self.pins.get(key)
+            if pinned is None:
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        message=(
+                            "frozen spec %r has no committed pin; run "
+                            "python -m repro.analysis --regen-spec-pins "
+                            "and commit %s" % (key, PINS_FILENAME)
+                        ),
+                        path=context.path,
+                        line=node.lineno,
+                    )
+                )
+            elif actual != pinned:
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        message=(
+                            "structure of frozen spec %r changed (hash %s, "
+                            "pinned %s); the reference/bruteforce specs must "
+                            "not be optimised — if the change is deliberate, "
+                            "regenerate with --regen-spec-pins and justify "
+                            "the pin diff in review"
+                            % (key, actual[:12], pinned[:12])
+                        ),
+                        path=context.path,
+                        line=node.lineno,
+                    )
+                )
+        return findings
+
+
+register_rule(SpecFreezeRule())

@@ -1,0 +1,258 @@
+"""File discovery, rule execution, suppression accounting and reporting.
+
+The runner is the glue between the rule registry and the command line /
+test harness: it discovers ``.py`` files, derives their dotted module
+names, runs every selected rule, matches findings against inline
+suppressions and renders the result as text or JSON.
+
+Exit semantics (mirrored by :func:`LintReport.ok`): a run is clean only
+when there are **zero active findings and zero unexplained suppressions**
+— a ``repro-lint: disable=`` without a ``reason=`` fails the run just as
+the finding it hides would have.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import (
+    Finding,
+    RuleContext,
+    Suppression,
+    available_rules,
+    get_rule,
+    parse_suppressions,
+)
+from repro.errors import ConfigurationError
+
+# Importing the rule modules registers the built-in rule set.
+import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    unexplained_suppressions: list[Suppression] = field(default_factory=list)
+    unused_suppressions: list[Suppression] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.unexplained_suppressions
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        def finding_dict(finding: Finding) -> dict:
+            return {
+                "code": finding.code,
+                "message": finding.message,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "suppressed": finding.suppressed,
+                "suppression_reason": finding.suppression_reason,
+            }
+
+        payload = {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "findings": [finding_dict(f) for f in self.findings],
+            "suppressed": [finding_dict(f) for f in self.suppressed],
+            "unexplained_suppressions": [
+                {"path": s.path, "line": s.line, "codes": list(s.codes)}
+                for s in self.unexplained_suppressions
+            ],
+            "unused_suppressions": [
+                {"path": s.path, "line": s.line, "codes": list(s.codes)}
+                for s in self.unused_suppressions
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=False)
+
+    def to_text(self) -> str:
+        lines: list[str] = []
+        for finding in self.findings:
+            lines.append(
+                "%s %s %s" % (finding.location(), finding.code, finding.message)
+            )
+        for suppression in self.unexplained_suppressions:
+            lines.append(
+                "%s:%d SUPPRESS unexplained suppression of %s; add reason=..."
+                % (suppression.path, suppression.line, ",".join(suppression.codes))
+            )
+        summary = "%d file(s), %d rule(s): %d finding(s), %d suppressed" % (
+            self.files_checked,
+            len(self.rules_run),
+            len(self.findings),
+            len(self.suppressed),
+        )
+        if self.suppressed:
+            for finding in self.suppressed:
+                lines.append(
+                    "%s %s suppressed: %s"
+                    % (finding.location(), finding.code, finding.suppression_reason)
+                )
+        if self.unused_suppressions:
+            summary += ", %d unused suppression(s)" % len(self.unused_suppressions)
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a source path (rooted at the ``repro`` package).
+
+    Paths outside a ``repro`` package tree fall back to their stem, so ad
+    hoc files still lint (with the package-scoped rules simply not
+    applying).
+    """
+    parts = list(path.resolve().with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "repro":
+            return ".".join(parts[anchor:])
+    return parts[-1] if parts else str(path)
+
+
+def discover_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ConfigurationError("no such file or directory: %s" % path)
+    unique: dict[Path, None] = {}
+    for path in files:
+        unique.setdefault(path.resolve(), None)
+    return list(unique)
+
+
+def resolve_codes(
+    select: list[str] | None, ignore: list[str] | None
+) -> list[str]:
+    """The rule codes to run given ``--select`` / ``--ignore`` prefixes.
+
+    Prefix semantics match ruff: ``--select DET`` runs DET001 and DET002;
+    ``--ignore SPEC001`` drops one code.  ``--select`` with an unknown
+    prefix is a configuration error (a typo must not silently lint with
+    nothing).
+    """
+    codes = available_rules()
+    if select:
+        prefixes = [s.strip().upper() for s in select if s.strip()]
+        for prefix in prefixes:
+            if not any(code.startswith(prefix) for code in codes):
+                raise ConfigurationError(
+                    "--select %r matches no registered rule (have: %s)"
+                    % (prefix, ", ".join(codes))
+                )
+        codes = [c for c in codes if any(c.startswith(p) for p in prefixes)]
+    if ignore:
+        prefixes = [s.strip().upper() for s in ignore if s.strip()]
+        codes = [c for c in codes if not any(c.startswith(p) for p in prefixes)]
+    return codes
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    codes: list[str] | None = None,
+) -> LintReport:
+    """Lint one in-memory source blob (the fixture-test entry point)."""
+    report = LintReport(rules_run=codes if codes is not None else available_rules())
+    _lint_one(source, path, module, report)
+    report.files_checked = 1
+    return report
+
+
+def run_paths(
+    paths: list[str | Path],
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` with the selected rules."""
+    codes = resolve_codes(select, ignore)
+    report = LintReport(rules_run=codes)
+    files = discover_files(paths)
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        _lint_one(source, str(path), None, report)
+    report.files_checked = len(files)
+    return report
+
+
+def _lint_one(
+    source: str, path: str, module: str | None, report: LintReport
+) -> None:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        report.findings.append(
+            Finding(
+                code="SYNTAX",
+                message="file does not parse: %s" % error.msg,
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+            )
+        )
+        return
+    context = RuleContext(
+        path=path,
+        module=module if module is not None else module_name_for(Path(path)),
+        source=source,
+        tree=tree,
+    )
+    suppressions = parse_suppressions(path, context.lines)
+    raw_findings: list[Finding] = []
+    for code in report.rules_run:
+        rule = get_rule(code)
+        if not rule.applies_to(context.module):
+            continue
+        raw_findings.extend(rule.check(context))
+    raw_findings.sort(key=lambda f: (f.line, f.col, f.code))
+
+    used: set[int] = set()
+    for finding in raw_findings:
+        matched = None
+        for index, suppression in enumerate(suppressions):
+            if suppression.line == finding.line and finding.code in suppression.codes:
+                matched = index
+                break
+        if matched is None:
+            report.findings.append(finding)
+            continue
+        used.add(matched)
+        suppression = suppressions[matched]
+        report.suppressed.append(
+            Finding(
+                code=finding.code,
+                message=finding.message,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                suppressed=True,
+                suppression_reason=suppression.reason,
+            )
+        )
+        if not suppression.explained:
+            report.unexplained_suppressions.append(suppression)
+    for index, suppression in enumerate(suppressions):
+        if index not in used:
+            report.unused_suppressions.append(suppression)

@@ -16,7 +16,7 @@ from repro.baselines.kmodes import KModes
 from repro.bench.harness import ExperimentRecord, register_experiment
 from repro.core.pipeline import rock_cluster
 from repro.core.rock import RockClustering
-from repro.data.encoding import one_hot_encode, records_to_transactions
+from repro.data.encoding import records_to_transactions
 from repro.datasets.market_basket import example_transactions
 from repro.datasets.mushroom import (
     EDIBLE_GROUP_SIZES,

@@ -39,6 +39,7 @@ from repro.core.rock import ENGINES
 from repro.core.sharding import DEFAULT_SHARD_STRATEGY, SHARD_STRATEGIES
 from repro.data.encoding import records_to_transactions
 from repro.data.io import (
+    atomic_write_text,
     read_categorical_csv,
     read_transaction_labels,
     read_transactions,
@@ -49,6 +50,19 @@ from repro.evaluation.composition import composition_table
 from repro.evaluation.metrics import clustering_error
 from repro.evaluation.reporting import format_composition_table, format_table
 from repro.extensions.auto_theta import best_theta, sweep_theta
+
+
+def _write_labels(output, labels) -> Path:
+    """Atomically write one integer label per line to ``output``.
+
+    Goes through :func:`repro.data.io.atomic_write_text` so an interrupted
+    run never leaves a torn label file behind (IO001).
+    """
+    output_path = Path(output)
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    return atomic_write_text(
+        output_path, "\n".join(str(int(label)) for label in labels) + "\n"
+    )
 
 
 def _load_input(arguments) -> tuple:
@@ -136,12 +150,8 @@ def _command_cluster(arguments) -> int:
         rows = [[i, len(members)] for i, members in enumerate(result.clusters)]
         print(format_table(["cluster", "size"], rows, title="Cluster sizes"))
     if arguments.output:
-        output_path = Path(arguments.output)
-        output_path.parent.mkdir(parents=True, exist_ok=True)
-        output_path.write_text(
-            "\n".join(str(int(label)) for label in result.labels) + "\n", encoding="utf-8"
-        )
-        print("labels written to %s" % output_path)
+        written = _write_labels(arguments.output, result.labels)
+        print("labels written to %s" % written)
     return 0
 
 
@@ -228,12 +238,8 @@ def _command_cluster_streaming(arguments) -> int:
         rows = [[i, len(members)] for i, members in enumerate(result.clusters)]
         print(format_table(["cluster", "size"], rows, title="Cluster sizes"))
     if arguments.output:
-        output_path = Path(arguments.output)
-        output_path.parent.mkdir(parents=True, exist_ok=True)
-        output_path.write_text(
-            "\n".join(str(int(label)) for label in result.labels) + "\n", encoding="utf-8"
-        )
-        print("labels written to %s" % output_path)
+        written = _write_labels(arguments.output, result.labels)
+        print("labels written to %s" % written)
     return 0
 
 

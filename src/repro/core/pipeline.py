@@ -46,6 +46,7 @@ import itertools
 import os
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -62,6 +63,7 @@ from repro.core.rock import RockClustering, RockResult, as_transactions
 from repro.core.sampling import draw_sample, reservoir_sample
 from repro.core.sharding import (
     DEFAULT_SHARD_STRATEGY,
+    HASH_SHARD_STRATEGY,
     SHARD_STRATEGIES,
     ShardClusterResult,
     ShardPlan,
@@ -292,7 +294,7 @@ class _OnlineIngestState:
         self.remainder_done = 0
         self.sample_pending_done = False
 
-    def apply(self, session: IncrementalRock, payload) -> None:
+    def apply(self, session: IncrementalRock, payload: Any) -> None:
         """Splice one logged payload: ingest, place labels, advance progress."""
         batch, positions, kind = payload
         result = session.ingest(batch)
@@ -722,7 +724,7 @@ class RockPipeline:
         return n_points, sample_indices, sample
 
     # ------------------------------------------------------------------ #
-    def run(self, data) -> RockPipelineResult:
+    def run(self, data: Any) -> RockPipelineResult:
         """Execute the pipeline on an in-memory data set.
 
         Parameters
@@ -829,7 +831,7 @@ class RockPipeline:
     # ------------------------------------------------------------------ #
     def run_streaming(
         self,
-        source,
+        source: Any,
         batch_size: int = 1024,
         sample_method: str = "exact",
         delimiter: str | None = None,
@@ -973,7 +975,7 @@ class RockPipeline:
         drive the store's own ``ingest`` for durable post-run batches."""
         return self._online_store
 
-    def ingest(self, batch) -> IngestResult:
+    def ingest(self, batch: Any) -> IngestResult:
         """Feed one more batch into the live online session.
 
         Requires a prior :meth:`run_online` on this pipeline.  The batch is
@@ -997,7 +999,7 @@ class RockPipeline:
     # ------------------------------------------------------------------ #
     def run_online(
         self,
-        source,
+        source: Any,
         batch_size: int = 1024,
         refresh_threshold: float | None = None,
         sample_method: str = "exact",
@@ -1382,7 +1384,7 @@ class RockPipeline:
     # ------------------------------------------------------------------ #
     def run_sharded(
         self,
-        source,
+        source: Any,
         n_shards: int,
         batch_size: int = 1024,
         shard_workers: int | None = None,
@@ -1496,7 +1498,7 @@ class RockPipeline:
 
         # ---- Phase 1: plan shards and draw every shard's sample ------ #
         phase_start = time.perf_counter()
-        if shard_strategy == "hash":
+        if shard_strategy == HASH_SHARD_STRATEGY:
             plan = ShardPlan(n_shards, shard_strategy)
             shard_sizes, n_points = count_shard_sizes(batches, plan)
             if not n_points:
@@ -1690,10 +1692,10 @@ class RockPipeline:
 
 
 def rock_cluster(
-    data,
+    data: Any,
     n_clusters: int,
     theta: float = 0.5,
-    **pipeline_kwargs,
+    **pipeline_kwargs: Any,
 ) -> RockPipelineResult:
     """Convenience function: run the ROCK pipeline with one call.
 

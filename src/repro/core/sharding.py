@@ -71,7 +71,6 @@ from repro.core.goodness import (
 )
 from repro.core.links import links_from_neighbors
 from repro.core.neighbors import compute_neighbors
-from repro.data.encoding import build_item_index
 from repro.errors import ConfigurationError, DataValidationError, ShardExecutionError
 from repro.persistence import failpoints
 from repro.similarity.base import SetSimilarity
@@ -84,6 +83,11 @@ SHARD_STRATEGIES = ("round-robin", "contiguous", "hash")
 #: :meth:`repro.core.pipeline.RockPipeline.run_sharded` default to this
 #: constant rather than repeating the literal.
 DEFAULT_SHARD_STRATEGY = SHARD_STRATEGIES[0]
+
+#: The content-hash strategy; exported so layers above can detect it
+#: (hash partitioning needs a counting pass over the stream) without
+#: spelling the registry name as a drifting literal (REG001).
+HASH_SHARD_STRATEGY = SHARD_STRATEGIES[2]
 
 
 def stable_shard_hash(transaction) -> int:
@@ -398,6 +402,12 @@ def cluster_shards(
         for _ in range(retries + 1):
             try:
                 return attempt(*task), None
+            # Deliberate fault-isolation boundary: a worker failure —
+            # including an InjectedFaultError from the shard.worker
+            # failpoint — is captured for the retry/degrade/strict logic
+            # below instead of propagating, which is exactly what the
+            # fault-tolerance suite exercises.
+            # repro-lint: disable=ERR001 reason=shard worker isolation; error is retried then surfaced via skipped_shards or ShardExecutionError
             except Exception as error:  # noqa: BLE001 - isolate worker faults
                 last_error = error
         return None, last_error

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Any, Callable
 
 from repro.core.incremental import IncrementalRock, IngestResult
 from repro.errors import ConfigurationError, SnapshotNotFoundError
@@ -96,10 +97,10 @@ class PersistentSession:
         cls,
         directory: str | os.PathLike,
         snapshot_every: int | None = None,
-        measure=None,
-        exponent_function=None,
+        measure: Callable[..., Any] | None = None,
+        exponent_function: Callable[..., Any] | None = None,
         expected_config: dict | None = None,
-        apply=None,
+        apply: Callable[[Any], Any] | None = None,
         defer_replay: bool = False,
     ) -> "PersistentSession":
         """Recover from ``directory``: last durable checkpoint + WAL tail.
@@ -133,7 +134,7 @@ class PersistentSession:
             store.replay_pending(apply)
         return store
 
-    def replay_pending(self, apply) -> int:
+    def replay_pending(self, apply: Callable[[Any], Any]) -> int:
         """Apply the recovered WAL-tail records; returns how many replayed."""
         records, self._pending_records = self._pending_records, []
         for record in records:

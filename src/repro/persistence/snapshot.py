@@ -31,6 +31,7 @@ import pickle
 import re
 import shutil
 from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 from scipy import sparse
@@ -201,8 +202,8 @@ class SessionSnapshot:
     def load(
         cls,
         directory: str | os.PathLike,
-        measure=None,
-        exponent_function=None,
+        measure: Callable[..., Any] | None = None,
+        exponent_function: Callable[..., Any] | None = None,
         expected_config: dict | None = None,
     ) -> "SessionSnapshot":
         """Restore the live checkpoint of ``directory``.

@@ -1,0 +1,94 @@
+"""Self-hosting gate: ``src/repro`` must satisfy its own lint contracts.
+
+This is the tier-1 teeth of :mod:`repro.analysis`.  The full rule set runs
+over the entire source tree and must come back with zero findings and zero
+unexplained suppressions — i.e. every determinism/IO/registry/error
+contract the architecture document states is machine-true right now, and
+every deliberate exception carries a written reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import run_paths
+from repro.analysis.rules.spec_freeze import (
+    SPEC_TARGETS,
+    compute_spec_hashes,
+    load_pins,
+    pins_path,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+
+def format_findings(findings) -> str:
+    return "\n".join("  %s %s %s" % (f.location(), f.code, f.message) for f in findings)
+
+
+class TestSelfHosting:
+    def test_source_tree_has_zero_findings(self):
+        report = run_paths([SRC])
+        assert report.findings == [], (
+            "repro.analysis found contract violations in src/repro:\n"
+            + format_findings(report.findings)
+        )
+
+    def test_no_unexplained_suppressions(self):
+        report = run_paths([SRC])
+        assert report.unexplained_suppressions == [], (
+            "suppressions without a reason= clause:\n%s"
+            % "\n".join(
+                "  %s:%d disable=%s" % (s.path, s.line, ",".join(sorted(s.codes)))
+                for s in report.unexplained_suppressions
+            )
+        )
+
+    def test_no_unused_suppressions(self):
+        report = run_paths([SRC])
+        assert report.unused_suppressions == [], (
+            "suppressions that silence nothing (stale — remove them):\n%s"
+            % "\n".join(
+                "  %s:%d disable=%s" % (s.path, s.line, ",".join(sorted(s.codes)))
+                for s in report.unused_suppressions
+            )
+        )
+
+    def test_whole_tree_is_covered(self):
+        report = run_paths([SRC])
+        on_disk = len([p for p in SRC.rglob("*.py")])
+        assert report.files_checked == on_disk
+        assert len(report.rules_run) >= 7
+
+    def test_report_exit_code_is_zero(self):
+        report = run_paths([SRC])
+        assert report.ok
+        assert report.exit_code() == 0
+
+
+class TestSpecPinsCurrent:
+    """The committed spec pins must cover and match the frozen specs."""
+
+    def test_pins_file_exists_and_covers_all_targets(self):
+        pins = load_pins(pins_path())
+        expected = {
+            "%s::%s" % (module, qualname)
+            for module, qualnames in SPEC_TARGETS.items()
+            for qualname in qualnames
+        }
+        assert set(pins) == expected
+
+    def test_pins_match_current_sources(self):
+        sources = {}
+        for module in SPEC_TARGETS:
+            path = SRC.joinpath(*module.split(".")[1:]).with_suffix(".py")
+            sources[module] = ast.parse(path.read_text(encoding="utf-8"))
+        current = compute_spec_hashes(sources, SPEC_TARGETS)
+        pins = load_pins(pins_path())
+        assert current == pins, (
+            "frozen-spec structural hashes drifted; if the change to the "
+            "reference engine / bruteforce backend was deliberate, rerun "
+            "python -m repro.analysis --regen-spec-pins src/repro"
+        )

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.neighbors import NEIGHBOR_STRATEGIES, available_backends, compute_neighbors
 from repro.errors import ConfigurationError, DataValidationError
-from repro.similarity.jaccard import DiceSimilarity, JaccardSimilarity
+from repro.similarity.jaccard import DiceSimilarity
 from repro.similarity.overlap import SimpleMatchingSimilarity
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.rock import RockClustering, RockResult, as_transactions
-from repro.data.dataset import CategoricalDataset, TransactionDataset
 from repro.errors import (
     ConfigurationError,
     DataValidationError,

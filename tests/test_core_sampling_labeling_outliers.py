@@ -26,7 +26,6 @@ from repro.core.sampling import (
     reservoir_sample,
     split_dataset,
 )
-from repro.data.dataset import TransactionDataset
 from repro.errors import ConfigurationError, DataValidationError
 
 

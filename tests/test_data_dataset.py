@@ -1,6 +1,5 @@
 """Tests for repro.data.dataset."""
 
-import numpy as np
 import pytest
 
 from repro.data.dataset import CategoricalDataset, TransactionDataset

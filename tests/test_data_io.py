@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.data.dataset import CategoricalDataset, TransactionDataset
 from repro.data.io import (
     read_categorical_csv,
     read_transactions,

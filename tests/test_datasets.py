@@ -1,6 +1,5 @@
 """Tests for the repro.datasets subpackage (generators, loaders, registry)."""
 
-from collections import Counter
 
 import numpy as np
 import pytest

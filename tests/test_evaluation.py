@@ -1,6 +1,5 @@
 """Tests for the repro.evaluation subpackage."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DataValidationError

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.bench.engine_bench import run_engine_bench, time_engine_phases
 from repro.bench.perf_gate import (

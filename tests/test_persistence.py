@@ -8,7 +8,6 @@ are exercised through the :mod:`repro.persistence.failpoints` registry
 rather than actual signals, so every crash window is deterministic.
 """
 
-import os
 import pickle
 import struct
 

@@ -19,7 +19,7 @@ from repro.evaluation.metrics import (
     clustering_error,
     purity,
 )
-from repro.similarity.jaccard import DiceSimilarity, JaccardSimilarity, jaccard
+from repro.similarity.jaccard import DiceSimilarity, jaccard
 
 # ----------------------------------------------------------------------- #
 # Strategies
