@@ -1,0 +1,200 @@
+"""Serving-path benchmark: wire-level label latency and ingest overhead.
+
+The request-path server (:mod:`repro.serve`) promises two things on top of
+the library calls it wraps:
+
+* **label latency gate** — a ``label`` round trip over a loopback socket
+  (client encode → frame → event loop → ``label_only`` → frame → decode)
+  stays interactive: p99 under :data:`LABEL_P99_BUDGET_S`;
+* **ingest overhead gate** — pushing the ingest tail through the served
+  path (WAL'd via the single-writer coalescer, acked per batch) costs at
+  most :data:`INGEST_OVERHEAD_FACTOR`× a direct
+  :class:`~repro.persistence.session.PersistentSession` ingesting the same
+  batches in-process, plus a constant slack that keeps the smoke run's
+  sub-second timings out of jitter territory.  Both sides run in the same
+  process on the same machine, so machine speed divides out.
+
+The bit-contract is re-checked at benchmark scale: the labels acked over
+the wire must equal the direct session's labels exactly.
+
+Run modes (see ``conftest.bench_full``): smoke serves the tail of ~1200
+baskets with a 300-point sample, full (``REPRO_BENCH_FULL=1``) the tail of
+4000 baskets with an 800-point sample — the ISSUE-8 gate size.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_full, write_record
+
+from repro.bench.engine_bench import BENCH_CLUSTERS, BENCH_THETA, WORKLOAD
+from repro.core.pipeline import RockPipeline
+from repro.datasets.market_basket import generate_market_baskets
+from repro.persistence.session import PersistentSession
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+
+#: Fraction of the stream ingested through the server by the perf gate.
+INGEST_TAIL_FRACTION = 0.2
+
+#: Batch size of the bootstrap run and of each wire ingest request.
+BATCH_SIZE = 1024
+WIRE_BATCH = 128
+
+#: p99 budget of one label round trip over loopback (the "sub-ms" claim
+#: with a 10x allowance for event-loop scheduling on busy CI machines).
+LABEL_P99_BUDGET_S = 0.010
+
+#: Served ingest may cost at most this factor over direct ingest...
+INGEST_OVERHEAD_FACTOR = 1.5
+
+#: ...plus this constant slack (protects the sub-second smoke timings).
+INGEST_OVERHEAD_SLACK_S = 0.25
+
+
+def _pipeline(sample_size: int, rng: int = 7) -> RockPipeline:
+    return RockPipeline(
+        n_clusters=BENCH_CLUSTERS,
+        theta=BENCH_THETA,
+        sample_size=sample_size,
+        min_cluster_size=2,
+        rng=rng,
+    )
+
+
+def _batches(transactions, batch_size: int):
+    return [
+        transactions[start:start + batch_size]
+        for start in range(0, len(transactions), batch_size)
+    ]
+
+
+async def _drive(server, label_queries, tail_batches):
+    """One client: timed label round trips, then the timed ingest tail."""
+    host, port = await server.start()
+    async with await ServeClient.connect(host, port) as client:
+        label_latencies = []
+        labels = []
+        for transaction in label_queries:
+            start = time.perf_counter()
+            labels.append(await client.label(transaction))
+            label_latencies.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        served_labels = []
+        for batch in tail_batches:
+            ack = await client.ingest(batch)
+            served_labels.extend(ack["labels"])
+        ingest_seconds = time.perf_counter() - start
+        await client.shutdown()
+    await server.serve_forever()
+    return label_latencies, labels, served_labels, ingest_seconds
+
+
+def test_benchmark_serve(results_dir):
+    if bench_full():
+        n, sample_size, n_label_queries = 4000, 800, 800
+    else:
+        n, sample_size, n_label_queries = 1200, 300, 300
+    boundary = int(n * (1.0 - INGEST_TAIL_FRACTION))
+    data = generate_market_baskets(n_transactions=n, rng=0, **WORKLOAD)
+    transactions = data.transactions
+    tail = transactions[boundary:]
+    tail_batches = _batches(tail, WIRE_BATCH)
+    label_queries = (tail * ((n_label_queries // len(tail)) + 1))[:n_label_queries]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # ---- served path: label round trips + WAL'd wire ingest ------- #
+        pipeline = _pipeline(sample_size)
+        pipeline.run_online(transactions[:boundary], batch_size=BATCH_SIZE)
+        server = ReproServer.create(
+            pipeline.online_session, Path(tmp) / "served"
+        )
+        latencies, wire_labels, served_labels, served_seconds = asyncio.run(
+            _drive(server, label_queries, tail_batches)
+        )
+
+        # ---- direct baseline: same batches, same durability ----------- #
+        direct_pipeline = _pipeline(sample_size)
+        direct_pipeline.run_online(transactions[:boundary], batch_size=BATCH_SIZE)
+        store = PersistentSession.create(
+            Path(tmp) / "direct", direct_pipeline.online_session
+        )
+        start = time.perf_counter()
+        direct_labels = []
+        for batch in tail_batches:
+            direct_labels.extend(int(x) for x in store.ingest(batch).labels)
+        direct_seconds = time.perf_counter() - start
+        store.close()
+
+    # ---- bit-contract at benchmark scale ------------------------------ #
+    assert served_labels == direct_labels, (
+        "served ingest labels diverged from direct PersistentSession.ingest"
+    )
+    expected_queries = [
+        int(x) for x in direct_pipeline.online_session.label_only(label_queries)
+    ]
+    assert wire_labels == expected_queries, (
+        "served label verb diverged from label_only"
+    )
+
+    p50 = float(np.percentile(latencies, 50))
+    p99 = float(np.percentile(latencies, 99))
+    throughput = len(tail) / max(served_seconds, 1e-9)
+    budget = direct_seconds * INGEST_OVERHEAD_FACTOR + INGEST_OVERHEAD_SLACK_S
+    latency_ok = p99 < LABEL_P99_BUDGET_S
+    overhead_ok = served_seconds <= budget
+
+    lines = ["[SERVE] wire label latency + served ingest overhead"]
+    lines.append(
+        "workload: market-basket, n=%d, sample=%d, theta=%s, clusters=%d, "
+        "tail=%d points in %d wire batches"
+        % (n, sample_size, BENCH_THETA, BENCH_CLUSTERS, len(tail), len(tail_batches))
+    )
+    lines.append(
+        "  label round trip        p50 %.3fms  p99 %.3fms  (%d queries)"
+        % (p50 * 1e3, p99 * 1e3, len(latencies))
+    )
+    lines.append(
+        "  served ingest           %.3fs  (%.0f points/s, WAL'd + acked)"
+        % (served_seconds, throughput)
+    )
+    lines.append(
+        "  direct ingest baseline  %.3fs  (PersistentSession, same batches)"
+        % direct_seconds
+    )
+    lines.append(
+        "  latency gate: %s (p99 %.3fms < %.1fms budget)"
+        % ("PASS" if latency_ok else "FAIL", p99 * 1e3, LABEL_P99_BUDGET_S * 1e3)
+    )
+    lines.append(
+        "  overhead gate: %s (served %.3fs <= %.1fx direct + %.2fs = %.3fs)"
+        % (
+            "PASS" if overhead_ok else "FAIL",
+            served_seconds,
+            INGEST_OVERHEAD_FACTOR,
+            INGEST_OVERHEAD_SLACK_S,
+            budget,
+        )
+    )
+    write_record(results_dir, "SERVE_latency", "\n".join(lines))
+    assert latency_ok, (
+        "label p99 %.3fms exceeded the %.1fms budget at n=%d"
+        % (p99 * 1e3, LABEL_P99_BUDGET_S * 1e3, n)
+    )
+    assert overhead_ok, (
+        "served ingest %.3fs exceeded %.1fx the direct baseline %.3fs "
+        "(+%.2fs slack) at n=%d"
+        % (
+            served_seconds,
+            INGEST_OVERHEAD_FACTOR,
+            direct_seconds,
+            INGEST_OVERHEAD_SLACK_S,
+            n,
+        )
+    )

@@ -1,0 +1,144 @@
+"""End-to-end smoke of ``repro serve`` for the CI serving step.
+
+Exercises the full operator path through real processes and a real
+socket, exactly as documented in the README quickstart:
+
+1. Spawn ``python -m repro serve`` over a generated basket file with a
+   snapshot directory, and parse the announced ephemeral port.
+2. Drive the wire protocol through :class:`repro.serve.client.ServeClient`:
+   a ``label`` round trip, a durable ``ingest`` (asserting per-point
+   labels come back), an explicit ``snapshot`` and a clean ``shutdown``.
+3. Spawn the server again with ``--resume`` and repeat the traffic —
+   the resumed session must report the pre-restart ingest in its status
+   counters, proving the restart continued the same session.
+
+Exits 0 on success, non-zero (with a message) on any failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py <workdir>
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.data.io import write_transactions
+from repro.datasets.market_basket import generate_market_baskets
+from repro.serve.client import ServeClient
+
+N_RECORDS = 200
+BATCH = 25
+SERVE_ARGUMENTS = [
+    "--clusters", "4", "--theta", "0.5", "--sample-size", "120",
+    "--min-cluster-size", "2", "--batch-size", "64",
+]
+
+
+def _spawn(arguments: list[str]) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *arguments],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=dict(os.environ),
+    )
+
+
+def _await_port(process: subprocess.Popen) -> tuple[str, int]:
+    """Parse the ``repro serve: listening on host:port`` announcement."""
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit("server exited before announcing its port")
+        print("  server: %s" % line.rstrip())
+        if "listening on" in line:
+            address = line.rsplit(" ", 1)[1].strip()
+            host, port = address.rsplit(":", 1)
+            return host, int(port)
+
+
+async def _drive(host: str, port: int, batch: list[list[str]]) -> dict:
+    async with await ServeClient.connect(host, port) as client:
+        label = await client.label(batch[0])
+        print("  label -> %d" % label)
+        ack = await client.ingest(batch)
+        assert len(ack["labels"]) == len(batch), "ingest ack lost labels"
+        print("  ingest -> %d labels (coalesced=%d)" % (
+            len(ack["labels"]), ack["coalesced"],
+        ))
+        snap = await client.snapshot()
+        print("  snapshot -> %s" % snap["path"])
+        status = await client.status()
+        await client.shutdown()
+        return status
+
+
+def _run_leg(arguments: list[str], batch: list[list[str]]) -> dict:
+    process = _spawn(arguments)
+    try:
+        host, port = _await_port(process)
+        status = asyncio.run(_drive(host, port, batch))
+    finally:
+        tail = process.stdout.read()
+        process.stdout.close()
+        returncode = process.wait(timeout=120)
+    if returncode != 0:
+        raise SystemExit(
+            "server exited %d; output tail:\n%s" % (returncode, tail)
+        )
+    return status
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    workdir = Path(sys.argv[1])
+    workdir.mkdir(parents=True, exist_ok=True)
+    data_path = workdir / "baskets.txt"
+    snapshot_dir = workdir / "snapshots"
+
+    baskets = generate_market_baskets(
+        rng=0,
+        n_transactions=N_RECORDS + 2 * BATCH,
+        n_clusters=4,
+        items_per_cluster=12,
+        shared_items=5,
+        shared_rate=0.1,
+    )
+    write_transactions(
+        [t for t in baskets.transactions[:N_RECORDS]], data_path
+    )
+    tail = [
+        sorted(str(item) for item in transaction)
+        for transaction in baskets.transactions[N_RECORDS:]
+    ]
+    arguments = [str(data_path), *SERVE_ARGUMENTS, "--snapshot-dir", str(snapshot_dir)]
+
+    print("leg 1: fresh bootstrap")
+    first = _run_leg(arguments, tail[:BATCH])
+
+    print("leg 2: --resume from %s" % snapshot_dir)
+    second = _run_leg(arguments + ["--resume"], tail[BATCH:])
+
+    if second["n_ingested"] != first["n_ingested"] + BATCH:
+        raise SystemExit(
+            "resume did not continue the session: n_ingested %d -> %d"
+            % (first["n_ingested"], second["n_ingested"])
+        )
+    if second["n_served_ingests"] != first["n_served_ingests"] + 1:
+        raise SystemExit("serve counters were not restored across the restart")
+    print(
+        "OK: resumed session continued (%d -> %d ingested, counters intact)"
+        % (first["n_ingested"], second["n_ingested"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

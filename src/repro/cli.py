@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main entry points::
+Five subcommands mirror the library's main entry points::
 
     python -m repro cluster data.csv --clusters 2 --theta 0.73 --label-column 0
     python -m repro cluster baskets.txt --format transactions --clusters 4 --theta 0.3
+    python -m repro serve baskets.txt --clusters 4 --sample-size 500 --port 8771
     python -m repro experiment E2-E3
     python -m repro sweep data.csv --clusters 2 --thetas 0.6 0.7 0.8
     python -m repro datasets
@@ -22,6 +23,9 @@ are merged, and the file is labelled against the merged clustering.  With
 (:mod:`repro.core.incremental`): every batch is labelled and spliced into
 a live clustering, and ``--refresh-threshold`` bounds its drift by
 triggering full re-clusters.
+``serve`` bootstraps (or, with ``--resume``, recovers) a live online
+session from a transactions file and serves ``label``/``ingest`` traffic
+over the length-prefixed JSON protocol of :mod:`repro.serve`.
 ``experiment`` runs one of the reproduced paper experiments by id.
 ``sweep`` reports the theta-sensitivity table for a data file.
 """
@@ -29,6 +33,7 @@ triggering full re-clusters.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 
@@ -46,6 +51,8 @@ from repro.data.io import (
 )
 from repro.datasets.registry import available_datasets
 from repro.errors import ConfigurationError, ReproError
+from repro.persistence.session import PersistentSession
+from repro.serve.server import DEFAULT_HOST, ReproServer
 from repro.evaluation.composition import composition_table
 from repro.evaluation.metrics import clustering_error
 from repro.evaluation.reporting import format_composition_table, format_table
@@ -243,6 +250,116 @@ def _command_cluster_streaming(arguments) -> int:
     return 0
 
 
+def _command_serve(arguments) -> int:
+    """Bootstrap (or resume) a live session and serve it over a socket."""
+    if not 0 <= arguments.port <= 65535:
+        raise ConfigurationError(
+            "--port must lie in [0, 65535], got %d" % arguments.port
+        )
+    if arguments.snapshot_every is not None and arguments.snapshot_dir is None:
+        raise ConfigurationError(
+            "--snapshot-every requires --snapshot-dir (there is nowhere to "
+            "write the checkpoints)"
+        )
+    if arguments.resume and arguments.snapshot_dir is None:
+        raise ConfigurationError(
+            "--resume requires --snapshot-dir (there is nothing to resume "
+            "from)"
+        )
+    if arguments.max_live_points is not None and arguments.max_live_points < 1:
+        raise ConfigurationError(
+            "--max-live-points must be at least 1, got %d"
+            % arguments.max_live_points
+        )
+    if arguments.sample_size is None:
+        raise ConfigurationError(
+            "serve requires --sample-size: the live session is bootstrapped "
+            "from a clustered sample exactly like --online"
+        )
+    pipeline = RockPipeline(
+        n_clusters=arguments.clusters,
+        theta=arguments.theta,
+        sample_size=arguments.sample_size,
+        min_neighbors=arguments.min_neighbors,
+        min_cluster_size=arguments.min_cluster_size,
+        engine=arguments.engine,
+        neighbor_strategy=arguments.neighbor_strategy,
+        neighbor_block_size=arguments.neighbor_block_size,
+        rng=arguments.seed,
+    )
+    try:
+        asyncio.run(_serve_async(arguments, pipeline))
+    except KeyboardInterrupt:
+        # The WAL already holds every acked ingest; a later --resume run
+        # recovers from the last durable checkpoint plus the WAL tail.
+        print("interrupted; restart with --resume to recover", file=sys.stderr)
+    return 0
+
+
+async def _serve_async(arguments, pipeline: RockPipeline) -> None:
+    """The server's event-loop body: build/resume the session and run."""
+    server_options = dict(
+        host=arguments.host,
+        port=arguments.port,
+        max_live_points=arguments.max_live_points,
+    )
+    resumable = (
+        arguments.resume
+        and arguments.snapshot_dir is not None
+        and PersistentSession.can_resume(arguments.snapshot_dir)
+    )
+    if resumable:
+        server = ReproServer.resume(
+            arguments.snapshot_dir,
+            snapshot_every=arguments.snapshot_every,
+            expected_config=pipeline.online_expected_config(
+                arguments.refresh_threshold
+            ),
+            **server_options,
+        )
+        print(
+            "resumed session from %s: %d live points, %d ingested, "
+            "%d WAL records replayed"
+            % (
+                arguments.snapshot_dir,
+                server.session.n_points,
+                server.session.n_ingested,
+                server.store.n_replayed if server.store is not None else 0,
+            )
+        )
+    else:
+        result = pipeline.run_online(
+            arguments.path,
+            batch_size=arguments.batch_size,
+            refresh_threshold=arguments.refresh_threshold,
+            label_prefix=arguments.label_prefix,
+        )
+        session = pipeline.online_session
+        if arguments.snapshot_dir is not None:
+            server = ReproServer.create(
+                session,
+                arguments.snapshot_dir,
+                snapshot_every=arguments.snapshot_every,
+                **server_options,
+            )
+        else:
+            server = ReproServer(session, **server_options)
+        print(
+            "bootstrapped %d records -> %d clusters (%d outliers) in %.2fs"
+            % (
+                len(result.labels),
+                result.n_clusters,
+                result.n_outliers,
+                result.timings["total"],
+            )
+        )
+    host, port = await server.start()
+    # The smoke script and tests parse this line for the ephemeral port.
+    print("repro serve: listening on %s:%d" % (host, port), flush=True)
+    await server.serve_forever()
+    print("server stopped")
+
+
 def _command_experiment(arguments) -> int:
     runner = get_experiment(arguments.experiment_id)
     record = runner()
@@ -380,6 +497,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--output", default=None, help="write per-record labels to this file")
     cluster.set_defaults(handler=_command_cluster)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a live labelling session over a socket (label/ingest "
+             "verbs; length-prefixed JSON protocol)",
+    )
+    serve.add_argument("path", help="transactions file (one transaction per line)")
+    serve.add_argument(
+        "--label-prefix", default=None,
+        help="items starting with this prefix are class labels (stripped "
+             "before clustering)",
+    )
+    serve.add_argument("--clusters", type=int, required=True, help="number of clusters")
+    serve.add_argument("--theta", type=float, default=0.5, help="similarity threshold")
+    serve.add_argument(
+        "--sample-size", type=int, default=None,
+        help="random-sample size the live session bootstraps from (required)",
+    )
+    serve.add_argument("--min-neighbors", type=int, default=0, help="outlier pre-filter")
+    serve.add_argument("--min-cluster-size", type=int, default=1, help="prune smaller clusters")
+    serve.add_argument(
+        "--engine", choices=list(ENGINES), default="flat",
+        help="agglomeration engine for the bootstrap clustering",
+    )
+    serve.add_argument(
+        "--neighbor-strategy", choices=list(neighbor_strategies()),
+        default=DEFAULT_NEIGHBOR_STRATEGY, help="neighbour-graph backend",
+    )
+    serve.add_argument(
+        "--neighbor-block-size", type=int, default=None,
+        help="row-block height of the blocked neighbour backend",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="random seed")
+    serve.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="transactions per ingest batch while absorbing the input file",
+    )
+    serve.add_argument(
+        "--refresh-threshold", type=float, default=None,
+        help="re-cluster all live points when the inserted fraction since "
+             "the last full clustering exceeds this positive fraction",
+    )
+    serve.add_argument(
+        "--host", default=DEFAULT_HOST, help="listen address (default %s)" % DEFAULT_HOST
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port; 0 binds an ephemeral port, reported on stdout",
+    )
+    serve.add_argument(
+        "--snapshot-dir", default=None,
+        help="checkpoint the served session into this directory (WAL'd "
+             "ingests + snapshots; a killed server resumes with --resume)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=None,
+        help="with --snapshot-dir: checkpoint after every N applied ingest "
+             "groups (the WAL still makes every ack durable)",
+    )
+    serve.add_argument(
+        "--max-live-points", type=int, default=None,
+        help="bounded-memory live mode: evict the oldest live points down "
+             "to this bound after every ingest (evicted points stay "
+             "labellable)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="with --snapshot-dir: recover the served session from the last "
+             "durable checkpoint plus the WAL tail instead of "
+             "re-bootstrapping (falls back to a fresh bootstrap when the "
+             "directory holds no checkpoint)",
+    )
+    serve.set_defaults(handler=_command_serve)
 
     experiment = subparsers.add_parser("experiment", help="run a reproduced paper experiment")
     experiment.add_argument("experiment_id", help="experiment id (see 'repro datasets')")

@@ -607,6 +607,68 @@ class IncrementalRock:
         return session
 
     # ------------------------------------------------------------------ #
+    # Label-only path (the serving front end's read verb)
+    # ------------------------------------------------------------------ #
+    def label_only(self, batch: Sequence[frozenset]) -> np.ndarray:
+        """Label a batch through the retained labeler *without* ingesting.
+
+        The read-only counterpart of :meth:`ingest`: the points are never
+        spliced into the live clustering, no randomness is consumed and no
+        live state that labels depend on changes, so interleaving
+        ``label_only`` calls between ingests leaves every subsequent ingest
+        bit-identical (the labeler only advances its summary counters).
+        Labels are in the current labelling space, ``-1`` marking outliers.
+        """
+        labeler = self._require_bootstrapped()
+        return labeler.label_batch([frozenset(t) for t in batch]).labels
+
+    # ------------------------------------------------------------------ #
+    # Eviction (bounded-memory live mode)
+    # ------------------------------------------------------------------ #
+    def evict_oldest(self, n_evict: int) -> int:
+        """Drop the ``n_evict`` oldest live points to label-only status.
+
+        The serving front end's memory bound: evicted points leave the
+        maintained matrices, cluster stores and heap (their rows/columns
+        are sliced out and the cluster state is rebuilt over the
+        survivors), but the labeler keeps its own retained sample, so
+        labelling is untouched — without a refresh trigger, labels
+        assigned after an eviction are bit-identical to a run that never
+        evicted.  A refresh after eviction re-clusters only the surviving
+        live points.  At least one live point must survive.  Drift
+        counters are left as they are (eviction is forgetting, not
+        re-clustering).  Returns the number of points evicted.
+        """
+        self._require_bootstrapped()
+        n_evict = int(n_evict)
+        if n_evict <= 0:
+            return 0
+        if n_evict >= len(self._points):
+            raise ConfigurationError(
+                "cannot evict %d of %d live points: at least one live point "
+                "must survive" % (n_evict, len(self._points))
+            )
+        self._points = self._points[n_evict:]
+        self._incidence = self._incidence[n_evict:].tocsr()
+        self._sizes = self._sizes[n_evict:].copy()
+        keep = np.arange(n_evict, self._adjacency.shape[0])
+        adjacency = self._adjacency[keep][:, keep].tocsr()
+        adjacency.sort_indices()
+        self._adjacency = adjacency
+        links = self._links[keep][:, keep].tocsr()
+        links.sort_indices()
+        self._links = links
+
+        survivors = []
+        for _cluster_id, members in sorted(self._members.items()):
+            kept = [member - n_evict for member in members if member >= n_evict]
+            if kept:
+                survivors.append(tuple(sorted(kept)))
+        survivors.sort(key=lambda cluster: (-len(cluster), cluster[0]))
+        self._rebuild_cluster_state(survivors)
+        return n_evict
+
+    # ------------------------------------------------------------------ #
     # Ingest
     # ------------------------------------------------------------------ #
     def ingest(self, batch: Sequence[frozenset]) -> IngestResult:

@@ -1205,7 +1205,7 @@ class RockPipeline:
             snapshot_every=snapshot_every,
             measure=self.measure,
             exponent_function=self.exponent_function,
-            expected_config=self._online_expected_config(refresh_threshold),
+            expected_config=self.online_expected_config(refresh_threshold),
             defer_replay=True,
         )
         session = store.session
@@ -1235,8 +1235,15 @@ class RockPipeline:
             state, session, refresh_threshold, timings, total_start
         )
 
-    def _online_expected_config(self, refresh_threshold: float | None) -> dict:
-        """The session config a checkpoint must match to be resumed here."""
+    def online_expected_config(self, refresh_threshold: float | None = None) -> dict:
+        """The session config a checkpoint must match to be resumed here.
+
+        Public because the serving front end (``repro serve --resume``)
+        guards its own :meth:`~repro.serve.server.ReproServer.resume` with
+        the same config the pipeline would enforce — resuming a served
+        session under different parameters would silently break the
+        served ≡ ``run_online`` contract.
+        """
         measure = self.measure if self.measure is not None else JaccardSimilarity()
         return {
             "n_clusters": self.n_clusters,

@@ -90,3 +90,20 @@ class WalCorruptionError(PersistenceError):
 class ShardExecutionError(ReproError, RuntimeError):
     """A shard worker failed even after retrying and ``strict=True`` forbids
     degrading to the surviving shards."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for request-path serving failures (:mod:`repro.serve`).
+
+    Raised by the server for request-level problems it can answer with a
+    typed error frame, and by the client when the server reports one whose
+    kind is not a more specific :class:`ReproError` subclass."""
+
+
+class ProtocolError(ServeError):
+    """A malformed wire frame: bad length prefix, oversized payload,
+    truncated body, undecodable JSON or a request that is not a JSON
+    object with a known verb.  The server answers with an error frame and
+    closes the connection (the stream position is no longer trustworthy);
+    the client raises it when a response arrives torn or the connection
+    dies mid-request."""

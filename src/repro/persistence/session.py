@@ -65,6 +65,7 @@ class PersistentSession:
         self.wal = WriteAheadLog(self.directory / WAL_NAME)
         self._wal_seq = int(_wal_seq)
         self._applied_since_snapshot = 0
+        self._closed = False
         self.n_snapshots = 0
         self.n_replayed = 0
         #: Caller-owned restart state from the restored checkpoint (resume).
@@ -157,6 +158,10 @@ class PersistentSession:
         seq = self._wal_seq + 1
         self.wal.append(seq, payload)
         self._wal_seq = seq
+        # A write after close() re-opens the store: run_online's documented
+        # post-run pattern drives store.ingest after the run already closed
+        # it, and the final close must checkpoint those batches too.
+        self._closed = False
         return seq
 
     def batch_applied(self, extra: dict | None = None) -> bool:
@@ -194,11 +199,46 @@ class PersistentSession:
         self.n_snapshots += 1
         return path
 
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close` (a later :meth:`log`/:meth:`ingest`
+        re-opens the store, and the next close checkpoints again)."""
+        return self._closed
+
     def close(self, extra: dict | None = None) -> Path | None:
-        """Final checkpoint (skipped when nothing was applied since one)."""
+        """Final checkpoint; idempotent.
+
+        Skipped when nothing was applied since the last checkpoint, and a
+        no-op on a store that is already closed — the serving layer's
+        shutdown verb, its crash paths and an explicit caller close may
+        all race to be "the" final close, and only the first one with
+        pending work should write.
+        """
+        if self._closed:
+            return None
+        self._closed = True
         if self._applied_since_snapshot or not self.n_snapshots:
             return self.snapshot(extra=extra)
         return None
+
+    # ------------------------------------------------------------------ #
+    # Context-manager protocol: ``with PersistentSession.create(...)``
+    # guarantees the final checkpoint on clean exit without double-closing
+    # when the body already closed explicitly.
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "PersistentSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # On an error path the in-memory session may be mid-mutation;
+            # snapshotting it could checkpoint an inconsistent state.  Mark
+            # the store closed without a final checkpoint — the WAL already
+            # holds every logged batch, so resume() recovers losslessly
+            # from the last durable checkpoint instead.
+            self._closed = True
 
 
 __all__ = ["PersistentSession", "SnapshotNotFoundError", "WAL_NAME"]

@@ -1,0 +1,47 @@
+"""Request-path serving front end (ROADMAP item 1).
+
+:mod:`repro.serve` turns a live :class:`~repro.core.incremental.IncrementalRock`
+session into product surface: an asyncio, stdlib-socket request/response
+server (:class:`~repro.serve.server.ReproServer`) answering ``label``
+queries sub-millisecond through the retained
+:class:`~repro.core.labeling.StreamingLabeler` and accepting ``ingest``
+batches coalesced through a single-writer queue into a
+:class:`~repro.persistence.session.PersistentSession` (WAL'd before the
+ack), plus ``status`` / ``snapshot`` / ``shutdown`` admin verbs — all over
+the length-prefixed JSON protocol of :mod:`repro.serve.protocol` with
+typed error frames mapping the :class:`~repro.errors.ReproError`
+hierarchy.  :mod:`repro.serve.client` is the asyncio client helper used by
+the tests, the benchmark and the CI smoke script.
+
+Determinism contract (``docs/ARCHITECTURE.md``): a served session that
+ingests batches B1..Bk — in any coalescing — and is then snapshotted and
+restored produces labels bit-identical to
+:meth:`~repro.core.pipeline.RockPipeline.run_online` over the same
+schedule; the coalescer preserves per-connection ingest order.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    encode_transaction,
+    error_frame,
+    read_frame,
+    write_frame,
+)
+from repro.serve.server import ReproServer
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "decode_frame",
+    "encode_frame",
+    "encode_transaction",
+    "error_frame",
+    "read_frame",
+    "write_frame",
+]

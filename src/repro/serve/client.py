@@ -1,0 +1,103 @@
+"""Asyncio client for :class:`~repro.serve.server.ReproServer`.
+
+One connection, strictly sequential request/response (the protocol has no
+frame ids; pipelining order *is* the correlation).  Error frames re-raise
+as the :class:`~repro.errors.ReproError` subclass the server named, so
+``except ConfigurationError`` works identically on both sides of the
+wire.  Used by the test harness, ``benchmarks/bench_serve.py`` and the CI
+smoke script; open multiple clients for concurrent traffic.
+
+Usage::
+
+    async with await ServeClient.connect(host, port) as client:
+        label = await client.label({"milk", "bread"})
+        ack = await client.ingest(batches[0])
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    encode_transaction,
+    raise_error_frame,
+    read_frame,
+    write_frame,
+)
+
+
+class ServeClient:
+    """One protocol connection to a running :class:`ReproServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, payload: dict) -> dict:
+        """Send one frame, await its response; raise typed on error frames."""
+        await write_frame(self._writer, payload)
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ProtocolError(
+                "the server closed the connection before responding"
+            )
+        if not response.get("ok"):
+            raise_error_frame(response)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Verbs
+    # ------------------------------------------------------------------ #
+    async def label(self, transaction: Any) -> int:
+        """Label one transaction; ``-1`` marks an outlier."""
+        response = await self.request(
+            {"verb": "label", "transaction": encode_transaction(transaction)}
+        )
+        return int(response["label"])
+
+    async def ingest(self, batch: Any) -> dict:
+        """Durably ingest one batch; the ack carries per-point ``labels``."""
+        response = await self.request(
+            {
+                "verb": "ingest",
+                "batch": [encode_transaction(t) for t in batch],
+            }
+        )
+        return response
+
+    async def status(self) -> dict:
+        return await self.request({"verb": "status"})
+
+    async def snapshot(self) -> dict:
+        """Force a checkpoint now; the ack names the checkpoint path."""
+        return await self.request({"verb": "snapshot"})
+
+    async def shutdown(self) -> dict:
+        """Ask the server to checkpoint, close its store and exit."""
+        return await self.request({"verb": "shutdown"})
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.aclose()
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,161 @@
+"""Wire protocol of the serving front end: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object.  Requests carry a ``verb``
+(``label`` / ``ingest`` / ``status`` / ``snapshot`` / ``shutdown``);
+responses carry ``"ok": true`` plus verb-specific fields, or a typed
+error frame::
+
+    {"ok": false, "error": {"kind": "ConfigurationError", "message": "..."}}
+
+``kind`` is the class name of the :class:`~repro.errors.ReproError`
+subclass the server raised, so the client re-raises the *same* exception
+type (:func:`error_class` resolves kinds against :mod:`repro.errors`;
+unknown kinds degrade to :class:`~repro.errors.ServeError`).  JSON keeps
+the frames deterministic (sorted keys, no whitespace) — the golden serve
+transcript diffs them byte-for-byte — and the stdlib-only codec keeps the
+server free of new runtime dependencies.
+
+Frames larger than :data:`MAX_FRAME_BYTES` are refused on both encode and
+decode: an absurd length prefix from a confused or hostile peer must not
+drive a multi-gigabyte allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import repro.errors as _errors
+from repro.errors import ProtocolError, ReproError, ServeError
+
+#: 4-byte big-endian unsigned frame-length prefix.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's JSON body (requests and responses alike).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialise one frame (length prefix + canonical JSON body)."""
+    try:
+        body = json.dumps(
+            payload, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            "frame payload is not JSON-serialisable: %s" % error
+        ) from error
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame of %d bytes exceeds the %d-byte limit"
+            % (len(body), MAX_FRAME_BYTES)
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """Decode one frame body back into its JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError("frame body is not valid JSON: %s" % error) from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "frame body must be a JSON object, got %s" % type(payload).__name__
+        )
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    A connection that ends *inside* a frame (torn header or body) raises
+    :class:`~repro.errors.ProtocolError`, as does an oversized or
+    undecodable frame.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            "connection closed inside a frame header (%d of %d bytes)"
+            % (len(error.partial), HEADER.size)
+        ) from error
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame of %d bytes exceeds the %d-byte limit" % (length, MAX_FRAME_BYTES)
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            "connection closed inside a frame body (%d of %d bytes)"
+            % (len(error.partial), length)
+        ) from error
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def encode_transaction(transaction) -> list:
+    """A transaction (set of items) as a deterministic JSON list.
+
+    Sets have no order; sorting by ``repr`` fixes one so identical
+    transactions always produce identical frames (the golden transcript
+    relies on this) while still supporting mixed item types.
+    """
+    return sorted(transaction, key=repr)
+
+
+def error_frame(error: ReproError) -> dict:
+    """The typed error frame for one :class:`~repro.errors.ReproError`."""
+    return {
+        "ok": False,
+        "error": {"kind": type(error).__name__, "message": str(error)},
+    }
+
+
+def error_class(kind: str) -> type[ReproError]:
+    """Resolve an error frame's ``kind`` to its exception class.
+
+    Only :class:`~repro.errors.ReproError` subclasses defined in
+    :mod:`repro.errors` qualify — a frame cannot name an arbitrary class —
+    and unknown kinds degrade to :class:`~repro.errors.ServeError`.
+    """
+    candidate = getattr(_errors, kind, None)
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
+        return candidate
+    return ServeError
+
+
+def raise_error_frame(frame: dict) -> None:
+    """Re-raise the error a response frame carries, with its original type."""
+    detail = frame.get("error")
+    if not isinstance(detail, dict):
+        raise ServeError("server reported an error without detail: %r" % frame)
+    kind = str(detail.get("kind", "ServeError"))
+    message = str(detail.get("message", ""))
+    raise error_class(kind)(message)
+
+
+__all__ = [
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "encode_transaction",
+    "error_class",
+    "error_frame",
+    "raise_error_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -3,7 +3,10 @@
 Each case runs one pipeline execution mode — in-memory ``run``, streaming,
 sharded, online, and online-with-refresh — on the same small seeded
 mushroom-like slice and records the exact labels and cluster summary as a
-committed JSON fixture.  ``tests/test_golden.py`` re-runs every case and
+committed JSON fixture.  The ``serve`` case additionally drives a scripted
+request sequence against an in-process :class:`repro.serve.server.ReproServer`
+over a real socket and records every request/response frame (decoded *and*
+as exact wire bytes), pinning the protocol surface byte for byte.  ``tests/test_golden.py`` re-runs every case and
 diffs the outcome against the fixture, so *any* behavioural drift in the
 label pipeline (sampling, clustering, labelling, merge, splice order, RNG
 consumption) fails loudly rather than slipping through as a silent quality
@@ -18,6 +21,7 @@ and commit the diff together with the change that caused it.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from pathlib import Path
 
@@ -25,6 +29,8 @@ from repro.core.pipeline import RockPipeline
 from repro.core.rock import as_transactions
 from repro.data.io import atomic_write_text
 from repro.datasets.mushroom import generate_mushroom_like
+from repro.serve.protocol import encode_frame, encode_transaction, read_frame, write_frame
+from repro.serve.server import ReproServer
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
@@ -47,6 +53,12 @@ PIPELINE_PARAMS = dict(
 
 BATCH_SIZE = 32
 
+#: The serve case bootstraps on this prefix; the rest arrives over the wire.
+SERVE_BOUNDARY = 140
+
+#: Wire-ingest batch size of the serve case (two batches over the tail).
+SERVE_BATCH = 20
+
 
 def golden_transactions() -> list[frozenset]:
     """The mushroom-slice transactions every golden case clusters."""
@@ -58,9 +70,91 @@ def _pipeline() -> RockPipeline:
     return RockPipeline(**PIPELINE_PARAMS)
 
 
+def serve_transactions() -> list[frozenset]:
+    """The golden slice with wire-safe items.
+
+    The mushroom items are ``(column, value)`` tuples, which the JSON
+    protocol refuses (transaction items must be scalars), so the serve
+    case maps each to the string ``"column=value"`` — a bijection, hence
+    the same similarity structure — and uses that alphabet on both sides:
+    to bootstrap the served session and in every wire frame.
+    """
+    return [
+        frozenset("%d=%s" % (column, value) for column, value in transaction)
+        for transaction in golden_transactions()
+    ]
+
+
+def _serve_requests(transactions: list[frozenset]) -> list[dict]:
+    """The scripted request sequence of the serve transcript.
+
+    Covers every verb plus two typed error frames (snapshot without a
+    store, an unknown verb), so the fixture pins the full wire surface.
+    """
+    tail = transactions[SERVE_BOUNDARY:]
+    requests: list[dict] = [{"verb": "status"}]
+    for transaction in tail[:3]:
+        requests.append(
+            {"verb": "label", "transaction": encode_transaction(transaction)}
+        )
+    for start in range(0, len(tail), SERVE_BATCH):
+        requests.append(
+            {
+                "verb": "ingest",
+                "batch": [
+                    encode_transaction(transaction)
+                    for transaction in tail[start:start + SERVE_BATCH]
+                ],
+            }
+        )
+    requests.append({"verb": "snapshot"})  # typed error: no store attached
+    requests.append({"verb": "frobnicate"})  # typed error: unknown verb
+    requests.append({"verb": "status"})
+    requests.append({"verb": "shutdown"})
+    return requests
+
+
+async def _serve_transcript() -> list[dict]:
+    """Drive an in-process server over a real socket; record every frame.
+
+    The recorded ``*_frame`` hex strings are the exact wire bytes (the
+    codec is canonical — sorted keys, no whitespace — so re-encoding the
+    decoded response reproduces what the server sent byte for byte).
+    """
+    transactions = serve_transactions()
+    pipeline = _pipeline()
+    pipeline.run_online(transactions[:SERVE_BOUNDARY], batch_size=BATCH_SIZE)
+    server = ReproServer(pipeline.online_session)
+    await server.start()
+    host, port = server.address
+    reader, writer = await asyncio.open_connection(host, port)
+    transcript = []
+    for request in _serve_requests(transactions):
+        await write_frame(writer, request)
+        response = await read_frame(reader)
+        transcript.append(
+            {
+                "request": request,
+                "request_frame": encode_frame(request).hex(),
+                "response": response,
+                "response_frame": encode_frame(response).hex(),
+            }
+        )
+    writer.close()
+    await writer.wait_closed()
+    await server.serve_forever()
+    return transcript
+
+
 def run_case(mode: str):
-    """Execute one golden case; returns its ``RockPipelineResult``."""
+    """Execute one golden case.
+
+    Pipeline modes return their ``RockPipelineResult``; the ``serve`` mode
+    returns the recorded request/response transcript.
+    """
     transactions = golden_transactions()
+    if mode == "serve":
+        return asyncio.run(_serve_transcript())
     if mode == "run":
         return _pipeline().run(transactions)
     if mode == "streaming":
@@ -79,11 +173,24 @@ def run_case(mode: str):
 
 
 #: Every committed case, in fixture-file order.
-MODES = ("run", "streaming", "sharded", "online", "online_refresh")
+MODES = ("run", "streaming", "sharded", "online", "online_refresh", "serve")
 
 
 def summarize(mode: str, result) -> dict:
     """The committed shape of one case: labels + cluster summary."""
+    if mode == "serve":
+        return {
+            "mode": mode,
+            "dataset": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in DATASET_PARAMS.items()
+            },
+            "pipeline": dict(PIPELINE_PARAMS),
+            "batch_size": BATCH_SIZE,
+            "boundary": SERVE_BOUNDARY,
+            "serve_batch": SERVE_BATCH,
+            "transcript": result,
+        }
     summary = {
         "mode": mode,
         "dataset": {
@@ -112,10 +219,20 @@ def main() -> None:
         atomic_write_text(
             fixture_path(mode), json.dumps(payload, indent=2) + "\n"
         )
-        print(
-            "wrote %s: %d clusters, %d outliers"
-            % (fixture_path(mode).name, payload["n_clusters"], payload["n_outliers"])
-        )
+        if mode == "serve":
+            print(
+                "wrote %s: %d request/response frames"
+                % (fixture_path(mode).name, len(payload["transcript"]))
+            )
+        else:
+            print(
+                "wrote %s: %d clusters, %d outliers"
+                % (
+                    fixture_path(mode).name,
+                    payload["n_clusters"],
+                    payload["n_outliers"],
+                )
+            )
 
 
 if __name__ == "__main__":

@@ -550,3 +550,75 @@ class TestSnapshotCli:
         code = main(mismatched + ["--snapshot-dir", snaps, "--resume"])
         assert code == 3
         assert "different session configuration" in capsys.readouterr().err
+
+
+class TestServeCli:
+    """Flag surface of the ``serve`` subcommand.
+
+    The end-to-end socket round trip (spawn, drive, --resume) lives in
+    ``tests/test_serve.py::TestServeCliEndToEnd``; these tests cover the
+    parser and validation paths, which never bind a socket.
+    """
+
+    def _base(self, path):
+        return [
+            "serve", str(path), "--clusters", "2", "--theta", "0.3",
+            "--sample-size", "40", "--label-prefix", "class=",
+        ]
+
+    def test_flags_parsed_with_defaults(self, basket_file):
+        arguments = build_parser().parse_args(self._base(basket_file))
+        assert arguments.clusters == 2
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 0
+        assert arguments.batch_size == 1024
+        assert arguments.snapshot_dir is None
+        assert arguments.snapshot_every is None
+        assert arguments.max_live_points is None
+        assert arguments.resume is False
+        assert arguments.refresh_threshold is None
+
+    @pytest.mark.parametrize("port", ["-1", "65536"])
+    def test_port_out_of_range_exits_3(self, basket_file, capsys, port):
+        code = main(self._base(basket_file) + ["--port", port])
+        assert code == 3
+        assert "--port must lie in [0, 65535]" in capsys.readouterr().err
+
+    def test_snapshot_every_requires_snapshot_dir(self, basket_file, capsys):
+        code = main(self._base(basket_file) + ["--snapshot-every", "4"])
+        assert code == 3
+        assert "--snapshot-every requires --snapshot-dir" in capsys.readouterr().err
+
+    def test_resume_requires_snapshot_dir(self, basket_file, capsys):
+        code = main(self._base(basket_file) + ["--resume"])
+        assert code == 3
+        assert "--resume requires --snapshot-dir" in capsys.readouterr().err
+
+    def test_max_live_points_must_be_positive(self, basket_file, capsys):
+        code = main(self._base(basket_file) + ["--max-live-points", "0"])
+        assert code == 3
+        assert "--max-live-points must be at least 1" in capsys.readouterr().err
+
+    def test_sample_size_required(self, basket_file, capsys):
+        code = main(["serve", str(basket_file), "--clusters", "2"])
+        assert code == 3
+        assert "serve requires --sample-size" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", [["--stream"], ["--shards", "2"], ["--online"]])
+    def test_batch_mode_flags_rejected_by_parser(self, basket_file, flag):
+        # serve IS the online mode; the batch-mode switches of `cluster`
+        # do not exist on this subparser, so argparse exits 2.
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(self._base(basket_file) + flag)
+        assert excinfo.value.code == 2
+
+    def test_help_names_the_serving_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        for flag in (
+            "--host", "--port", "--snapshot-dir", "--snapshot-every",
+            "--max-live-points", "--resume", "--refresh-threshold",
+        ):
+            assert flag in text

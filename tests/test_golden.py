@@ -3,7 +3,8 @@
 The fixtures under ``tests/golden/`` pin the exact labels and cluster
 summaries of small seeded runs of all pipeline modes (in-memory /
 streaming / sharded / online / online-with-refresh) on a mushroom-dataset
-slice.  A failure here means the label pipeline's observable behaviour
+slice, plus the full request/response wire transcript of a scripted
+``repro.serve`` session (the ``serve`` fixture, diffed byte for byte).  A failure here means the label pipeline's observable behaviour
 changed; if the change is intentional, regenerate with::
 
     PYTHONPATH=src python tests/golden/regenerate.py
@@ -59,6 +60,31 @@ def test_online_fixture_agrees_with_streaming_fixture():
     )
     online = json.loads(golden.fixture_path("online").read_text(encoding="utf-8"))
     assert online["labels"] == streaming["labels"]
+
+
+def test_serve_transcript_frames_are_canonical_wire_bytes():
+    # The committed hex frames ARE the wire bytes: the codec is canonical
+    # (sorted keys, no whitespace), so re-encoding each decoded payload
+    # must reproduce the recorded frame byte for byte.
+    from repro.serve import protocol
+
+    payload = json.loads(golden.fixture_path("serve").read_text(encoding="utf-8"))
+    transcript = payload["transcript"]
+    assert len(transcript) == 10
+    for entry in transcript:
+        assert bytes.fromhex(entry["request_frame"]) == protocol.encode_frame(
+            entry["request"]
+        )
+        assert bytes.fromhex(entry["response_frame"]) == protocol.encode_frame(
+            entry["response"]
+        )
+    # The scripted error paths stay typed.
+    kinds = [
+        entry["response"]["error"]["kind"]
+        for entry in transcript
+        if not entry["response"]["ok"]
+    ]
+    assert kinds == ["ConfigurationError", "ProtocolError"]
 
 
 def test_refresh_fixture_actually_refreshed():

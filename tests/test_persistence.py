@@ -495,6 +495,55 @@ class TestPersistentSession:
         with pytest.raises(SnapshotNotFoundError):
             PersistentSession.resume(tmp_path / "empty")
 
+    def test_double_close_is_idempotent(self, tmp_path):
+        store = PersistentSession.create(tmp_path, _session())
+        store.ingest(STREAM_BATCHES[0])
+        assert store.closed is False
+        assert store.close() is not None
+        assert store.closed is True
+        # Every further close is a pure no-op: no checkpoint, no error.
+        before = store.n_snapshots
+        assert store.close() is None
+        assert store.close() is None
+        assert store.n_snapshots == before
+
+    def test_context_manager_closes_on_clean_exit(self, tmp_path):
+        with PersistentSession.create(tmp_path, _session()) as store:
+            store.ingest(STREAM_BATCHES[0])
+            assert store.closed is False
+        assert store.closed is True
+        assert store.n_snapshots == 2  # checkpoint 0 + the final close
+
+    def test_context_manager_tolerates_explicit_close_in_body(self, tmp_path):
+        with PersistentSession.create(tmp_path, _session()) as store:
+            store.ingest(STREAM_BATCHES[0])
+            store.close()
+        assert store.n_snapshots == 2  # the with-exit close was a no-op
+
+    def test_context_manager_does_not_checkpoint_on_error(self, tmp_path):
+        # An exception leaves the store closed WITHOUT a final checkpoint:
+        # the session may be mid-mutation, so recovery must come from the
+        # last durable checkpoint + WAL, not a snapshot of unknown state.
+        with pytest.raises(RuntimeError, match="boom"):
+            with PersistentSession.create(tmp_path, _session()) as store:
+                store.ingest(STREAM_BATCHES[0])
+                raise RuntimeError("boom")
+        assert store.closed is True
+        assert store.n_snapshots == 1  # only checkpoint 0
+        resumed = PersistentSession.resume(tmp_path)
+        assert resumed.n_replayed == 1  # the logged batch came back
+
+    def test_ingest_after_close_reopens_the_store(self, tmp_path):
+        store = PersistentSession.create(tmp_path, _session())
+        store.ingest(STREAM_BATCHES[0])
+        store.close()
+        # run_online closes its store at the end of the run, but the
+        # session object stays live and post-run ingests are documented —
+        # a new write re-opens, and the next close checkpoints again.
+        store.ingest(STREAM_BATCHES[1])
+        assert store.closed is False
+        assert store.close() is not None
+
 
 # --------------------------------------------------------------------- #
 # Pipeline wiring: run_online with snapshots and resume

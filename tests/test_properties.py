@@ -386,6 +386,94 @@ class TestPersistenceProperties:
 
 
 # ----------------------------------------------------------------------- #
+# Serving properties
+# ----------------------------------------------------------------------- #
+class TestServeProperties:
+    """Randomised label/ingest/snapshot interleavings against an in-process
+    server must reproduce the no-server ``run_online`` bit-contract: every
+    served ingest ack carries exactly the labels direct ``session.ingest``
+    calls over the same schedule produce, however many label reads and
+    snapshots are woven between them, and a crash/restore in the middle
+    changes nothing."""
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        schedule=ingest_schedules(),
+        theta=st.floats(min_value=0.1, max_value=0.9),
+        data=st.data(),
+    )
+    def test_served_schedule_equals_direct_ingest(self, schedule, theta, data):
+        import asyncio
+
+        from repro.serve.client import ServeClient
+        from repro.serve.server import ReproServer
+
+        bootstrap, stream, batches = schedule
+        reference, _ = _bootstrap_session(bootstrap, theta)
+        expected = [
+            [int(label) for label in reference.ingest(batch).labels]
+            for batch in batches
+        ]
+        # label_only depends only on the retained labeler, never on what
+        # was ingested, so one twin answers for every interleaving point.
+        twin, _ = _bootstrap_session(bootstrap, theta)
+        expected_labels = [int(label) for label in twin.label_only(stream)]
+
+        # One interleaving token per slot: which read/admin traffic (if
+        # any) precedes each ingest batch and the shutdown.
+        interleave = data.draw(
+            st.lists(
+                st.sampled_from(("none", "label", "snapshot", "label+snapshot")),
+                min_size=len(batches) + 1,
+                max_size=len(batches) + 1,
+            ),
+            label="interleave",
+        )
+        restart_at = data.draw(
+            st.integers(min_value=0, max_value=len(batches)), label="restart_at"
+        )
+
+        async def drive(client, slots):
+            observed = []
+            for slot, batch in slots:
+                token = interleave[slot]
+                if "label" in token:
+                    point = stream[slot % len(stream)]
+                    assert await client.label(point) == expected_labels[
+                        slot % len(stream)
+                    ]
+                if "snapshot" in token:
+                    await client.snapshot()
+                if batch is not None:
+                    observed.append((await client.ingest(batch))["labels"])
+            return observed
+
+        async def scenario(tmp):
+            session, _ = _bootstrap_session(bootstrap, theta)
+            slots = list(enumerate(batches)) + [(len(batches), None)]
+
+            server = ReproServer.create(session, tmp)
+            await server.start()
+            async with await ServeClient.connect(*server.address) as client:
+                observed = await drive(client, slots[:restart_at])
+            # Stop without the shutdown verb, then restore from disk: the
+            # second server must continue exactly where the first left off.
+            await server.stop()
+
+            resumed = ReproServer.resume(tmp)
+            await resumed.start()
+            async with await ServeClient.connect(*resumed.address) as client:
+                observed += await drive(client, slots[restart_at:])
+                await client.shutdown()
+            await resumed.serve_forever()
+            return observed
+
+        with tempfile.TemporaryDirectory() as tmp:
+            observed = asyncio.run(scenario(tmp))
+        assert observed == expected
+
+
+# ----------------------------------------------------------------------- #
 # Metric properties
 # ----------------------------------------------------------------------- #
 class TestMetricProperties:
