@@ -2,12 +2,14 @@
 
 Run modes (see ``conftest.bench_full``):
 
-* smoke (default, <30 s) — times n in {300, 600} with both engines,
+* smoke (default, <30 s) — times n in {300, 600} with all three engines,
   writes the record to ``benchmarks/results/`` and leaves the committed
   baseline untouched.
 * full (``REPRO_BENCH_FULL=1``) — times n in {500, 1000, 2000, 4000}
-  (reference engine up to 2000), asserts the flat engine's >=5x
-  agglomeration speedup at n=2000, and rewrites the committed
+  (reference engine up to 2000; larger rows carry the explicit
+  ``reference_skipped`` marker), asserts the flat engine's >=5x
+  agglomeration speedup over reference at n=2000 and the arena engine's
+  >=2x speedup over flat at n=4000, and rewrites the committed
   ``BENCH_engine.json`` baseline at the repository root.
 
 ``test_engine_perf_gate`` re-measures the gate size and fails when the
@@ -36,6 +38,7 @@ from repro.bench.perf_gate import (
     BASELINE_FILENAME,
     check_phase_regressions,
     check_ratio_regression,
+    check_reference_accounting,
     check_speedup_regression,
     load_bench,
 )
@@ -48,7 +51,7 @@ GATE_SIZE = 500
 
 
 def _render(payload: dict) -> str:
-    lines = ["[ENGINE] flat vs reference agglomeration benchmark"]
+    lines = ["[ENGINE] flat vs reference vs arena agglomeration benchmark"]
     lines.append(
         "workload: market-basket, theta=%s, clusters=%d"
         % (payload["theta"], payload["n_clusters_requested"])
@@ -60,10 +63,14 @@ def _render(payload: dict) -> str:
             "neighbors(blocked) %.3fs" % row["neighbors_blocked_s"],
             "links %.3fs" % row["links_s"],
             "agglomerate(flat) %.3fs" % row["agglomerate_flat_s"],
+            "agglomerate(arena) %.3fs" % row["agglomerate_arena_s"],
+            "arena-speedup %.1fx" % row["agglomerate_arena_speedup"],
         ]
         if "agglomerate_reference_s" in row:
             parts.append("agglomerate(reference) %.3fs" % row["agglomerate_reference_s"])
             parts.append("speedup %.1fx" % row["agglomerate_speedup"])
+        elif row.get("reference_skipped"):
+            parts.append("reference skipped (quadratic above reference_max)")
         parts.append("label %.3fs" % row["label_s"])
         if "label_batched_s" in row:
             parts.append(
@@ -89,7 +96,11 @@ def test_benchmark_engine_phases(results_dir):
     write_record(results_dir, "ENGINE_phase_timings", _render(payload))
 
     # run_engine_bench already asserts bit-identical merge histories for
-    # every size where both engines ran; here we check the perf claims.
+    # every size where all engines ran; here we check the bookkeeping and
+    # the perf claims.  Every row must either record the reference metrics
+    # or carry the explicit reference_skipped marker — never neither.
+    accounting = check_reference_accounting(payload, label="engine bench")
+    assert not accounting, "\n".join(accounting)
     for row in payload["sizes"]:
         if "agglomerate_speedup" in row:
             assert row["agglomerate_speedup"] > 1.0, (
@@ -101,13 +112,20 @@ def test_benchmark_engine_phases(results_dir):
             "flat engine speedup at n=2000 fell below 5x: %.2fx"
             % at_2000["agglomerate_speedup"]
         )
+        # The arena engine's headline claim (same-process ratio, so it
+        # holds on any machine); the dedicated merge-loop gate lives in
+        # bench_agglomerate.py and runs in every CI smoke job.
+        at_4000 = next(row for row in payload["sizes"] if row["n"] == 4000)
+        assert at_4000["agglomerate_arena_speedup"] >= 2.0, (
+            "arena engine speedup at n=4000 fell below 2x: %.2fx"
+            % at_4000["agglomerate_arena_speedup"]
+        )
         # The blocked backend only computes the upper triangle and keeps
         # its COO intermediate bounded, so at the size where the one-shot
         # product dominates it must be measurably faster.  The 0.9 factor
         # demands a >=10% win (currently it is ~2.5x) while leaving head
         # room so a timing blip on a healthy run cannot fail the
         # baseline regeneration.
-        at_4000 = next(row for row in payload["sizes"] if row["n"] == 4000)
         assert (
             at_4000["neighbors_blocked_s"]
             < 0.9 * at_4000["neighbors_vectorized_s"]
@@ -134,12 +152,25 @@ def test_engine_perf_gate(results_dir):
     # genuine hot-path regression breaks them.
     # check_phase_regressions applies each metric's own slack (tight for the
     # millisecond-scale labelling phases, generous for the agglomeration).
-    violations = []
+    # Reference-metric bookkeeping errors (missing without the
+    # reference_skipped marker, or contradicting it) are hard violations:
+    # they mean the payload itself is malformed, not that a phase is slow.
+    violations = check_reference_accounting(current, label="current run")
+    violations += check_reference_accounting(baseline, label="baseline")
     softened = []
     for absolute, relative in (
         (
             check_phase_regressions(current, baseline, metrics=("agglomerate_flat_s",)),
             check_speedup_regression(current, baseline),
+        ),
+        # Arena merge loop: its machine-robust signal is the arena/flat
+        # time ratio measured in the same process.
+        (
+            check_phase_regressions(current, baseline, metrics=("agglomerate_arena_s",)),
+            check_ratio_regression(
+                current, baseline,
+                metric="agglomerate_arena_s", reference_metric="agglomerate_flat_s",
+            ),
         ),
         (
             check_phase_regressions(current, baseline, metrics=("label_s",)),

@@ -8,9 +8,14 @@ directory wraps these functions with pytest-benchmark so timing and output
 regeneration happen in one place.
 """
 
+from repro.bench.agglomerate_bench import merge_loop_bench
 from repro.bench.engine_bench import run_engine_bench, time_engine_phases
 from repro.bench.harness import ExperimentRecord, available_experiments, get_experiment
-from repro.bench.perf_gate import check_agglomeration_regression, load_bench
+from repro.bench.perf_gate import (
+    check_agglomeration_regression,
+    check_reference_accounting,
+    load_bench,
+)
 from repro.bench.scalability import ScalabilityPoint, run_scalability_sweep
 
 __all__ = [
@@ -19,8 +24,10 @@ __all__ = [
     "get_experiment",
     "ScalabilityPoint",
     "run_scalability_sweep",
+    "merge_loop_bench",
     "run_engine_bench",
     "time_engine_phases",
     "check_agglomeration_regression",
+    "check_reference_accounting",
     "load_bench",
 ]

@@ -1,7 +1,7 @@
 """Engine benchmark: per-phase timings of the clustering hot paths.
 
 Times the four pipeline phases — neighbour graph (per backend strategy),
-link matrix, agglomeration (both engines) and labelling (one-shot and
+link matrix, agglomeration (per engine) and labelling (one-shot and
 batched through the streaming labeler) — on a reproducible synthetic
 random-basket workload, and emits the ``BENCH_engine.json`` perf baseline
 consumed by :mod:`repro.bench.perf_gate`.
@@ -10,9 +10,10 @@ The workload is a tight-cluster market-basket shape (eight latent groups
 whose baskets share most of a small item pool), the regime ROCK targets:
 at ``theta = 0.5`` the in-cluster Jaccard similarities clear the threshold,
 giving a link graph dense enough to exercise the agglomeration engines
-properly.  Whenever both engines run, their merge histories are asserted
-bit-identical, so every benchmark run doubles as an equivalence check on a
-full-size workload.
+properly.  Every timed engine's merge history is asserted bit-identical to
+the flat engine's (arena at every size, reference up to ``reference_max``),
+so every benchmark run doubles as an equivalence check on a full-size
+workload.
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.engines import ARENA_ENGINE, FLAT_ENGINE, REFERENCE_ENGINE
 from repro.core.labeling import label_points, label_points_streaming
 from repro.data.io import atomic_write_text
 from repro.core.links import links_from_neighbors
@@ -133,9 +135,18 @@ def time_engine_phases(
         model = RockClustering(n_clusters=n_clusters, theta=theta, engine=engine)
         return model._agglomerate(links, n)
 
-    flat_result = agglomerate("flat")
+    flat_result = agglomerate(FLAT_ENGINE)
     flat_seconds = _best_of(
-        repeats, lambda: agglomerate("flat").elapsed_seconds
+        repeats, lambda: agglomerate(FLAT_ENGINE).elapsed_seconds
+    )
+    arena_result = agglomerate(ARENA_ENGINE)
+    if arena_result.merge_history != flat_result.merge_history:
+        raise AssertionError(
+            "engine mismatch at n=%d: arena and flat merge histories differ"
+            % n
+        )
+    arena_seconds = _best_of(
+        repeats, lambda: agglomerate(ARENA_ENGINE).elapsed_seconds
     )
 
     row = {
@@ -148,20 +159,31 @@ def time_engine_phases(
         **neighbor_timings,
         "links_s": links_seconds,
         "agglomerate_flat_s": flat_seconds,
+        "agglomerate_arena_s": arena_seconds,
+        "agglomerate_arena_speedup": flat_seconds / arena_seconds,
+        "merge_counters": {
+            key: int(value)
+            for key, value in arena_result.merge_counters.items()
+        },
     }
 
     if include_reference:
-        reference_result = agglomerate("reference")
+        reference_result = agglomerate(REFERENCE_ENGINE)
         if reference_result.merge_history != flat_result.merge_history:
             raise AssertionError(
                 "engine mismatch at n=%d: flat and reference merge histories differ"
                 % n
             )
         reference_seconds = _best_of(
-            max(1, repeats - 1), lambda: agglomerate("reference").elapsed_seconds
+            max(1, repeats - 1), lambda: agglomerate(REFERENCE_ENGINE).elapsed_seconds
         )
         row["agglomerate_reference_s"] = reference_seconds
         row["agglomerate_speedup"] = reference_seconds / flat_seconds
+    else:
+        # The quadratic reference engine is skipped by design above
+        # ``reference_max``; say so explicitly instead of silently omitting
+        # its keys (the perf gate rejects rows that have neither).
+        row["reference_skipped"] = True
 
     # Labelling: place n // 2 freshly drawn baskets against the clustering,
     # once in one shot and once batch-by-batch through the streaming path.

@@ -26,6 +26,14 @@ bound).  The benchmark driver flags
 a regression only when both the absolute and the relative signal of a phase
 trip — a uniformly slower machine slows everything and keeps the ratios,
 while a genuine hot-path regression breaks them.
+
+Sizes above the benchmark's ``reference_max`` skip the quadratic-cost
+reference engine by design and therefore legitimately lack
+``agglomerate_reference_s`` / ``agglomerate_speedup``; such rows must carry
+an explicit ``reference_skipped`` marker, and
+:func:`check_reference_accounting` rejects rows whose reference metrics are
+missing *without* the marker (or present despite it) instead of silently
+ignoring them.
 """
 
 from __future__ import annotations
@@ -38,11 +46,12 @@ from pathlib import Path
 DEFAULT_MAX_RATIO = 1.5
 DEFAULT_SLACK_SECONDS = 0.05
 
-#: Phase timings the gate watches: the agglomeration merge loop, both
-#: labelling paths (one-shot and batched/streaming) and both gated
-#: neighbour backends (one-shot vectorized and blocked).
+#: Phase timings the gate watches: the agglomeration merge loop (flat and
+#: arena engines), both labelling paths (one-shot and batched/streaming)
+#: and both gated neighbour backends (one-shot vectorized and blocked).
 DEFAULT_PHASE_METRICS = (
     "agglomerate_flat_s",
+    "agglomerate_arena_s",
     "label_s",
     "label_batched_s",
     "neighbors_vectorized_s",
@@ -56,6 +65,7 @@ DEFAULT_PHASE_METRICS = (
 #: tighter slack safe against scheduler noise.
 DEFAULT_PHASE_SLACKS = {
     "agglomerate_flat_s": DEFAULT_SLACK_SECONDS,
+    "agglomerate_arena_s": DEFAULT_SLACK_SECONDS,
     "label_s": 0.01,
     "label_batched_s": 0.01,
     "neighbors_vectorized_s": 0.01,
@@ -65,6 +75,11 @@ DEFAULT_PHASE_SLACKS = {
 #: Default location of the committed baseline (repository root).
 BASELINE_FILENAME = "BENCH_engine.json"
 
+#: Metrics only present when the quadratic-cost reference engine was timed.
+#: A row without them must carry the explicit ``reference_skipped`` marker;
+#: :func:`check_reference_accounting` rejects silent omissions.
+REFERENCE_METRICS = ("agglomerate_reference_s", "agglomerate_speedup")
+
 
 def load_bench(path: str | Path) -> dict:
     """Load a ``BENCH_engine.json`` payload."""
@@ -73,6 +88,42 @@ def load_bench(path: str | Path) -> dict:
 
 def _rows_by_size(payload: dict) -> dict[int, dict]:
     return {int(row["n"]): row for row in payload.get("sizes", [])}
+
+
+def check_reference_accounting(payload: dict, label: str = "payload") -> list[str]:
+    """Reject rows whose reference-engine metrics are *silently* missing.
+
+    The speedup checks skip sizes without ``agglomerate_reference_s`` /
+    ``agglomerate_speedup``, which is correct for sizes where the
+    quadratic reference engine is skipped by design — but it also used to
+    swallow rows that lost the metrics by accident.  This check makes the
+    distinction explicit: a row must either record both reference metrics,
+    or carry ``reference_skipped: true``.  Violations are reported for
+
+    - rows with neither the metrics nor the marker (silent omission),
+    - rows with the marker *and* the metrics (contradictory bookkeeping),
+    - rows with only one of the two metrics (partial measurement).
+    """
+    violations: list[str] = []
+    for row in payload.get("sizes", []):
+        n = row.get("n", "?")
+        present = [metric for metric in REFERENCE_METRICS if row.get(metric) is not None]
+        skipped = bool(row.get("reference_skipped"))
+        if skipped and present:
+            violations.append(
+                "%s at n=%s marks reference_skipped but records %s; "
+                "drop the marker or the metrics" % (label, n, ", ".join(present))
+            )
+        elif not skipped and len(present) == len(REFERENCE_METRICS):
+            continue
+        elif not skipped:
+            missing = [m for m in REFERENCE_METRICS if m not in present]
+            violations.append(
+                "%s at n=%s is missing %s without a reference_skipped marker; "
+                "re-run the benchmark or mark the row as skipped by design"
+                % (label, n, ", ".join(missing))
+            )
+    return violations
 
 
 def check_agglomeration_regression(
@@ -239,9 +290,13 @@ def gate_against_baseline(
     baseline_path = Path(baseline_path)
     if not baseline_path.exists():
         return ["baseline %s does not exist" % baseline_path]
-    return check_phase_regressions(
+    baseline = load_bench(baseline_path)
+    violations = check_reference_accounting(current, label="current run")
+    violations += check_reference_accounting(baseline, label="baseline")
+    violations += check_phase_regressions(
         current,
-        load_bench(baseline_path),
+        baseline,
         max_ratio=max_ratio,
         slack_seconds=slack_seconds,
     )
+    return violations

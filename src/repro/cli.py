@@ -40,7 +40,7 @@ from pathlib import Path
 from repro.bench.harness import available_experiments, get_experiment
 from repro.core.neighbors import DEFAULT_NEIGHBOR_STRATEGY, neighbor_strategies
 from repro.core.pipeline import RockPipeline, rock_cluster
-from repro.core.rock import ENGINES
+from repro.core.engines import DEFAULT_ENGINE, engine_choices
 from repro.core.sharding import DEFAULT_SHARD_STRATEGY, SHARD_STRATEGIES
 from repro.data.encoding import records_to_transactions
 from repro.data.io import (
@@ -415,9 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--sample-size", type=int, default=None, help="random-sample size")
     cluster.add_argument("--min-neighbors", type=int, default=0, help="outlier pre-filter")
     cluster.add_argument("--min-cluster-size", type=int, default=1, help="prune smaller clusters")
+    # Choices come from the agglomeration-engine registry at parser-build
+    # time (same plugin-friendly contract as the neighbour backends).
     cluster.add_argument(
-        "--engine", choices=list(ENGINES), default="flat",
-        help="agglomeration engine (flat: array-backed, reference: paper pseudo-code)",
+        "--engine", choices=engine_choices(), default=DEFAULT_ENGINE,
+        help="agglomeration engine (auto: fastest registered engine; "
+             "arena: batch-recompute; flat: array-backed; reference: "
+             "paper pseudo-code — all bit-identical)",
     )
     # Choices come straight from the neighbour-backend registry at
     # parser-build time, so a backend registered by a plugin before main()
@@ -518,8 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--min-neighbors", type=int, default=0, help="outlier pre-filter")
     serve.add_argument("--min-cluster-size", type=int, default=1, help="prune smaller clusters")
     serve.add_argument(
-        "--engine", choices=list(ENGINES), default="flat",
-        help="agglomeration engine for the bootstrap clustering",
+        "--engine", choices=engine_choices(), default=DEFAULT_ENGINE,
+        help="agglomeration engine for the bootstrap clustering and "
+             "session refreshes (auto: fastest registered engine)",
     )
     serve.add_argument(
         "--neighbor-strategy", choices=list(neighbor_strategies()),

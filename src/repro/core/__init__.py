@@ -12,8 +12,13 @@ The modules follow the structure of the ROCK paper:
 * :mod:`repro.core.heaps` — the local/global heap machinery of the
   agglomerative procedure (Section 4.1);
 * :mod:`repro.core.rock` — the agglomerative clustering algorithm itself;
+* :mod:`repro.core.engines` — the agglomeration-engine registry
+  (``arena`` / ``flat`` / ``reference``, all bit-identical, ``auto``
+  selection);
 * :mod:`repro.core.engine` — the flat array-backed agglomeration engine
-  (the default ``engine="flat"`` implementation of the merge loop);
+  (``engine="flat"``, a frozen spec);
+* :mod:`repro.core.engine_arena` — the arena-backed batch-recompute
+  engine (``engine="arena"``, what ``auto`` resolves to);
 * :mod:`repro.core.sampling` — Chernoff-bound random sampling (Section 4.3);
 * :mod:`repro.core.labeling` — labelling of disk-resident points
   (Section 4.4);
@@ -35,6 +40,15 @@ from repro.core.goodness import (
     theta_power,
 )
 from repro.core.engine import FlatAgglomerationEngine, flat_agglomerate
+from repro.core.engine_arena import ArenaAgglomerationEngine, arena_agglomerate
+from repro.core.engines import (
+    AgglomerationEngine,
+    AgglomerationRun,
+    available_engines,
+    engine_choices,
+    get_engine,
+    register_engine,
+)
 from repro.core.heaps import AddressableMaxHeap
 from repro.core.incremental import (
     IncrementalRock,
@@ -86,8 +100,16 @@ __all__ = [
     "IngestResult",
     "validate_refresh_threshold",
     "ENGINES",
+    "AgglomerationEngine",
+    "AgglomerationRun",
+    "ArenaAgglomerationEngine",
     "FlatAgglomerationEngine",
+    "arena_agglomerate",
+    "available_engines",
+    "engine_choices",
     "flat_agglomerate",
+    "get_engine",
+    "register_engine",
     "LabelingResult",
     "StreamingLabeler",
     "StreamingLabelingResult",

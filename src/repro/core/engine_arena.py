@@ -1,0 +1,435 @@
+"""Arena-backed, batch-recompute agglomeration engine (``engine="arena"``).
+
+The flat engine (:mod:`repro.core.engine`) already vectorised goodness
+arithmetic, but its merge loop still runs on interpreted machinery: a
+global lazy-deletion ``heapq`` (at n=4000 roughly a million heap pops),
+per-cluster Python-list partner stores (millions of ``list.append`` calls)
+and a per-partner Python sweep over every merge's frontier.  Profiling
+shows that machinery — not the arithmetic — dominating the run.
+
+This engine removes it entirely:
+
+* **No heaps.**  Every cluster's current best merge is kept in a pair of
+  flat arrays (``best_neg``/``best_partner``; dead clusters hold ``+inf``)
+  plus a ``stale`` flag replacing the flat engine's version counters.
+  Selecting the next merge is one ``np.argmin`` over the live prefix — C
+  speed, and ``argmin``'s first-minimum semantics reproduce the global
+  heap's ``(goodness, cluster-id)`` tie-break exactly.  Staleness stays
+  exactly as lazy as the flat engine's: when a cluster's incumbent best
+  dies, ``best_neg`` keeps the dead pair's value as an upper bound, and
+  the true next best (a vectorised masked ``argmin`` over the row, first
+  occurrence again) is only computed when that bound wins the selection
+  scan — the array analogue of lazy heap deletion, with the same rework
+  count.
+* **Scratch arenas.**  Partner ids, pair counts and pair goodness live in
+  three preallocated growable arrays (int64/int64/float64).  Each cluster
+  owns a ``(start, length, capacity)`` window; seed windows are packed
+  copies of the canonical sorted-CSR link matrix, merged rows are
+  allocated at the arena tail, and a full row relocates with doubled
+  capacity when it outgrows its window.  No per-merge ``np.fromiter`` /
+  ``np.concatenate`` of Python lists, no Python-int boxing.
+* **Batched frontier maintenance.**  A merge recomputes the whole
+  frontier's goodness in one counts-÷-pow-table-gather pass (identical
+  float64 expressions to the flat engine, hence bit-identical values) and
+  then appends the merged cluster into every frontier row with one
+  vectorised scatter — position arithmetic on the window arrays — instead
+  of per-entry pushes.
+
+**Determinism.**  Bit-identical to ``flat`` (and therefore ``reference``):
+same ``MergeStep`` history, same tie-breaks, same early-stop behaviour,
+same ``ZeroDivisionError`` on an all-linked ``theta == 1`` input.  The
+cross-engine equivalence suite and ``benchmarks/bench_agglomerate.py``
+assert this on every run.
+
+The engine also records merge-loop counters (selection scans, best
+rescans, rescan cells, frontier sizes, appends, relocations, arena grows)
+surfaced through :class:`repro.core.engines.AgglomerationRun`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.engine import FlatAgglomerationEngine
+from repro.core.goodness import ExponentFunction
+from repro.types import MergeStep
+
+
+def arena_agglomerate(
+    links: sparse.spmatrix,
+    n_points: int,
+    n_clusters: int,
+    theta: float,
+    exponent_function: ExponentFunction | None = None,
+) -> tuple[list[MergeStep], dict[int, list[int]], bool, dict[str, int]]:
+    """Run the ROCK agglomeration on arena state.
+
+    Same contract as :func:`repro.core.engine.flat_agglomerate`, plus a
+    fourth element: the merge-loop counters dict.
+    """
+    engine = ArenaAgglomerationEngine(
+        links, n_points, n_clusters, theta, exponent_function
+    )
+    return engine.run()
+
+
+class ArenaAgglomerationEngine(FlatAgglomerationEngine):
+    """Arena-state machine for one agglomeration run.
+
+    Subclasses the flat engine only for its frozen construction helpers
+    (the Python-``**`` power table, the canonical symmetric CSR and the
+    member-tree walk); the merge loop shares no state with ``flat``.
+    """
+
+    #: Extra cells granted beyond the immediate need when a row is
+    #: (re)allocated, so repeated appends amortise to O(1) relocations.
+    _ROW_HEADROOM = 4
+
+    # ------------------------------------------------------------------ #
+    # State initialisation
+    # ------------------------------------------------------------------ #
+    def _init_arena_state(self) -> None:
+        n = self.n_points
+        # Merged ids range over [n, 2n - 1 - n_clusters]; capacity 2n keeps
+        # the indexing identical to the flat engine.
+        capacity = max(2 * n, 1)
+        symmetric = self._canonical_symmetric()
+        nnz = int(symmetric.nnz)
+
+        self._alive = np.zeros(capacity, dtype=bool)  # type: ignore[assignment]
+        self._alive[:n] = True
+        self._size_np = np.zeros(capacity, dtype=np.int64)
+        self._size_np[:n] = 1
+        self._child_left = [-1] * capacity
+        self._child_right = [-1] * capacity
+
+        indptr = symmetric.indptr.astype(np.int64)
+        if nnz:
+            # Shared unit-size denominator scores every seed pair at once;
+            # its vanishing is the theta == 1 degenerate case (see the flat
+            # engine, whose message this mirrors bit-for-bit).
+            denominator = self._pow[2] - self._pow[1] - self._pow[1]
+            if denominator == 0.0:
+                raise ZeroDivisionError(
+                    "goodness denominator is zero: 1 + 2 f(theta) == 1 "
+                    "(theta == 1 under the paper's exponent function); "
+                    "linked pairs cannot be scored"
+                )
+            seed_neg = -(symmetric.data.astype(np.float64) / denominator)
+        else:
+            seed_neg = np.empty(0, dtype=np.float64)
+
+        # The three arenas.  Seed rows occupy a packed prefix (capacity ==
+        # length, so their first append relocates — the arena analogue of
+        # the flat engine's lazy materialisation); merged rows are carved
+        # from the tail.
+        arena_capacity = max(nnz + self._ROW_HEADROOM * n, 1024)
+        self._arena_partner = np.empty(arena_capacity, dtype=np.int64)
+        self._arena_count = np.empty(arena_capacity, dtype=np.int64)
+        self._arena_neg = np.empty(arena_capacity, dtype=np.float64)
+        self._arena_partner[:nnz] = symmetric.indices
+        self._arena_count[:nnz] = symmetric.data
+        self._arena_neg[:nnz] = seed_neg
+        self._arena_tail = nnz
+
+        self._row_start = np.zeros(capacity, dtype=np.int64)
+        self._row_len = np.zeros(capacity, dtype=np.int64)
+        self._row_cap = np.zeros(capacity, dtype=np.int64)
+        self._row_start[:n] = indptr[:-1]
+        self._row_len[:n] = np.diff(indptr)
+        self._row_cap[:n] = self._row_len[:n]
+
+        # Per-cluster best merge.  0.0 / -1 is the "no live pair" state
+        # (never selected: the loop stops at non-negative best); +inf
+        # marks dead clusters out of every argmin.  ``stale`` is the flat
+        # engine's version-counter scheme reduced to one bit: set when the
+        # incumbent best dies, cleared when the true best is recomputed —
+        # which happens only if the stale upper bound wins a selection
+        # scan, exactly the lazy-deletion rework condition.
+        best_neg = np.zeros(capacity, dtype=np.float64)
+        best_partner = np.full(capacity, -1, dtype=np.int64)
+        self._stale = np.zeros(capacity, dtype=bool)
+        if nnz:
+            # First-occurrence argmax per seed CSR row (goodness is
+            # monotone in the count for unit sizes), exactly as the flat
+            # engine seeds its heap.
+            row_sizes = np.diff(indptr)
+            nonempty = row_sizes > 0
+            rows = np.nonzero(nonempty)[0]
+            starts = indptr[:-1][nonempty]
+            data = symmetric.data
+            row_max = np.maximum.reduceat(data, starts)
+            position_of = np.arange(nnz, dtype=np.int64)
+            masked = np.where(
+                data == np.repeat(row_max, row_sizes[nonempty]),
+                position_of,
+                nnz,
+            )
+            first_max = np.minimum.reduceat(masked, starts)
+            best_neg[rows] = seed_neg[first_max]
+            best_partner[rows] = symmetric.indices[first_max]
+        self._best_neg = best_neg  # type: ignore[assignment]
+        self._best_partner = best_partner  # type: ignore[assignment]
+
+        self._counters: dict[str, int] = {
+            "merges": 0,
+            "selection_scans": 0,
+            "best_rescans": 0,
+            "rescan_cells": 0,
+            "frontier_total": 0,
+            "frontier_max": 0,
+            "appended_cells": 0,
+            "row_relocations": 0,
+            "arena_grows": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Arena management
+    # ------------------------------------------------------------------ #
+    def _ensure_tail(self, need: int) -> None:
+        """Grow the arenas so ``need`` cells fit past the tail."""
+        required = self._arena_tail + need
+        current = self._arena_partner.size
+        if required <= current:
+            return
+        new_capacity = max(2 * current, required)
+        for attribute in ("_arena_partner", "_arena_count", "_arena_neg"):
+            old = getattr(self, attribute)
+            grown = np.empty(new_capacity, dtype=old.dtype)
+            grown[: self._arena_tail] = old[: self._arena_tail]
+            setattr(self, attribute, grown)
+        self._counters["arena_grows"] += 1
+
+    def _relocate_row(self, row: int, extra: int) -> None:
+        """Move a full row to the arena tail with doubled capacity."""
+        length = int(self._row_len[row])
+        new_capacity = max(2 * (length + extra), length + extra, 4)
+        self._ensure_tail(new_capacity)
+        start = int(self._row_start[row])
+        tail = self._arena_tail
+        self._arena_partner[tail : tail + length] = self._arena_partner[
+            start : start + length
+        ]
+        self._arena_count[tail : tail + length] = self._arena_count[
+            start : start + length
+        ]
+        self._arena_neg[tail : tail + length] = self._arena_neg[
+            start : start + length
+        ]
+        self._row_start[row] = tail
+        self._row_cap[row] = new_capacity
+        self._arena_tail = tail + new_capacity
+        self._counters["row_relocations"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(  # type: ignore[override]
+        self,
+    ) -> tuple[list[MergeStep], dict[int, list[int]], bool, dict[str, int]]:
+        """Execute the merge loop; see :func:`arena_agglomerate` for the
+        return contract."""
+        self._init_arena_state()
+        n = self.n_points
+        alive = self._alive
+        size_np = self._size_np
+        pow_np = self._pow
+        best_neg = self._best_neg
+        best_partner = self._best_partner
+        row_start = self._row_start
+        row_len = self._row_len
+        row_cap = self._row_cap
+        child_left = self._child_left
+        child_right = self._child_right
+        counters = self._counters
+        infinity = np.inf
+
+        merge_history: list[MergeStep] = []
+        alive_count = n
+        next_id = n
+        stopped_early = False
+
+        stale = self._stale
+
+        while alive_count > self.n_clusters:
+            # One C-speed scan replaces the global heap: argmin's
+            # first-minimum rule is the heap's (goodness, cluster-id)
+            # tie-break, because ids ascend left to right and dead
+            # clusters sit at +inf.  A stale winner holds an upper bound
+            # (its dead incumbent's value, below every older surviving
+            # pair), so its true best is computed now and the scan rerun —
+            # the flat engine's lazy-deletion rework, array-style.
+            while True:
+                counters["selection_scans"] += 1
+                left = int(np.argmin(best_neg[:next_id]))
+                neg_goodness = float(best_neg[left])
+                if not (neg_goodness < 0.0):
+                    break
+                if not stale[left]:
+                    break
+                start = int(row_start[left])
+                stop = start + int(row_len[left])
+                partners_view = self._arena_partner[start:stop]
+                live = alive[partners_view]
+                counters["best_rescans"] += 1
+                counters["rescan_cells"] += stop - start
+                if live.any():
+                    masked = np.where(
+                        live, self._arena_neg[start:stop], infinity
+                    )
+                    best_position = int(masked.argmin())
+                    best_neg[left] = masked[best_position]
+                    best_partner[left] = partners_view[best_position]
+                else:
+                    # No live partner remains; any future pair (negative
+                    # goodness) immediately becomes the best again.
+                    best_neg[left] = 0.0
+                    best_partner[left] = -1
+                stale[left] = False
+            if not (neg_goodness < 0.0):
+                # Non-negative (or NaN) best goodness: nothing mergeable
+                # remains, exactly the flat engine's early stop.
+                stopped_early = True
+                break
+            right = int(best_partner[left])
+            merged = next_id
+            next_id += 1
+            merged_size = int(size_np[left]) + int(size_np[right])
+            merge_history.append(
+                MergeStep(
+                    step=len(merge_history),
+                    left=left,
+                    right=right,
+                    goodness=-neg_goodness,
+                    new_size=merged_size,
+                )
+            )
+
+            # Kill the endpoints first so the aliveness filter below also
+            # drops their mutual entries.
+            alive[left] = False
+            alive[right] = False
+            alive[merged] = True
+            best_neg[left] = infinity
+            best_neg[right] = infinity
+            best_partner[left] = -1
+            best_partner[right] = -1
+            size_np[merged] = merged_size
+            child_left[merged] = left
+            child_right[merged] = right
+            alive_count -= 1
+
+            # Combined frontier of the two consumed rows, first-occurrence
+            # order of "left's partners then right's new partners", counts
+            # summed for shared partners, dead entries dropped — the flat
+            # engine's combined-store pass on arena views.
+            left_start = row_start[left]
+            right_start = row_start[right]
+            left_partners = self._arena_partner[
+                left_start : left_start + row_len[left]
+            ]
+            right_partners = self._arena_partner[
+                right_start : right_start + row_len[right]
+            ]
+            concatenated = np.concatenate([left_partners, right_partners])
+            concatenated_counts = np.concatenate(
+                [
+                    self._arena_count[left_start : left_start + row_len[left]],
+                    self._arena_count[right_start : right_start + row_len[right]],
+                ]
+            )
+            keep = alive[concatenated]
+            frontier = concatenated[keep]
+            frontier_counts = concatenated_counts[keep]
+            if frontier.size:
+                unique, inverse = np.unique(frontier, return_inverse=True)
+                if unique.size != frontier.size:
+                    summed = np.zeros(unique.size, dtype=np.int64)
+                    np.add.at(summed, inverse, frontier_counts)
+                    first_position = np.full(
+                        unique.size, frontier.size, dtype=np.int64
+                    )
+                    np.minimum.at(
+                        first_position, inverse, np.arange(frontier.size)
+                    )
+                    order = np.argsort(first_position, kind="stable")
+                    frontier = unique[order]
+                    frontier_counts = summed[order]
+            frontier_size = int(frontier.size)
+            counters["merges"] += 1
+            counters["frontier_total"] += frontier_size
+            if frontier_size > counters["frontier_max"]:
+                counters["frontier_max"] = frontier_size
+
+            # Whole-frontier goodness in one gather-subtract-divide pass;
+            # identical float64 expressions to the flat engine, so the
+            # values are bit-identical.
+            other_sizes = size_np[frontier]
+            denominators = (
+                pow_np[merged_size + other_sizes]
+                - pow_np[merged_size]
+                - pow_np[other_sizes]
+            )
+            frontier_negs = -(frontier_counts.astype(np.float64) / denominators)
+
+            # The merged cluster's row: carved at the arena tail with
+            # append headroom.
+            merged_capacity = (
+                frontier_size + (frontier_size >> 2) + self._ROW_HEADROOM
+            )
+            self._ensure_tail(merged_capacity)
+            tail = self._arena_tail
+            self._arena_partner[tail : tail + frontier_size] = frontier
+            self._arena_count[tail : tail + frontier_size] = frontier_counts
+            self._arena_neg[tail : tail + frontier_size] = frontier_negs
+            row_start[merged] = tail
+            row_len[merged] = frontier_size
+            row_cap[merged] = merged_capacity
+            self._arena_tail = tail + merged_capacity
+
+            if not frontier_size:
+                continue
+
+            # The merged cluster's own best: first occurrence of the
+            # minimum (all frontier partners are alive by construction).
+            merged_best_position = int(frontier_negs.argmin())
+            best_neg[merged] = frontier_negs[merged_best_position]
+            best_partner[merged] = frontier[merged_best_position]
+
+            # Scatter-append the merged cluster into every frontier row.
+            # Full rows relocate first (cheap and rare: doubling
+            # amortises), then one vectorised position write per arena.
+            full = row_len[frontier] >= row_cap[frontier]
+            if full.any():
+                for row in frontier[full]:
+                    self._relocate_row(int(row), 1)
+            positions = row_start[frontier] + row_len[frontier]
+            self._arena_partner[positions] = merged
+            self._arena_count[positions] = frontier_counts
+            self._arena_neg[positions] = frontier_negs
+            row_len[frontier] += 1
+            counters["appended_cells"] += frontier_size
+
+            # Best maintenance, batched.  A new pair strictly beating the
+            # standing best wins (ties keep the incumbent, matching the
+            # flat engine); otherwise a cluster whose incumbent just died
+            # merely turns stale — its bound stays in ``best_neg`` and the
+            # replacement is computed lazily in the selection scan, so
+            # clusters that merge away first never pay for it (the flat
+            # engine's exact economics).
+            improved = frontier_negs < best_neg[frontier]
+            improved_rows = frontier[improved]
+            best_neg[improved_rows] = frontier_negs[improved]
+            best_partner[improved_rows] = merged
+            stale[improved_rows] = False
+            unimproved_rows = frontier[~improved]
+            incumbents = best_partner[unimproved_rows]
+            # ``alive[-1]`` (the never-assigned trailing cell) keeps the
+            # -1 no-partner sentinel on the stale path, mirroring the flat
+            # engine's negative-index trick.
+            died = ~stale[unimproved_rows] & ~alive[incumbents]
+            stale[unimproved_rows[died]] = True
+
+        members = self._collect_members(next_id)
+        return merge_history, members, stopped_early, dict(counters)

@@ -41,15 +41,15 @@ outcome of the ordinary sample/cluster phases) and then serves
    anything.
 
 A ``refresh_threshold`` bounds drift: when the fraction of points
-inserted since the last full clustering exceeds it, the engine re-runs
-:func:`~repro.core.engine.flat_agglomerate` over the maintained link
-matrix of *all* live points, rebuilds the labeler against the refreshed
-clusters and resets the drift counter.  Labels assigned after a refresh
-are therefore no longer bit-identical to a streaming run on the union —
-they come from the refreshed clustering — but they remain fully
-seed-reproducible: the link matrix is split-independent, the flat engine
-is deterministic, and the labeler draws from the session generator in a
-fixed order.
+inserted since the last full clustering exceeds it, the session re-runs
+its registered agglomeration engine (:mod:`repro.core.engines`; every
+engine is bit-identical) over the maintained link matrix of *all* live
+points, rebuilds the labeler against the refreshed clusters and resets
+the drift counter.  Labels assigned after a refresh are therefore no
+longer bit-identical to a streaming run on the union — they come from
+the refreshed clustering — but they remain fully seed-reproducible: the
+link matrix is split-independent, the engines are deterministic, and the
+labeler draws from the session generator in a fixed order.
 
 Determinism contract (enforced by ``tests/test_core_incremental.py``,
 the property suite and the golden fixtures):
@@ -70,7 +70,12 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
-from repro.core.engine import flat_agglomerate
+from repro.core.engines import (
+    DEFAULT_ENGINE,
+    get_engine,
+    resolve_engine_name,
+    validate_engine_name,
+)
 from repro.core.goodness import (
     ExponentFunction,
     default_expected_links_exponent,
@@ -216,6 +221,7 @@ class IncrementalRock:
         link_strategy: str = "auto",
         include_self_links: bool = True,
         refresh_threshold: float | None = None,
+        engine: str = DEFAULT_ENGINE,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if int(n_clusters) < 1:
@@ -240,10 +246,14 @@ class IncrementalRock:
         self.link_strategy = link_strategy
         self.include_self_links = bool(include_self_links)
         self.refresh_threshold = validate_refresh_threshold(refresh_threshold)
+        self.engine = validate_engine_name(engine)
         self.rng = np.random.default_rng(rng)
 
         self.n_refreshes = 0
         self.n_ingested = 0
+        #: Merge-loop counters of the most recent full refresh (empty until
+        #: one ran, or when the refresh engine is uninstrumented).
+        self.last_refresh_counters: dict = {}
         self._labeler: StreamingLabeler | None = None
         self._vectorizable = supports_vectorized_counts(self.measure)
 
@@ -497,6 +507,7 @@ class IncrementalRock:
             "link_strategy": self.link_strategy,
             "include_self_links": self.include_self_links,
             "refresh_threshold": self.refresh_threshold,
+            "engine": self.engine,
         }
 
     def session_state(self) -> dict:
@@ -568,6 +579,10 @@ class IncrementalRock:
             link_strategy=config["link_strategy"],
             include_self_links=config["include_self_links"],
             refresh_threshold=config["refresh_threshold"],
+            # Snapshots written before the engine registry carry no engine
+            # key; they ran the then-default flat engine's semantics, which
+            # every registered engine reproduces bit-identically.
+            engine=config.get("engine", DEFAULT_ENGINE),
         )
         rng_state = state["rng"]
         bit_generator = getattr(np.random, rng_state["bit_generator"])()
@@ -1040,23 +1055,28 @@ class IncrementalRock:
     # Refresh
     # ------------------------------------------------------------------ #
     def refresh(self) -> None:
-        """Full re-cluster of every live point via the flat engine.
+        """Full re-cluster of every live point via the session's engine.
 
-        Runs :func:`~repro.core.engine.flat_agglomerate` over the
-        maintained link matrix (so no neighbour or link computation is
-        repeated), rebuilds the cluster stores/heaps and rebinds the
-        labeler to the refreshed clusters; the refreshed clusters are
-        ordered by decreasing size (ties by smallest member), which
-        defines the new labelling space.
+        Runs the session's registered agglomeration engine (every engine
+        is bit-identical, so the refresh contract does not depend on the
+        choice) over the maintained link matrix — no neighbour or link
+        computation is repeated — rebuilds the cluster stores/heaps and
+        rebinds the labeler to the refreshed clusters; the refreshed
+        clusters are ordered by decreasing size (ties by smallest member),
+        which defines the new labelling space.  The engine's merge-loop
+        counters are retained in :attr:`last_refresh_counters` for the
+        serve ``status`` verb and the benchmarks.
         """
         self._require_bootstrapped()
-        _history, members, _stopped_early = flat_agglomerate(
+        run = get_engine(resolve_engine_name(self.engine)).agglomerate(
             self._links,
             len(self._points),
             self.n_clusters,
             self.theta,
             self.exponent_function,
         )
+        members = run.members
+        self.last_refresh_counters = dict(run.counters)
         ordered = [tuple(sorted(cluster)) for cluster in members.values()]
         ordered.sort(key=lambda cluster: (-len(cluster), cluster[0]))
         self._labeler = StreamingLabeler(

@@ -50,6 +50,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.engines import DEFAULT_ENGINE, validate_engine_name
 from repro.core.goodness import ExponentFunction
 from repro.core.incremental import (
     IncrementalRock,
@@ -397,8 +398,10 @@ class RockPipeline:
         count at zero that is the largest cluster — so no point is reported
         as an outlier by the labelling phase.
     engine:
-        Agglomeration engine (``"flat"`` or ``"reference"``), propagated to
-        :class:`RockClustering`.
+        Agglomeration engine: a name registered in
+        :mod:`repro.core.engines` (``"arena"``, ``"flat"``,
+        ``"reference"``) or ``"auto"`` (the default), propagated to
+        :class:`RockClustering` and to online sessions.
     neighbor_strategy, neighbor_block_size:
         Neighbour-backend selection (a registered backend name or
         ``"auto"``) and the blocked backend's row-block height, propagated
@@ -436,7 +439,7 @@ class RockPipeline:
         labeling_fraction: float = 1.0,
         exponent_function: ExponentFunction | None = None,
         assign_outliers: bool = True,
-        engine: str = "flat",
+        engine: str = DEFAULT_ENGINE,
         neighbor_strategy: str = "auto",
         neighbor_block_size: int | None = None,
         link_strategy: str = "auto",
@@ -460,7 +463,7 @@ class RockPipeline:
         self.labeling_fraction = float(labeling_fraction)
         self.exponent_function = exponent_function
         self.assign_outliers = bool(assign_outliers)
-        self.engine = engine
+        self.engine = validate_engine_name(engine)
         self.neighbor_strategy = neighbor_strategy
         self.neighbor_block_size = neighbor_block_size
         self.link_strategy = link_strategy
@@ -591,6 +594,7 @@ class RockPipeline:
             "labeling_fraction": self.labeling_fraction,
             "assign_outliers": self.assign_outliers,
             "engine": self.engine,
+            "merge_counters": dict(rock_result.merge_counters),
         }
         if extra_parameters:
             parameters.update(extra_parameters)
@@ -1136,6 +1140,7 @@ class RockPipeline:
             link_strategy=self.link_strategy,
             include_self_links=self.include_self_links,
             refresh_threshold=refresh_threshold,
+            engine=self.engine,
             rng=self.rng,
         )
         session.bootstrap(clustered_sample, kept_clusters, item_index=item_index)
@@ -1257,6 +1262,7 @@ class RockPipeline:
             "link_strategy": self.link_strategy,
             "include_self_links": self.include_self_links,
             "refresh_threshold": refresh_threshold,
+            "engine": self.engine,
         }
 
     def _online_ingest_loop(self, session, store, state, batches) -> None:
@@ -1370,11 +1376,13 @@ class RockPipeline:
             "labeling_fraction": self.labeling_fraction,
             "assign_outliers": self.assign_outliers,
             "engine": self.engine,
+            "merge_counters": dict(state.rock_result.merge_counters),
             "online": True,
             "batch_size": state.batch_size,
             "sample_method": state.sample_method,
             "refresh_threshold": refresh_threshold,
             "n_refreshes": session.n_refreshes,
+            "refresh_merge_counters": dict(session.last_refresh_counters),
         }
         return RockPipelineResult(
             labels=final_labels,

@@ -5,24 +5,27 @@ matrix once, and then repeatedly merges the pair of clusters with the
 highest *goodness measure* until the requested number of clusters remains or
 no pair of clusters shares any links.
 
-Two agglomeration engines implement that loop, selected by the ``engine``
-parameter:
+The merge loop is implemented by pluggable agglomeration engines, selected
+by the ``engine`` parameter and registered in :mod:`repro.core.engines`:
 
-* ``"flat"`` (the default) — the array-backed engine of
-  :mod:`repro.core.engine`: contiguous NumPy partner stores, a tabulated
-  goodness normaliser and a single lazy-deletion global heap.  Roughly an
-  order of magnitude faster on the paper's workloads.
+* ``"arena"`` — the batch-recompute engine of
+  :mod:`repro.core.engine_arena`: heap-free best tracking over growable
+  scratch arenas, the fastest engine (what ``"auto"``, the default,
+  resolves to).
+* ``"flat"`` — the array-backed engine of :mod:`repro.core.engine`:
+  contiguous NumPy partner stores, a tabulated goodness normaliser and a
+  single lazy-deletion global heap.
 * ``"reference"`` — the direct transcription of the paper's pseudo-code
   below: dict-of-dicts link counts, per-cluster local heaps and a global
   heap, maintained incrementally so each merge costs ``O(n log n)`` in the
   worst case, matching the paper's ``O(n^2 log n)`` overall bound.
 
-The two engines produce bit-identical merge histories, labels and criterion
-values (enforced by the test suite and the engine benchmark); ``"flat"``
-should always be preferred, ``"reference"`` exists as the executable
-specification.  The neighbour and link phases have their own strategy knobs
-(``neighbor_strategy``, ``link_strategy``) documented in
-:mod:`repro.core.neighbors` and :mod:`repro.core.links`.
+Every engine produces bit-identical merge histories, labels and criterion
+values (enforced by the test suite and the engine benchmarks);
+``"reference"`` and ``"flat"`` exist as the executable specifications the
+faster engines are tested against.  The neighbour and link phases have
+their own strategy knobs (``neighbor_strategy``, ``link_strategy``)
+documented in :mod:`repro.core.neighbors` and :mod:`repro.core.links`.
 
 The public entry point is :class:`RockClustering`, a scikit-learn-flavoured
 estimator (``fit`` / ``fit_predict`` / ``labels_``) that accepts transaction
@@ -34,12 +37,20 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 
 import numpy as np
 from scipy import sparse
 
-from repro.core.engine import flat_agglomerate
+from repro.core.engines import (
+    DEFAULT_ENGINE,
+    REFERENCE_ENGINE,
+    AgglomerationEngine,
+    available_engines,
+    get_engine,
+    resolve_engine_name,
+    validate_engine_name,
+)
 from repro.core.goodness import (
     ExponentFunction,
     criterion_function,
@@ -59,8 +70,9 @@ from repro.errors import (
 from repro.similarity.base import SetSimilarity
 from repro.types import ClusterSummary, MergeStep
 
-#: Agglomeration engines accepted by :class:`RockClustering`.
-ENGINES = ("flat", "reference")
+#: Registered agglomeration engines, in registration order (``"auto"`` is
+#: additionally accepted everywhere an engine name is).
+ENGINES = tuple(available_engines())
 
 
 def as_transactions(data) -> list[frozenset]:
@@ -113,6 +125,10 @@ class RockResult:
     elapsed_seconds:
         Wall-clock time of the agglomeration (excluding neighbour/link
         computation, which is reported separately by the pipeline).
+    merge_counters:
+        Merge-loop observability counters reported by the engine (empty
+        for engines that do not instrument themselves — ``flat`` and
+        ``reference`` are frozen specs and stay uninstrumented).
     """
 
     labels: np.ndarray
@@ -123,6 +139,7 @@ class RockResult:
     theta: float
     stopped_early: bool
     elapsed_seconds: float = 0.0
+    merge_counters: dict = dataclass_field(default_factory=dict)
 
     def summaries(self) -> list[ClusterSummary]:
         """Return a :class:`ClusterSummary` per cluster, largest first."""
@@ -151,9 +168,11 @@ class RockClustering:
         Set-similarity measure; defaults to the Jaccard coefficient used in
         the paper.
     engine:
-        Agglomeration engine: ``"flat"`` (the default, the array-backed
-        engine of :mod:`repro.core.engine`) or ``"reference"`` (the paper's
-        pseudo-code transcription).  Both produce identical results.
+        Agglomeration engine: any name registered in
+        :mod:`repro.core.engines` (``"arena"``, ``"flat"``,
+        ``"reference"``) or ``"auto"`` (the default, resolving to the
+        fastest registered engine).  Every engine produces identical
+        results.
     neighbor_strategy:
         Passed to :func:`repro.core.neighbors.compute_neighbors`: a
         registered neighbour-backend name (``"bruteforce"``,
@@ -189,7 +208,7 @@ class RockClustering:
         n_clusters: int,
         theta: float = 0.5,
         measure: SetSimilarity | None = None,
-        engine: str = "flat",
+        engine: str = DEFAULT_ENGINE,
         neighbor_strategy: str = "auto",
         neighbor_block_size: int | None = None,
         link_strategy: str = "auto",
@@ -201,14 +220,10 @@ class RockClustering:
             raise ConfigurationError("n_clusters must be at least 1, got %r" % n_clusters)
         if not 0.0 <= float(theta) <= 1.0:
             raise ConfigurationError("theta must lie in [0, 1], got %r" % theta)
-        if engine not in ENGINES:
-            raise ConfigurationError(
-                "unknown engine %r; expected one of %s" % (engine, ", ".join(ENGINES))
-            )
         self.n_clusters = int(n_clusters)
         self.theta = float(theta)
         self.measure = measure
-        self.engine = engine
+        self.engine = validate_engine_name(engine)
         self.neighbor_strategy = neighbor_strategy
         self.neighbor_block_size = neighbor_block_size
         self.link_strategy = link_strategy
@@ -298,22 +313,36 @@ class RockClustering:
     # Agglomeration
     # ------------------------------------------------------------------ #
     def _agglomerate(self, links: sparse.csr_matrix, n_points: int) -> RockResult:
-        if self.engine == "reference":
+        name = resolve_engine_name(self.engine)
+        if name == REFERENCE_ENGINE:
+            # The frozen spec path stays dispatched in place (going through
+            # the registry adapter would build a second estimator).
             return self._agglomerate_reference(links, n_points)
-        return self._agglomerate_flat(links, n_points)
+        return self._agglomerate_registered(get_engine(name), links, n_points)
 
-    def _agglomerate_flat(self, links: sparse.csr_matrix, n_points: int) -> RockResult:
+    def _agglomerate_registered(
+        self,
+        engine: AgglomerationEngine,
+        links: sparse.csr_matrix,
+        n_points: int,
+    ) -> RockResult:
         start_time = time.perf_counter()
-        merge_history, members, stopped_early = flat_agglomerate(
+        run = engine.agglomerate(
             links,
             n_points,
             self.n_clusters,
             self.theta,
             self.exponent_function,
         )
-        self._check_strict(stopped_early, len(members))
+        self._check_strict(run.stopped_early, len(run.members))
         return self._build_result(
-            links, n_points, members, merge_history, stopped_early, start_time
+            links,
+            n_points,
+            run.members,
+            run.merge_history,
+            run.stopped_early,
+            start_time,
+            merge_counters=run.counters,
         )
 
     def _agglomerate_reference(
@@ -391,6 +420,7 @@ class RockClustering:
         merge_history: list[MergeStep],
         stopped_early: bool,
         start_time: float,
+        merge_counters: dict | None = None,
     ) -> RockResult:
         clusters = self._ordered_clusters(members)
         labels = np.full(n_points, -1, dtype=int)
@@ -410,6 +440,7 @@ class RockClustering:
             theta=self.theta,
             stopped_early=stopped_early,
             elapsed_seconds=elapsed,
+            merge_counters=dict(merge_counters or {}),
         )
 
     def _goodness(self, cross_links: int, size_left: int, size_right: int) -> float:

@@ -412,6 +412,10 @@ class ReproServer:
             "n_labeler_clusters": int(self.session.n_labeler_clusters),
             "n_ingested": int(self.session.n_ingested),
             "n_refreshes": int(self.session.n_refreshes),
+            "refresh_merge_counters": {
+                key: int(value)
+                for key, value in self.session.last_refresh_counters.items()
+            },
             "drift": float(self.session.drift),
             "n_evicted": int(self.n_evicted),
             "max_live_points": self.max_live_points,

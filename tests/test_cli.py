@@ -118,11 +118,17 @@ class TestEngineFlag:
         )
         assert arguments.engine == "reference"
 
-    def test_engine_defaults_to_flat(self, votes_csv):
+    def test_engine_defaults_to_auto(self, votes_csv):
         arguments = build_parser().parse_args(
             ["cluster", str(votes_csv), "--clusters", "2"]
         )
-        assert arguments.engine == "flat"
+        assert arguments.engine == "auto"
+
+    def test_arena_engine_accepted(self, votes_csv):
+        arguments = build_parser().parse_args(
+            ["cluster", str(votes_csv), "--clusters", "2", "--engine", "arena"]
+        )
+        assert arguments.engine == "arena"
 
     def test_unknown_engine_rejected(self, votes_csv):
         with pytest.raises(SystemExit):

@@ -108,11 +108,11 @@ class TestEngineEquivalence:
 
 
 class TestFlatEngineBehaviour:
-    def test_flat_is_the_default_engine(self):
-        assert RockClustering(n_clusters=2).engine == "flat"
+    def test_auto_is_the_default_engine(self):
+        assert RockClustering(n_clusters=2).engine == "auto"
 
     def test_engines_constant(self):
-        assert ENGINES == ("flat", "reference")
+        assert ENGINES == ("flat", "reference", "arena")
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):

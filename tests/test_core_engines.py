@@ -1,0 +1,333 @@
+"""Tests for repro.core.engines (the agglomeration-engine registry) and
+the arena engine's bit-identity contract.
+
+``test_core_engine.py`` pins the flat engine against the reference spec;
+this file pins the registry itself (names, normalisation, registration
+errors, ``auto`` selection) and the arena engine against the flat spec —
+exact :class:`~repro.types.MergeStep` histories including goodness floats
+and tie-break order, surviving memberships, early-stop parity, and the
+merge-loop counters surfaced through the model, the pipeline, the
+incremental session and the serve ``status`` verb.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.core.engine import flat_agglomerate
+from repro.core.engine_arena import ArenaAgglomerationEngine, arena_agglomerate
+from repro.core.engines import (
+    ARENA_ENGINE,
+    AUTO_ENGINE,
+    DEFAULT_ENGINE,
+    FLAT_ENGINE,
+    REFERENCE_ENGINE,
+    available_engines,
+    engine_choices,
+    get_engine,
+    normalize_engine_name,
+    register_engine,
+    resolve_engine_name,
+    select_engine_name,
+    validate_engine_name,
+)
+from repro.core.incremental import IncrementalRock
+from repro.core.links import links_from_neighbors
+from repro.core.neighbors import compute_neighbors
+from repro.core.pipeline import RockPipeline
+from repro.core.rock import RockClustering
+from repro.datasets.market_basket import generate_market_baskets
+from repro.errors import ConfigurationError
+
+
+def _random_transactions(rng, n, universe):
+    return [
+        frozenset(
+            rng.choice(universe, size=int(rng.integers(1, 7)), replace=False).tolist()
+        )
+        for _ in range(n)
+    ]
+
+
+def _links_for(transactions, theta):
+    return links_from_neighbors(compute_neighbors(transactions, theta=theta))
+
+
+def _random_links(seed: int, n: int, density: float, max_count: int):
+    """A random symmetric int64 link matrix with deliberately tied counts."""
+    rng = np.random.default_rng(seed)
+    dense = rng.integers(0, max_count + 1, size=(n, n))
+    dense *= rng.random((n, n)) < density
+    dense = np.triu(dense, k=1)
+    dense = dense + dense.T
+    return sparse.csr_matrix(dense.astype(np.int64))
+
+
+def assert_arena_matches_flat(links, n, n_clusters, theta, exponent_function=None):
+    flat = flat_agglomerate(links, n, n_clusters, theta, exponent_function)
+    arena = arena_agglomerate(links, n, n_clusters, theta, exponent_function)
+    assert arena[0] == flat[0]  # MergeStep history, goodness floats included
+    assert arena[1] == flat[1]  # surviving memberships
+    assert arena[2] == flat[2]  # early-stop flag
+    return arena
+
+
+class _DummyEngine:
+    def __init__(self, name):
+        self.name = name
+
+    def agglomerate(self, links, n_points, n_clusters, theta, exponent_function=None):
+        raise NotImplementedError
+
+
+class TestRegistry:
+    def test_registration_order(self):
+        assert available_engines() == [FLAT_ENGINE, REFERENCE_ENGINE, ARENA_ENGINE]
+
+    def test_engine_choices_lead_with_auto(self):
+        assert engine_choices() == [
+            AUTO_ENGINE,
+            FLAT_ENGINE,
+            REFERENCE_ENGINE,
+            ARENA_ENGINE,
+        ]
+
+    def test_default_engine_is_auto(self):
+        assert DEFAULT_ENGINE == AUTO_ENGINE
+
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [("  Arena ", "arena"), ("FLAT", "flat"), ("my_engine", "my-engine")],
+    )
+    def test_normalization(self, raw, expected):
+        assert normalize_engine_name(raw) == expected
+
+    def test_get_engine_normalizes(self):
+        assert get_engine(" ARENA ").name == ARENA_ENGINE
+
+    def test_registered_engines_report_their_names(self):
+        for name in available_engines():
+            assert get_engine(name).name == name
+
+    def test_unknown_engine_message_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="auto, flat, reference, arena"):
+            get_engine("warp")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            register_engine(_DummyEngine("  "))
+
+    def test_auto_name_reserved(self):
+        with pytest.raises(ConfigurationError, match="reserved"):
+            register_engine(_DummyEngine("auto"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_engine(_DummyEngine("flat"))
+
+    def test_auto_resolves_to_arena(self):
+        assert select_engine_name() == ARENA_ENGINE
+        assert resolve_engine_name(AUTO_ENGINE) == ARENA_ENGINE
+        assert resolve_engine_name(" Auto ") == ARENA_ENGINE
+        # Validation keeps auto symbolic: only resolution makes it concrete.
+        assert validate_engine_name(AUTO_ENGINE) == AUTO_ENGINE
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            validate_engine_name("warp")
+
+
+class TestArenaBitIdentity:
+    @pytest.mark.parametrize("theta", [0.0, 0.25, 0.5, 0.75])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_theta_grid_bit_identical(self, theta, seed):
+        rng = np.random.default_rng(seed)
+        transactions = _random_transactions(rng, n=70, universe=20)
+        links = _links_for(transactions, theta)
+        assert_arena_matches_flat(links, len(transactions), 4, theta)
+
+    def test_theta_one_linkless_early_stop(self):
+        # At theta = 1 distinct transactions have no neighbours: both
+        # engines must stop before the first merge, identically.
+        transactions = [frozenset({i, i + 1}) for i in range(10)]
+        links = _links_for(transactions, 1.0)
+        arena = assert_arena_matches_flat(links, len(transactions), 3, 1.0)
+        assert arena[2] is True and not arena[0]
+
+    def test_theta_one_with_links_raises_like_flat(self):
+        # A nonzero link at theta = 1 hits the vanishing goodness
+        # denominator; the arena engine must refuse with the flat engine's
+        # exact message (it shares the seed's limitation on purpose).
+        links = sparse.csr_matrix(np.array([[0, 2], [2, 0]], dtype=np.int64))
+        with pytest.raises(ZeroDivisionError) as flat_err:
+            flat_agglomerate(links, 2, 1, 1.0)
+        with pytest.raises(ZeroDivisionError) as arena_err:
+            arena_agglomerate(links, 2, 1, 1.0)
+        assert str(arena_err.value) == str(flat_err.value)
+
+    def test_custom_exponent_non_positive_goodness_stops_early_identically(self):
+        # 1 + 2 f(theta) < 1 makes every denominator negative, so the best
+        # goodness is never positive and both engines stop before the
+        # first merge.
+        rng = np.random.default_rng(11)
+        transactions = _random_transactions(rng, n=30, universe=12)
+        links = _links_for(transactions, 0.4)
+        arena = assert_arena_matches_flat(
+            links, len(transactions), 1, 0.4, exponent_function=lambda theta: -0.5
+        )
+        assert arena[2] is True and not arena[0]
+
+    def test_custom_exponent_bit_identical(self):
+        rng = np.random.default_rng(23)
+        transactions = _random_transactions(rng, n=50, universe=15)
+        links = _links_for(transactions, 0.5)
+        assert_arena_matches_flat(
+            links,
+            len(transactions),
+            3,
+            0.5,
+            exponent_function=lambda theta: 0.5 * (1.0 - theta),
+        )
+
+    def test_tie_break_order_bit_identical(self):
+        # A chain whose links all carry the same count produces long runs
+        # of exactly equal goodness; the winner must be the same
+        # (goodness, cluster-id) order the flat heap yields.
+        n = 12
+        dense = np.zeros((n, n), dtype=np.int64)
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = 1
+        links = sparse.csr_matrix(dense)
+        arena = assert_arena_matches_flat(links, n, 2, 0.5)
+        assert len(arena[0]) > 0
+
+    def test_all_duplicate_transactions_bit_identical(self):
+        transactions = [frozenset({1, 2, 3})] * 8
+        links = _links_for(transactions, 0.5)
+        assert_arena_matches_flat(links, len(transactions), 1, 0.5)
+
+
+class TestArenaDegenerates:
+    def test_empty_links_stops_early(self):
+        links = sparse.csr_matrix((4, 4), dtype=np.int64)
+        history, members, stopped_early, counters = arena_agglomerate(
+            links, 4, 1, 0.5
+        )
+        assert not history
+        assert len(members) == 4
+        assert stopped_early
+        assert counters["merges"] == 0
+        assert_arena_matches_flat(links, 4, 1, 0.5)
+
+    def test_n_clusters_at_or_above_n_merges_nothing(self):
+        rng = np.random.default_rng(3)
+        transactions = _random_transactions(rng, n=6, universe=8)
+        links = _links_for(transactions, 0.3)
+        for n_clusters in (6, 9):
+            arena = assert_arena_matches_flat(links, 6, n_clusters, 0.3)
+            assert arena[0] == [] and arena[2] is False
+
+    def test_single_point(self):
+        links = sparse.csr_matrix((1, 1), dtype=np.int64)
+        assert_arena_matches_flat(links, 1, 1, 0.5)
+
+    def test_unsorted_unsymmetric_input_canonicalised(self):
+        rng = np.random.default_rng(7)
+        transactions = _random_transactions(rng, n=40, universe=12)
+        links = _links_for(transactions, 0.4)
+        upper = sparse.triu(links, k=1).tocoo()
+        order = np.random.default_rng(0).permutation(upper.nnz)
+        scrambled = sparse.coo_matrix(
+            (upper.data[order], (upper.row[order], upper.col[order])),
+            shape=upper.shape,
+        ).tocsr()
+        baseline = arena_agglomerate(links, 40, 3, 0.4)
+        assert arena_agglomerate(scrambled, 40, 3, 0.4)[0] == baseline[0]
+
+    def test_engine_class_runs_standalone(self):
+        rng = np.random.default_rng(5)
+        transactions = _random_transactions(rng, n=30, universe=10)
+        links = _links_for(transactions, 0.4)
+        engine = ArenaAgglomerationEngine(links, 30, 3, 0.4)
+        history, members, stopped_early, counters = engine.run()
+        flat = flat_agglomerate(links, 30, 3, 0.4)
+        assert (history, members, stopped_early) == flat
+        assert counters["merges"] == len(history)
+
+
+class TestArenaFlatProperty:
+    @settings(deadline=None, max_examples=80)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=2, max_value=28),
+        density=st.floats(min_value=0.05, max_value=0.9),
+        max_count=st.integers(min_value=1, max_value=4),
+        theta=st.floats(min_value=0.05, max_value=0.95),
+        k_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_arena_matches_flat_on_random_link_matrices(
+        self, seed, n, density, max_count, theta, k_fraction
+    ):
+        links = _random_links(seed, n, density, max_count)
+        n_clusters = max(1, int(round(k_fraction * n)))
+        assert_arena_matches_flat(links, n, n_clusters, theta)
+
+
+class TestFullModelParity:
+    def test_all_registry_engines_identical_end_to_end(self):
+        dataset = generate_market_baskets(n_transactions=150, rng=9)
+        results = {}
+        for engine in engine_choices():
+            model = RockClustering(n_clusters=4, theta=0.5, engine=engine)
+            results[engine] = model.fit(dataset.transactions).result_
+        baseline = results[FLAT_ENGINE]
+        for engine, result in results.items():
+            assert result.merge_history == baseline.merge_history, engine
+            assert np.array_equal(result.labels, baseline.labels), engine
+            assert result.clusters == baseline.clusters, engine
+            assert result.stopped_early == baseline.stopped_early, engine
+
+
+class TestCountersExposure:
+    def test_merge_counters_flow_through_model_pipeline_session_and_serve(
+        self, tmp_path
+    ):
+        # One end-to-end assertion chain: the arena engine's merge-loop
+        # counters must surface at every observability layer.
+        dataset = generate_market_baskets(n_transactions=120, rng=4)
+        transactions = dataset.transactions
+
+        # Model level (auto resolves to arena, so counters are on).
+        model = RockClustering(n_clusters=4, theta=0.5).fit(transactions)
+        counters = model.result_.merge_counters
+        assert counters["merges"] == len(model.result_.merge_history)
+        assert counters["frontier_max"] >= 0
+
+        # An uninstrumented engine reports no counters rather than fakes.
+        flat_model = RockClustering(
+            n_clusters=4, theta=0.5, engine=FLAT_ENGINE
+        ).fit(transactions)
+        assert flat_model.result_.merge_counters == {}
+
+        # Pipeline level: the run parameters carry the same counters.
+        result = RockPipeline(n_clusters=4, theta=0.5).run(transactions)
+        assert result.parameters["merge_counters"]["merges"] >= 1
+
+        # Session level: a forced refresh records its own loop counters.
+        session = IncrementalRock(n_clusters=4, theta=0.5, rng=0)
+        session.bootstrap(transactions, model.clusters_)
+        assert session.last_refresh_counters == {}
+        session.refresh()
+        assert session.last_refresh_counters["merges"] >= 0
+        assert set(session.last_refresh_counters) == set(counters)
+
+        # Serve level: the status verb republishes the session's counters.
+        from repro.serve.server import ReproServer
+
+        server = ReproServer.create(session, tmp_path / "snap")
+        status = server._handle_status()
+        assert (
+            status["refresh_merge_counters"] == session.last_refresh_counters
+        )

@@ -173,11 +173,19 @@ class TestPhaseRegressionChecks:
         from repro.bench.perf_gate import gate_against_baseline
 
         baseline_path = tmp_path / "BENCH_engine.json"
+        # Rows must account for the reference engine explicitly now
+        # (reference_skipped), or the accounting check fires first.
         baseline_path.write_text(json.dumps(
-            _payload([{"n": 500, "agglomerate_flat_s": 1.0, "label_s": 1.0}])
+            _payload([{
+                "n": 500, "agglomerate_flat_s": 1.0, "label_s": 1.0,
+                "reference_skipped": True,
+            }])
         ))
         current = _payload([
-            {"n": 500, "agglomerate_flat_s": 1.0, "label_s": 2.0}
+            {
+                "n": 500, "agglomerate_flat_s": 1.0, "label_s": 2.0,
+                "reference_skipped": True,
+            }
         ])
         violations = gate_against_baseline(current, baseline_path)
         assert len(violations) == 1
@@ -280,3 +288,87 @@ class TestPerMetricSlack:
         assert check_phase_regressions(
             current, baseline, slack_seconds=0.05
         ) == []
+
+
+class TestReferenceAccounting:
+    """check_reference_accounting: reference metrics must never go missing
+    silently — a row either records them or marks reference_skipped."""
+
+    def _row(self, **extra):
+        return {"n": 4000, "agglomerate_flat_s": 1.0, **extra}
+
+    def test_metrics_present_passes(self):
+        from repro.bench.perf_gate import check_reference_accounting
+
+        payload = _payload([
+            self._row(agglomerate_reference_s=5.0, agglomerate_speedup=5.0)
+        ])
+        assert check_reference_accounting(payload) == []
+
+    def test_marker_without_metrics_passes(self):
+        from repro.bench.perf_gate import check_reference_accounting
+
+        payload = _payload([self._row(reference_skipped=True)])
+        assert check_reference_accounting(payload) == []
+
+    def test_silent_omission_flagged(self):
+        from repro.bench.perf_gate import check_reference_accounting
+
+        violations = check_reference_accounting(_payload([self._row()]))
+        assert len(violations) == 1
+        assert "n=4000" in violations[0]
+        assert "reference_skipped" in violations[0]
+
+    def test_partial_metrics_flagged(self):
+        from repro.bench.perf_gate import check_reference_accounting
+
+        violations = check_reference_accounting(
+            _payload([self._row(agglomerate_reference_s=5.0)])
+        )
+        assert len(violations) == 1
+        assert "agglomerate_speedup" in violations[0]
+
+    def test_marker_metric_contradiction_flagged(self):
+        from repro.bench.perf_gate import check_reference_accounting
+
+        violations = check_reference_accounting(
+            _payload([
+                self._row(
+                    reference_skipped=True,
+                    agglomerate_reference_s=5.0,
+                    agglomerate_speedup=5.0,
+                )
+            ])
+        )
+        assert len(violations) == 1
+        assert "marks reference_skipped but records" in violations[0]
+
+    def test_gate_against_baseline_runs_accounting(self, tmp_path):
+        # A baseline whose large row silently lost its reference metrics is
+        # rejected loudly instead of being half-gated.
+        baseline_path = tmp_path / "BENCH_engine.json"
+        baseline_path.write_text(
+            json.dumps(_payload([self._row()])), encoding="utf-8"
+        )
+        current = _payload([
+            self._row(agglomerate_reference_s=5.0, agglomerate_speedup=5.0)
+        ])
+        violations = gate_against_baseline(current, baseline_path)
+        assert any("baseline" in v and "reference_skipped" in v for v in violations)
+
+    def test_arena_metric_is_gated(self):
+        from repro.bench.perf_gate import DEFAULT_PHASE_METRICS, DEFAULT_PHASE_SLACKS
+
+        assert "agglomerate_arena_s" in DEFAULT_PHASE_METRICS
+        assert "agglomerate_arena_s" in DEFAULT_PHASE_SLACKS
+
+    def test_committed_baseline_accounts_for_every_row(self):
+        from pathlib import Path
+
+        from repro.bench.perf_gate import (
+            BASELINE_FILENAME,
+            check_reference_accounting,
+        )
+
+        path = Path(__file__).resolve().parents[1] / BASELINE_FILENAME
+        assert check_reference_accounting(load_bench(path)) == []
