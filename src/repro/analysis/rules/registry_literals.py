@@ -50,6 +50,13 @@ NAME_REGISTRIES: tuple[NameRegistry, ...] = (
         home_prefixes=("repro.core.sharding",),
     ),
     NameRegistry(
+        label="shard executor",
+        # "auto" is deliberately unregistered, like the neighbour
+        # registry: it is a resolution request, not an executor.
+        names=frozenset({"thread", "process"}),
+        home_prefixes=("repro.core.sharding",),
+    ),
+    NameRegistry(
         label="labeling strategy",
         names=frozenset({"sparse-matmul", "bruteforce"}),
         home_prefixes=("repro.core.labeling",),

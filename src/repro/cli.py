@@ -17,8 +17,11 @@ batch by batch (``--batch-size``), keeping peak memory bounded by the
 sample plus one batch while producing the same labels as an in-memory run.
 With ``--shards N`` (N > 1; implies the out-of-core mode) the clustering
 phase itself is sharded: every shard clusters its own slice of the sample
-(``--shard-workers`` threads in parallel), the per-shard cluster summaries
-are merged, and the file is labelled against the merged clustering.  With
+(``--shard-workers`` in parallel — threads by default, or spawn-based
+processes with ``--shard-executor process``; failed workers are retried
+``--shard-retries`` times), the per-shard cluster summaries are merged
+(flat, or hierarchically with ``--merge-fan-in``), and the file is
+labelled against the merged clustering.  With
 ``--online`` the file is *ingested* through the incremental engine
 (:mod:`repro.core.incremental`): every batch is labelled and spliced into
 a live clustering, and ``--refresh-threshold`` bounds its drift by
@@ -41,7 +44,13 @@ from repro.bench.harness import available_experiments, get_experiment
 from repro.core.neighbors import DEFAULT_NEIGHBOR_STRATEGY, neighbor_strategies
 from repro.core.pipeline import RockPipeline, rock_cluster
 from repro.core.engines import DEFAULT_ENGINE, engine_choices
-from repro.core.sharding import DEFAULT_SHARD_STRATEGY, SHARD_STRATEGIES
+from repro.core.sharding import (
+    AUTO_SHARD_EXECUTOR,
+    DEFAULT_SHARD_EXECUTOR,
+    DEFAULT_SHARD_STRATEGY,
+    SHARD_EXECUTORS,
+    SHARD_STRATEGIES,
+)
 from repro.data.encoding import records_to_transactions
 from repro.data.io import (
     atomic_write_text,
@@ -207,8 +216,12 @@ def _command_cluster_streaming(arguments) -> int:
             batch_size=arguments.batch_size,
             shard_workers=arguments.shard_workers,
             shard_strategy=arguments.shard_strategy,
+            shard_executor=arguments.shard_executor,
+            shard_retries=arguments.shard_retries,
+            merge_fan_in=arguments.merge_fan_in,
             label_prefix=arguments.label_prefix,
         )
+        mode += ", %s" % result.parameters["shard_executor"]
     elif arguments.online:
         result = pipeline.run_online(
             arguments.path,
@@ -230,6 +243,15 @@ def _command_cluster_streaming(arguments) -> int:
     print("%d records -> %d clusters (%d outliers) in %.2fs [%s, batch=%d]" % (
         len(result.labels), result.n_clusters, result.n_outliers,
         result.timings["total"], mode, arguments.batch_size))
+    skipped = result.parameters.get("skipped_shards") or []
+    if skipped:
+        # A degraded run must be visible in the summary, not only in the
+        # RuntimeWarning (which a redirected stderr can swallow) or the
+        # parameters dict (which the CLI does not print).
+        print(
+            "WARNING: degraded run - %d shard(s) skipped after worker "
+            "failures: %s" % (len(skipped), ", ".join(str(s) for s in skipped))
+        )
     labels = None
     if arguments.label_prefix:
         collected = read_transaction_labels(
@@ -490,7 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--shard-workers", type=int, default=None,
-        help="threads clustering shards concurrently (default: serial; the "
+        help="workers clustering shards concurrently (default: serial; the "
              "worker count never changes the result)",
     )
     cluster.add_argument(
@@ -498,6 +520,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_SHARD_STRATEGY,
         help="how stream positions map to shards (round-robin, contiguous "
              "blocks, or a stable content hash)",
+    )
+    cluster.add_argument(
+        "--shard-executor",
+        choices=[*SHARD_EXECUTORS, AUTO_SHARD_EXECUTOR],
+        default=DEFAULT_SHARD_EXECUTOR,
+        help="run shard workers as threads (default), as spawn-based "
+             "processes attaching the shard incidence from shared memory "
+             "(escapes the GIL; labels are bit-identical either way), or "
+             "pick automatically from the worker count and CPU count",
+    )
+    cluster.add_argument(
+        "--shard-retries", type=int, default=1,
+        help="re-attempts for a failed shard worker before the shard is "
+             "skipped (a retried shard reproduces the fault-free result "
+             "bit-identically; default: 1)",
+    )
+    cluster.add_argument(
+        "--merge-fan-in", type=int, default=None,
+        help="merge per-shard summaries hierarchically, at most N shard "
+             "groups per agglomeration level (default: one flat merge)",
     )
     cluster.add_argument("--output", default=None, help="write per-record labels to this file")
     cluster.set_defaults(handler=_command_cluster)

@@ -76,16 +76,24 @@ from repro.core.outliers import drop_small_clusters, isolated_point_mask
 from repro.core.pipeline import RockPipeline, RockPipelineResult, rock_cluster
 from repro.core.rock import ENGINES, RockClustering, RockResult
 from repro.core.sampling import chernoff_sample_size, draw_sample, reservoir_sample
+from repro.core.shard_worker import ShardWorkerConfig
 from repro.core.sharding import (
+    ADAPTIVE_REPRESENTATIVES,
+    AUTO_SHARD_EXECUTOR,
+    DEFAULT_SHARD_EXECUTOR,
     DEFAULT_SHARD_STRATEGY,
+    PROCESS_SHARD_EXECUTOR,
+    SHARD_EXECUTORS,
     SHARD_STRATEGIES,
     ShardClusterResult,
     ShardPlan,
     ShardRunResults,
     SummaryMergeResult,
+    adaptive_representative_bounds,
     allocate_sample_sizes,
     cluster_shards,
     merge_shard_summaries,
+    resolve_shard_executor,
     stable_shard_hash,
 )
 
@@ -134,14 +142,22 @@ __all__ = [
     "chernoff_sample_size",
     "draw_sample",
     "reservoir_sample",
+    "ADAPTIVE_REPRESENTATIVES",
+    "AUTO_SHARD_EXECUTOR",
+    "DEFAULT_SHARD_EXECUTOR",
     "DEFAULT_SHARD_STRATEGY",
+    "PROCESS_SHARD_EXECUTOR",
+    "SHARD_EXECUTORS",
     "SHARD_STRATEGIES",
     "ShardClusterResult",
     "ShardPlan",
     "ShardRunResults",
+    "ShardWorkerConfig",
     "SummaryMergeResult",
+    "adaptive_representative_bounds",
     "allocate_sample_sizes",
     "cluster_shards",
     "merge_shard_summaries",
+    "resolve_shard_executor",
     "stable_shard_hash",
 ]

@@ -62,7 +62,9 @@ from repro.core.neighbors import compute_neighbors
 from repro.core.outliers import drop_small_clusters, partition_isolated_points
 from repro.core.rock import RockClustering, RockResult, as_transactions
 from repro.core.sampling import draw_sample, reservoir_sample
+from repro.core.shard_worker import ShardWorkerConfig
 from repro.core.sharding import (
+    DEFAULT_SHARD_EXECUTOR,
     DEFAULT_SHARD_STRATEGY,
     HASH_SHARD_STRATEGY,
     SHARD_STRATEGIES,
@@ -73,6 +75,7 @@ from repro.core.sharding import (
     cluster_shards,
     count_shard_sizes,
     merge_shard_summaries,
+    resolve_shard_executor,
 )
 from repro.data.encoding import build_item_index
 from repro.data.io import iter_transactions
@@ -1404,7 +1407,10 @@ class RockPipeline:
         batch_size: int = 1024,
         shard_workers: int | None = None,
         shard_strategy: str = DEFAULT_SHARD_STRATEGY,
-        representatives_per_cluster: int = 16,
+        shard_executor: str = DEFAULT_SHARD_EXECUTOR,
+        shard_retries: int = 1,
+        merge_fan_in: int | None = None,
+        representatives_per_cluster: int | str = 16,
         delimiter: str | None = None,
         label_prefix: str | None = None,
     ) -> RockPipelineResult:
@@ -1440,16 +1446,38 @@ class RockPipeline:
         batch_size:
             Transactions per labelling batch (see :meth:`run_streaming`).
         shard_workers:
-            Maximum number of threads clustering shards concurrently;
-            ``None`` or ``1`` clusters serially.  Shard clustering consumes
-            no shared random state, so the worker count never changes the
-            result.
+            Maximum number of workers clustering shards concurrently;
+            ``None`` or ``1`` clusters serially on the thread executor.
+            Shard clustering consumes no shared random state, so the
+            worker count never changes the result.
         shard_strategy:
             Partitioning strategy — ``"round-robin"`` (default),
             ``"contiguous"`` or ``"hash"``; see :class:`ShardPlan`.
+        shard_executor:
+            ``"thread"`` (default), ``"process"`` or ``"auto"`` — see
+            :func:`repro.core.sharding.resolve_shard_executor`.  The
+            process executor escapes the GIL by clustering shards in
+            spawn-based worker processes that attach each shard's
+            incidence from shared memory; its labels are bit-identical to
+            the thread executor's on the same data and seed.
+        shard_retries:
+            How many times a failed shard worker is re-attempted before
+            the shard is skipped (degraded run) or, in ``strict`` mode,
+            the run fails.  A shard that fails and then succeeds on a
+            retry yields labels bit-identical to a fault-free run: the
+            shard's sample (and every random draw) happened before the
+            worker started.
+        merge_fan_in:
+            When set (at least 2), the summary merge is hierarchical:
+            per-shard summary groups are merged ``merge_fan_in`` units at
+            a time, then groups of groups, until one final merge produces
+            the global clusters (see :func:`merge_shard_summaries`).
+            ``None`` keeps the flat merge.
         representatives_per_cluster:
             Upper bound on the member transactions each per-shard cluster
-            contributes to the summary-merge link estimate.
+            contributes to the summary-merge link estimate, or
+            ``"auto"`` for a per-summary adaptive budget
+            (:func:`repro.core.sharding.adaptive_representative_bounds`).
         delimiter, label_prefix:
             Parse options for a file-path ``source`` (see
             :meth:`run_streaming`).
@@ -1485,6 +1513,16 @@ class RockPipeline:
                 "unknown shard strategy %r; expected one of %s"
                 % (shard_strategy, ", ".join(SHARD_STRATEGIES))
             )
+        worker_config = ShardWorkerConfig.from_pipeline(self)
+        # Resolved here (not just in cluster_shards) so an unknown name
+        # fails fast on every path and the resolved choice is reportable.
+        resolved_executor = resolve_shard_executor(
+            shard_executor, shard_workers, worker_config
+        )
+        if shard_retries < 0:
+            raise ConfigurationError(
+                "shard_retries must be non-negative, got %r" % shard_retries
+            )
         if n_shards == 1:
             # One shard degenerates to the streaming pipeline; reusing that
             # code path verbatim is what makes the 1-shard determinism
@@ -1501,6 +1539,9 @@ class RockPipeline:
                     "n_shards": 1,
                     "shard_strategy": shard_strategy,
                     "shard_workers": shard_workers,
+                    "shard_executor": resolved_executor,
+                    "shard_retries": int(shard_retries),
+                    "merge_fan_in": merge_fan_in,
                 }
             )
             return result
@@ -1584,7 +1625,13 @@ class RockPipeline:
             )
 
         shard_results = cluster_shards(
-            shard_samples, cluster_one, shard_workers, strict=self.strict
+            shard_samples,
+            cluster_one,
+            shard_workers,
+            retries=shard_retries,
+            strict=self.strict,
+            executor=resolved_executor,
+            worker_config=worker_config,
         )
         timings["neighbors"] = sum(
             result.timings.get("neighbors", 0.0) for result in shard_results
@@ -1595,14 +1642,19 @@ class RockPipeline:
         pooled_sample: list[frozenset] = []
         pooled_positions: list[int] = []
         summaries: list[tuple] = []
+        summary_groups: list[list[int]] = []
         for result in shard_results:
             offset = len(pooled_sample)
+            first_summary = len(summaries)
             pooled_sample.extend(result.clustered_sample)
             pooled_positions.extend(result.clustered_positions)
             summaries.extend(
                 tuple(offset + member for member in cluster)
                 for cluster in result.clusters
             )
+            # One level-0 unit per surviving shard: the hierarchical merge
+            # combines shard groups, then groups of groups.
+            summary_groups.append(list(range(first_summary, len(summaries))))
         item_index = build_item_index(pooled_sample)
         merge = merge_shard_summaries(
             pooled_sample,
@@ -1618,6 +1670,8 @@ class RockPipeline:
             link_strategy=self.link_strategy,
             include_self_links=self.include_self_links,
             item_index=item_index,
+            fan_in=merge_fan_in,
+            summary_groups=summary_groups if merge_fan_in is not None else None,
         )
         if merge.stopped_early and self.strict:
             raise InsufficientLinksError(
@@ -1699,8 +1753,16 @@ class RockPipeline:
                 "n_shards": n_shards,
                 "shard_strategy": shard_strategy,
                 "shard_workers": shard_workers,
+                "shard_executor": resolved_executor,
+                "shard_retries": int(shard_retries),
+                "merge_fan_in": merge_fan_in,
+                "merge_levels": merge.levels,
                 "batch_size": int(batch_size),
-                "representatives_per_cluster": int(representatives_per_cluster),
+                "representatives_per_cluster": (
+                    representatives_per_cluster
+                    if isinstance(representatives_per_cluster, str)
+                    else int(representatives_per_cluster)
+                ),
                 "skipped_shards": list(shard_results.skipped_shards),
             },
         )

@@ -18,12 +18,17 @@ Three pieces compose the subsystem:
   ``n_shards``), ``"contiguous"`` (equal-width position blocks) or
   ``"hash"`` (a stable content hash, so identical baskets always land in
   the same shard regardless of position).
-* :func:`cluster_shards` — runs a caller-supplied clustering function over
-  every shard sample, serially or through a
-  :class:`concurrent.futures.ThreadPoolExecutor`.  Results are returned in
-  shard order whatever the completion order, and shard clustering is
-  deterministic (no random state is consumed inside workers), so the worker
-  count never changes the outcome.
+* :func:`cluster_shards` — runs the per-shard clustering over every shard
+  sample, serially, through a
+  :class:`concurrent.futures.ThreadPoolExecutor`, or (``executor=
+  "process"``) through a spawn-based
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers attach
+  each shard's incidence structure from shared memory
+  (:class:`repro.data.encoding.SharedIncidence`) instead of unpickling
+  per-shard transaction copies.  Results are returned in shard order
+  whatever the completion order, and shard clustering is deterministic
+  (no random state is consumed inside workers), so neither the worker
+  count nor the executor choice ever changes the outcome.
 * :func:`merge_shard_summaries` — the summary-merge agglomeration.  Each
   per-shard cluster becomes one meta-point whose size is the *full* shard
   cluster size and whose link mass towards other meta-points is estimated
@@ -35,7 +40,12 @@ Three pieces compose the subsystem:
   greedy loop then repeatedly merges the pair of summaries with the
   highest paper goodness ``g(C_i, C_j)`` (true summary sizes in the
   normaliser) until the requested number of global clusters remains or no
-  positively-linked pair is left.
+  positively-linked pair is left.  With ``fan_in`` set, the merge is
+  *hierarchical* in the map-reduce aggregation shape: units of at most
+  ``fan_in`` shard groups are flat-merged first, the merged groups become
+  the units of the next level, and so on until one final flat merge
+  produces the global clusters — so no single agglomeration ever sees
+  more than ``fan_in`` units' worth of summaries at once.
 
 The pipeline entry point is
 :meth:`repro.core.pipeline.RockPipeline.run_sharded`, which wires sharding
@@ -49,17 +59,24 @@ Determinism
   on the same data and seed (enforced by the test suite).
 * Multi-shard runs are seed-reproducible: per-shard sample draws and the
   representative selection derive from the pipeline generator in a fixed
-  order, shard workers never touch random state, and every tie in the
-  summary merge breaks by meta-point id.
+  order, shard workers never touch random state (thread, process or
+  serial — the executor choice is invisible to the labels), and every tie
+  in the summary merge breaks by meta-point id.  A hierarchical merge
+  consumes the same generator in deterministic level order, and a
+  ``fan_in`` at or above the number of units degenerates to the flat
+  merge bit-identically.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import warnings
 from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy import sparse
@@ -76,6 +93,9 @@ from repro.persistence import failpoints
 from repro.similarity.base import SetSimilarity
 from repro.types import MergeStep
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.shard_worker import ShardWorkerConfig
+
 #: Partitioning strategies accepted by :class:`ShardPlan`.
 SHARD_STRATEGIES = ("round-robin", "contiguous", "hash")
 
@@ -88,6 +108,53 @@ DEFAULT_SHARD_STRATEGY = SHARD_STRATEGIES[0]
 #: (hash partitioning needs a counting pass over the stream) without
 #: spelling the registry name as a drifting literal (REG001).
 HASH_SHARD_STRATEGY = SHARD_STRATEGIES[2]
+
+#: Shard executors accepted by :func:`cluster_shards` (a REG001 name
+#: registry — layers above import these constants instead of spelling
+#: the names).  ``"thread"`` shares the interpreter (cheap, GIL-bound);
+#: ``"process"`` runs the spawn-safe :mod:`repro.core.shard_worker` in a
+#: :class:`~concurrent.futures.ProcessPoolExecutor` with the shard
+#: incidence published through shared memory.
+SHARD_EXECUTORS = ("thread", "process")
+
+#: Executor used when none is requested.
+DEFAULT_SHARD_EXECUTOR = SHARD_EXECUTORS[0]
+
+#: The process executor; exported for the same REG001 reason as
+#: :data:`HASH_SHARD_STRATEGY`.
+PROCESS_SHARD_EXECUTOR = SHARD_EXECUTORS[1]
+
+#: Pseudo-executor resolving to a concrete one at run time (see
+#: :func:`resolve_shard_executor`); kept out of :data:`SHARD_EXECUTORS`
+#: like the neighbour registry keeps ``"auto"`` out of its backends.
+AUTO_SHARD_EXECUTOR = "auto"
+
+
+def resolve_shard_executor(
+    executor: str,
+    shard_workers: int | None = None,
+    worker_config: "ShardWorkerConfig | None" = None,
+) -> str:
+    """Resolve an executor request to a concrete :data:`SHARD_EXECUTORS` name.
+
+    ``"auto"`` picks the process executor only when it can pay off:
+    a worker config is available (the process path cannot run an
+    arbitrary ``cluster_one``), more than one worker was requested, and
+    the machine has more than one CPU.  Everything else resolves to the
+    thread executor.  Concrete names pass through after validation.
+    """
+    if executor == AUTO_SHARD_EXECUTOR:
+        if worker_config is None or shard_workers is None or int(shard_workers) <= 1:
+            return DEFAULT_SHARD_EXECUTOR
+        if (os.cpu_count() or 1) < 2:
+            return DEFAULT_SHARD_EXECUTOR
+        return PROCESS_SHARD_EXECUTOR
+    if executor not in SHARD_EXECUTORS:
+        raise ConfigurationError(
+            "unknown shard executor %r; expected one of %s"
+            % (executor, ", ".join(SHARD_EXECUTORS + (AUTO_SHARD_EXECUTOR,)))
+        )
+    return executor
 
 
 def stable_shard_hash(transaction) -> int:
@@ -208,7 +275,9 @@ def allocate_sample_sizes(shard_sizes: Sequence[int], sample_size: int) -> list[
     and the total equals ``min(sample_size, sum(shard_sizes))`` — except
     when the budget is smaller than the number of non-empty shards, where
     the one-point floor wins and the total is the non-empty shard count
-    instead (every shard must hold something to cluster).  Ties in the
+    instead (every shard must hold something to cluster; a
+    ``RuntimeWarning`` reports the overrun so a caller who meant the
+    budget literally can lower ``n_shards`` instead).  Ties in the
     fractional remainders break by shard id, so the allocation is
     deterministic.
 
@@ -261,6 +330,17 @@ def allocate_sample_sizes(shard_sizes: Sequence[int], sample_size: int) -> list[
                 break
         else:
             break
+    allocated = sum(allocation)
+    if allocated > budget:
+        # The one-point floor bound: more non-empty shards than budget.
+        warnings.warn(
+            "sample budget %d is below the %d non-empty shards; allocating "
+            "%d points (one per non-empty shard) instead — every shard "
+            "must contribute at least one sample point to cluster"
+            % (budget, sum(1 for size in shard_sizes if size), allocated),
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return allocation
 
 
@@ -333,6 +413,8 @@ def cluster_shards(
     shard_workers: int | None = None,
     retries: int = 1,
     strict: bool = False,
+    executor: str = DEFAULT_SHARD_EXECUTOR,
+    worker_config: "ShardWorkerConfig | None" = None,
 ) -> ShardRunResults:
     """Cluster every shard sample, optionally in parallel, with retries.
 
@@ -351,9 +433,13 @@ def cluster_shards(
         order — and the same two properties are what make a *retry* of a
         failed shard reproduce the exact result a fault-free run would
         have produced (the shard's sample was drawn before the worker ran).
+        The process executor does not call it (a closure cannot cross a
+        process boundary): per-shard clustering runs in
+        :mod:`repro.core.shard_worker` configured by ``worker_config``.
     shard_workers:
-        Maximum number of worker threads; ``None`` or ``1`` clusters the
-        shards serially.
+        Maximum number of workers; ``None`` or ``1`` clusters the shards
+        serially on the thread executor (the process executor sizes its
+        pool to ``min(shard_workers or n_tasks, n_tasks)``).
     retries:
         How many times a failed shard is re-attempted (same inputs, hence
         same result).  ``0`` disables retrying.
@@ -363,6 +449,17 @@ def cluster_shards(
         degrades gracefully — a warning is emitted, the shard is recorded
         in ``skipped_shards`` and the surviving shards carry the run.  All
         shards failing raises regardless (there is nothing left to merge).
+    executor:
+        One of :data:`SHARD_EXECUTORS` or ``"auto"``
+        (:func:`resolve_shard_executor`).  The process executor publishes
+        each shard's incidence structure once through
+        :class:`repro.data.encoding.SharedIncidence`, spawns workers that
+        attach it read-only, and retries failures in deterministic waves;
+        the labels it produces are bit-identical to the thread executor's.
+    worker_config:
+        :class:`repro.core.shard_worker.ShardWorkerConfig` describing the
+        per-shard clustering; required by (and only consulted for) the
+        process executor.
 
     Returns
     -------
@@ -376,7 +473,10 @@ def cluster_shards(
     (one specific shard) inject a failure at the start of a worker attempt;
     armed with ``times=1`` they make exactly one attempt fail, which is how
     the recovery suite asserts that a retried run is identical to a
-    fault-free one.
+    fault-free one.  Under the process executor the budgets are consumed
+    in the parent (deterministic task order, so ``*N`` semantics do not
+    depend on the process count) and the fault is raised inside the child,
+    exercising the real cross-process error channel.
     """
     tasks = [
         (shard_id, sample, positions)
@@ -389,6 +489,13 @@ def cluster_shards(
         )
     if retries < 0:
         raise ConfigurationError("retries must be non-negative, got %r" % retries)
+    executor = resolve_shard_executor(executor, shard_workers, worker_config)
+    if executor == PROCESS_SHARD_EXECUTOR and worker_config is None:
+        raise ConfigurationError(
+            "the process shard executor requires worker_config (per-shard "
+            "clustering runs in repro.core.shard_worker; cluster_one cannot "
+            "cross a process boundary)"
+        )
 
     def attempt(shard_id, sample, positions) -> ShardClusterResult:
         failpoints.hit("shard.worker")
@@ -412,11 +519,13 @@ def cluster_shards(
                 last_error = error
         return None, last_error
 
-    if shard_workers is None or shard_workers == 1 or len(tasks) <= 1:
+    if executor == PROCESS_SHARD_EXECUTOR and tasks:
+        outcomes = _cluster_shards_process(tasks, worker_config, shard_workers, retries)
+    elif shard_workers is None or shard_workers == 1 or len(tasks) <= 1:
         outcomes = [run_with_retry(task) for task in tasks]
     else:
-        with ThreadPoolExecutor(max_workers=int(shard_workers)) as executor:
-            futures = [executor.submit(run_with_retry, task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=int(shard_workers)) as pool:
+            futures = [pool.submit(run_with_retry, task) for task in tasks]
             outcomes = [future.result() for future in futures]
 
     results = ShardRunResults()
@@ -455,6 +564,107 @@ def cluster_shards(
     return results
 
 
+def _cluster_shards_process(
+    tasks: list[tuple],
+    worker_config: "ShardWorkerConfig",
+    shard_workers: int | None,
+    retries: int,
+) -> list[tuple]:
+    """Run shard tasks on a spawn-based process pool, retrying in waves.
+
+    Each shard's incidence structure is published to shared memory once
+    and stays published across retries; workers attach read-only, so a
+    retry re-clusters the exact same bytes a fault-free attempt would
+    have seen.  Failed tasks are collected after each wave and resubmitted
+    (up to ``retries`` extra waves) on a fresh pool — a crashed worker can
+    break a :class:`~concurrent.futures.ProcessPoolExecutor` for every
+    queued future, and a fresh pool per wave keeps one shard's crash from
+    contaminating another shard's retry.
+
+    Returns ``(result_or_None, error_or_None)`` pairs aligned with
+    ``tasks``, exactly like the thread path's ``run_with_retry``.
+    """
+    from repro.core.shard_worker import ShardTask, cluster_shard_task
+    from repro.data.encoding import SharedIncidence, transactions_to_incidence
+
+    max_workers = len(tasks) if shard_workers is None else min(int(shard_workers), len(tasks))
+    spawn_context = get_context("spawn")
+    results: list[ShardClusterResult | None] = [None] * len(tasks)
+    errors: list[Exception | None] = [None] * len(tasks)
+    published: list[SharedIncidence] = []
+    try:
+        for _, sample, _ in tasks:
+            incidence, _index = transactions_to_incidence(sample)
+            published.append(SharedIncidence.publish(incidence))
+        pending = list(range(len(tasks)))
+        for _wave in range(retries + 1):
+            if not pending:
+                break
+            wave_tasks = []
+            for position in pending:
+                shard_id = tasks[position][0]
+                # Failpoint budgets are consumed here, in deterministic
+                # task order in the parent, and the fault is raised inside
+                # the child: ``*N`` semantics stay process-count
+                # independent while the real cross-process error channel
+                # is exercised.
+                inject = None
+                if failpoints.consume("shard.worker"):
+                    inject = "shard.worker"
+                elif failpoints.consume("shard.worker.%d" % shard_id):
+                    inject = "shard.worker.%d" % shard_id
+                wave_tasks.append(
+                    ShardTask(
+                        shard_id=shard_id,
+                        ref=published[position].ref,
+                        inject=inject,
+                    )
+                )
+            still_pending: list[int] = []
+            with ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=spawn_context
+            ) as pool:
+                futures = [
+                    pool.submit(cluster_shard_task, worker_config, wave_task)
+                    for wave_task in wave_tasks
+                ]
+                for position, future in zip(pending, futures):
+                    try:
+                        compact = future.result()
+                    # Same fault-isolation boundary as the thread path's
+                    # run_with_retry: a worker-process failure (injected
+                    # fault, crash, BrokenProcessPool) is captured for the
+                    # retry/degrade/strict logic in cluster_shards.
+                    # repro-lint: disable=ERR001 reason=shard worker isolation; error is retried then surfaced via skipped_shards or ShardExecutionError
+                    except Exception as error:  # noqa: BLE001 - isolate worker faults
+                        errors[position] = error
+                        still_pending.append(position)
+                        continue
+                    shard_id, sample, positions = tasks[position]
+                    clustered_positions = [
+                        positions[i] for i in compact.participating
+                    ]
+                    results[position] = ShardClusterResult(
+                        shard_id=shard_id,
+                        clustered_sample=[sample[i] for i in compact.participating],
+                        clustered_positions=clustered_positions,
+                        clusters=list(compact.clusters),
+                        isolated_positions=[positions[i] for i in compact.isolated],
+                        pruned_positions=[
+                            clustered_positions[j] for j in compact.pruned_points
+                        ],
+                        timings=compact.timings,
+                    )
+            pending = still_pending
+    finally:
+        for handle in published:
+            handle.close()
+    return [
+        (result, None if result is not None else errors[position])
+        for position, result in enumerate(results)
+    ]
+
+
 @dataclass
 class SummaryMergeResult:
     """Outcome of the summary-merge agglomeration.
@@ -467,17 +677,27 @@ class SummaryMergeResult:
     merge_history:
         The summary merges performed, in execution order; ``left``/``right``
         are meta-point ids (merged summaries get fresh ids past the seed
-        range, exactly like the point-level engines).
+        range, exactly like the point-level engines).  Hierarchical runs
+        record the *final* level's merges (intermediate levels renumber
+        their inputs).
     stopped_early:
         ``True`` when no positively-linked summary pair remained before
-        reaching the requested number of global clusters.
+        reaching the requested number of global clusters.  Hierarchical
+        runs report the final level only: an intermediate group running
+        out of cross links simply forwards more summaries upward, which
+        is not a failure to reach the requested global count.
     representative_indices:
-        Per input summary, the indices (into the pooled sample the caller
-        provided) of the representatives that carried its link mass.
+        Per merged summary of the final level, the indices (into the
+        pooled sample the caller provided) of the representatives that
+        carried its link mass; for a flat (1-level) merge this is per
+        input summary.
     criterion:
-        The paper's criterion function evaluated on the representative
-        link matrix under the final grouping — a comparable quality signal,
-        not the exact full-data criterion.
+        The paper's criterion function evaluated on the final level's
+        representative link matrix under the final grouping — a comparable
+        quality signal, not the exact full-data criterion.
+    levels:
+        Number of flat agglomeration levels executed: ``1`` for the flat
+        merge, more when ``fan_in`` forced a hierarchy.
     """
 
     groups: list[tuple]
@@ -485,6 +705,46 @@ class SummaryMergeResult:
     stopped_early: bool
     representative_indices: list[list[int]]
     criterion: float
+    levels: int = 1
+
+
+#: Sentinel for adaptive representative budgets (see
+#: :func:`adaptive_representative_bounds`).
+ADAPTIVE_REPRESENTATIVES = "auto"
+
+#: Bounds of the adaptive per-summary representative budget.
+ADAPTIVE_REPRESENTATIVES_FLOOR = 8
+ADAPTIVE_REPRESENTATIVES_CEILING = 64
+
+
+def adaptive_representative_bounds(
+    pooled_sample: Sequence[frozenset],
+    summaries: Sequence[Sequence[int]],
+    floor: int = ADAPTIVE_REPRESENTATIVES_FLOOR,
+    ceiling: int = ADAPTIVE_REPRESENTATIVES_CEILING,
+) -> np.ndarray:
+    """Per-summary representative budgets scaled by size and spread.
+
+    A fixed ``representatives_per_cluster`` over-samples tiny uniform
+    clusters and under-samples huge heterogeneous ones.  The adaptive
+    budget for a summary of ``s`` members is
+    ``ceil(sqrt(s) * (1 + cv))`` clipped to ``[floor, ceiling]``, where
+    ``cv`` is the coefficient of variation of the members' transaction
+    lengths: the square root keeps the pooled representative matrix
+    sub-linear in the sample size, and the variance term grants spread-out
+    summaries (whose link mass one small subset estimates poorly) a
+    proportionally larger budget.  Deterministic — no random state.
+    """
+    bounds = np.empty(len(summaries), dtype=np.int64)
+    for position, members in enumerate(summaries):
+        lengths = np.array(
+            [len(pooled_sample[i]) for i in members], dtype=np.float64
+        )
+        mean = float(lengths.mean())
+        spread = float(lengths.std() / mean) if mean > 0.0 else 0.0
+        scaled = np.sqrt(float(len(lengths))) * (1.0 + spread)
+        bounds[position] = int(np.clip(np.ceil(scaled), floor, ceiling))
+    return bounds
 
 
 def merge_shard_summaries(
@@ -494,13 +754,15 @@ def merge_shard_summaries(
     theta: float,
     measure: SetSimilarity | None = None,
     exponent_function: ExponentFunction | None = None,
-    representatives_per_cluster: int = 16,
+    representatives_per_cluster: int | str = 16,
     rng: np.random.Generator | int | None = None,
     neighbor_strategy: str = "auto",
     neighbor_block_size: int | None = None,
     link_strategy: str = "auto",
     include_self_links: bool = True,
     item_index: dict | None = None,
+    fan_in: int | None = None,
+    summary_groups: Sequence[Sequence[int]] | None = None,
 ) -> SummaryMergeResult:
     """Re-cluster per-shard cluster summaries into global clusters.
 
@@ -516,6 +778,17 @@ def merge_shard_summaries(
     until ``n_clusters`` groups remain or no positively-linked pair is
     left; ties break on the first pair in meta-id order, keeping the merge
     deterministic.
+
+    With ``fan_in`` set, the merge is hierarchical: the level-0 units
+    (``summary_groups`` — typically one unit per shard — or one unit per
+    summary) are partitioned into groups of at most ``fan_in`` units, each
+    group's summaries are flat-merged exactly as above, every merged group
+    becomes one unit of the next level, and the last remaining groups are
+    flat-merged into the global clusters.  When the unit count is already
+    at or below ``fan_in`` (or ``fan_in`` is ``None``) the single flat
+    merge runs bit-identically to the flat code path — same representative
+    draws from the same generator — and multi-level runs consume the
+    generator in deterministic level order, so they are seed-reproducible.
 
     Parameters
     ----------
@@ -534,6 +807,9 @@ def merge_shard_summaries(
     representatives_per_cluster:
         Upper bound on the members sampled per summary to estimate link
         counts; summaries at or below the bound contribute every member.
+        The string :data:`ADAPTIVE_REPRESENTATIVES` (``"auto"``) scales
+        the bound per summary by size and member-length variance
+        (:func:`adaptive_representative_bounds`).
     rng:
         Random generator or seed for representative selection.
     neighbor_strategy, neighbor_block_size, link_strategy, include_self_links:
@@ -541,24 +817,41 @@ def merge_shard_summaries(
         :func:`repro.core.links.links_from_neighbors`.
     item_index:
         Optional pre-built item-to-column index covering ``pooled_sample``.
+    fan_in:
+        Maximum number of units one agglomeration level may combine
+        (at least 2), or ``None`` for the flat merge.
+    summary_groups:
+        Level-0 units as a partition of the summary ids (every id exactly
+        once; empty groups are dropped) — typically the summaries of one
+        shard per group.  Defaults to one unit per summary.  Only
+        consulted by hierarchical runs.
 
     Returns
     -------
     SummaryMergeResult
+        ``groups`` always contains *input* summary ids, whatever the
+        hierarchy did internally.
 
     Raises
     ------
     DataValidationError
         When ``summaries`` is empty or a summary has no members.
     ConfigurationError
-        For a non-positive ``representatives_per_cluster`` or
-        ``n_clusters``.
+        For a non-positive ``representatives_per_cluster`` (or an unknown
+        string), a non-positive ``n_clusters``, a ``fan_in`` below 2, or
+        ``summary_groups`` not partitioning the summary ids.
     """
     if not summaries:
         raise DataValidationError("summary merge requires at least one summary")
     if any(not len(members) for members in summaries):
         raise DataValidationError("summaries must be non-empty member lists")
-    if representatives_per_cluster < 1:
+    if isinstance(representatives_per_cluster, str):
+        if representatives_per_cluster != ADAPTIVE_REPRESENTATIVES:
+            raise ConfigurationError(
+                "representatives_per_cluster must be a positive int or %r, "
+                "got %r" % (ADAPTIVE_REPRESENTATIVES, representatives_per_cluster)
+            )
+    elif representatives_per_cluster < 1:
         raise ConfigurationError(
             "representatives_per_cluster must be positive, got %r"
             % representatives_per_cluster
@@ -567,24 +860,183 @@ def merge_shard_summaries(
         raise ConfigurationError(
             "n_clusters must be positive, got %r" % n_clusters
         )
+    if fan_in is not None and int(fan_in) < 2:
+        raise ConfigurationError(
+            "fan_in must be at least 2 (or None for a flat merge), got %r"
+            % fan_in
+        )
     if exponent_function is None:
         exponent_function = default_expected_links_exponent
     generator = np.random.default_rng(rng)
 
+    if summary_groups is None:
+        units: list[list[int]] = [[i] for i in range(len(summaries))]
+    else:
+        units = [list(group) for group in summary_groups if len(group)]
+        flattened = sorted(i for group in units for i in group)
+        if flattened != list(range(len(summaries))):
+            raise ConfigurationError(
+                "summary_groups must partition the summary ids 0..%d "
+                "(every id exactly once)" % (len(summaries) - 1)
+            )
+
+    def flat_merge(level_summaries: Sequence[Sequence[int]]) -> SummaryMergeResult:
+        return _flat_summary_merge(
+            pooled_sample,
+            level_summaries,
+            n_clusters,
+            theta,
+            measure,
+            exponent_function,
+            representatives_per_cluster,
+            generator,
+            neighbor_strategy,
+            neighbor_block_size,
+            link_strategy,
+            include_self_links,
+            item_index,
+        )
+
+    if fan_in is None or len(units) <= int(fan_in):
+        # The 1-level case: one flat merge over the summaries in input
+        # order, consuming the generator exactly as the flat code path
+        # always has (bit-identity pinned by the test suite).
+        return flat_merge(list(summaries))
+    return _hierarchical_summary_merge(summaries, units, int(fan_in), flat_merge)
+
+
+def _hierarchical_summary_merge(
+    summaries: Sequence[Sequence[int]],
+    units: list[list[int]],
+    fan_in: int,
+    flat_merge: Callable[[Sequence[Sequence[int]]], SummaryMergeResult],
+) -> SummaryMergeResult:
+    """Map-reduce reduction over summary units, ``fan_in`` units at a time.
+
+    Each level partitions the current units into runs of ``fan_in``,
+    flat-merges every run's summaries towards the global cluster count
+    (stop-early keeps under-linked groups from over-merging — the extra
+    summaries simply flow upward), and the merged run becomes one unit of
+    the next level.  ``origin`` tracks which *input* summary ids each
+    working summary absorbed, so the final grouping is expressed in input
+    ids whatever the hierarchy renumbered internally.
+    """
+    level_summaries: list[tuple] = [tuple(members) for members in summaries]
+    origin: list[tuple] = [(i,) for i in range(len(summaries))]
+    intermediate_levels = 0
+    while len(units) > fan_in:
+        intermediate_levels += 1
+        next_summaries: list[tuple] = []
+        next_origin: list[tuple] = []
+        next_units: list[list[int]] = []
+        for start in range(0, len(units), fan_in):
+            run = units[start:start + fan_in]
+            if len(run) == 1:
+                # A leftover lone unit passes through unmerged (merging a
+                # unit against itself would burn generator draws and risk
+                # over-merging one shard's clusters in isolation).
+                passthrough = []
+                for summary_id in run[0]:
+                    passthrough.append(len(next_summaries))
+                    next_summaries.append(level_summaries[summary_id])
+                    next_origin.append(origin[summary_id])
+                next_units.append(passthrough)
+                continue
+            member_ids = [summary_id for unit in run for summary_id in unit]
+            run_summaries = [level_summaries[i] for i in member_ids]
+            partial = flat_merge(run_summaries)
+            merged_unit = []
+            for group in partial.groups:
+                merged_unit.append(len(next_summaries))
+                next_summaries.append(
+                    tuple(
+                        sorted(
+                            member
+                            for position in group
+                            for member in run_summaries[position]
+                        )
+                    )
+                )
+                next_origin.append(
+                    tuple(
+                        sorted(
+                            input_id
+                            for position in group
+                            for input_id in origin[member_ids[position]]
+                        )
+                    )
+                )
+            next_units.append(merged_unit)
+        level_summaries, origin, units = next_summaries, next_origin, next_units
+
+    final_ids = [summary_id for unit in units for summary_id in unit]
+    final = flat_merge([level_summaries[i] for i in final_ids])
+    groups = [
+        tuple(
+            sorted(
+                input_id
+                for position in group
+                for input_id in origin[final_ids[position]]
+            )
+        )
+        for group in final.groups
+    ]
+    # Re-sort in input-id space: total sizes are unchanged by the mapping
+    # (origins are disjoint), but the first-id tie-break must be applied
+    # to input ids for the ordering to be well-defined for callers.
+    groups.sort(
+        key=lambda group: (
+            -sum(len(summaries[input_id]) for input_id in group),
+            group[0],
+        )
+    )
+    return SummaryMergeResult(
+        groups=groups,
+        merge_history=final.merge_history,
+        stopped_early=final.stopped_early,
+        representative_indices=final.representative_indices,
+        criterion=final.criterion,
+        levels=intermediate_levels + 1,
+    )
+
+
+def _flat_summary_merge(
+    pooled_sample: Sequence[frozenset],
+    summaries: Sequence[Sequence[int]],
+    n_clusters: int,
+    theta: float,
+    measure: SetSimilarity | None,
+    exponent_function: ExponentFunction,
+    representatives_per_cluster: int | str,
+    generator: np.random.Generator,
+    neighbor_strategy: str,
+    neighbor_block_size: int | None,
+    link_strategy: str,
+    include_self_links: bool,
+    item_index: dict | None,
+) -> SummaryMergeResult:
+    """One flat summary agglomeration (the pre-hierarchy merge, verbatim)."""
     n_summaries = len(summaries)
     sizes = np.array([len(members) for members in summaries], dtype=np.int64)
+
+    if isinstance(representatives_per_cluster, str):
+        bounds = adaptive_representative_bounds(pooled_sample, summaries)
+    else:
+        bounds = np.full(
+            n_summaries, int(representatives_per_cluster), dtype=np.int64
+        )
 
     # Representative selection: every summary keeps its members when small,
     # otherwise a uniform subset; the draw order is summary order, so one
     # generator gives reproducible selections.
     representative_indices: list[list[int]] = []
-    for members in summaries:
+    for members, bound in zip(summaries, bounds):
         members = list(members)
-        if len(members) <= representatives_per_cluster:
+        if len(members) <= bound:
             representative_indices.append(members)
         else:
             chosen = generator.choice(
-                len(members), size=representatives_per_cluster, replace=False
+                len(members), size=int(bound), replace=False
             )
             representative_indices.append([members[i] for i in sorted(chosen)])
 

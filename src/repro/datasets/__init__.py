@@ -15,8 +15,10 @@ unmodified in both situations.
 """
 
 from repro.datasets.market_basket import (
+    InstacartBasketConfig,
     MarketBasketConfig,
     example_transactions,
+    generate_instacart_baskets,
     generate_market_baskets,
 )
 from repro.datasets.mushroom import fetch_mushroom, generate_mushroom_like, load_mushroom
@@ -25,8 +27,10 @@ from repro.datasets.registry import available_datasets, fetch_dataset
 from repro.datasets.votes import fetch_votes, generate_votes_like, load_votes
 
 __all__ = [
+    "InstacartBasketConfig",
     "MarketBasketConfig",
     "example_transactions",
+    "generate_instacart_baskets",
     "generate_market_baskets",
     "fetch_mushroom",
     "generate_mushroom_like",

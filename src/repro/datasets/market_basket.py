@@ -11,6 +11,12 @@ Two things live here:
 * :func:`generate_market_baskets` — a Quest-flavoured synthetic transaction
   generator with per-cluster item pools and configurable overlap, used by
   the scalability benchmarks (paper figure: execution time vs sample size).
+* :func:`generate_instacart_baskets` — a vectorised, Zipfian-popularity
+  generator shaped like the Instacart order data set (right-skewed basket
+  sizes, a heavy-tailed item popularity curve, a handful of staples that
+  appear in baskets of every group).  It scales to hundreds of thousands
+  of baskets and drives the distributed-sharding benchmark
+  (``benchmarks/bench_instacart.py``).
 """
 
 from __future__ import annotations
@@ -153,3 +159,174 @@ def generate_market_baskets(
         labels.append(cluster)
 
     return TransactionDataset(transactions, labels=labels, name="market-basket-synthetic")
+
+
+@dataclass(frozen=True)
+class InstacartBasketConfig:
+    """Parameters of the Instacart-shaped Zipfian basket generator.
+
+    Attributes
+    ----------
+    n_transactions:
+        Number of baskets to generate.
+    n_clusters:
+        Number of latent shopper segments (ground-truth groups).
+    items_per_cluster:
+        Size of each segment's own product pool.
+    shared_items:
+        Number of staple products (milk, bananas, ...) every segment buys.
+    basket_size_mean:
+        Mean of the right-skewed (lognormal) basket-size distribution;
+        sizes are clipped to at least 2.
+    basket_size_sigma:
+        Log-space standard deviation of the basket-size distribution.
+    zipf_exponent:
+        Popularity skew within every pool: the ``r``-th most popular item
+        is drawn with weight ``1 / (r + 1) ** zipf_exponent``.  ``0`` gives
+        uniform popularity; larger values concentrate baskets on each
+        pool's head products like the real order data does.
+    cross_pool_rate:
+        Probability that an item slot is filled from another segment's pool.
+    shared_rate:
+        Probability that an item slot is filled from the staple pool.
+    """
+
+    n_transactions: int = 100_000
+    n_clusters: int = 8
+    items_per_cluster: int = 14
+    shared_items: int = 5
+    basket_size_mean: float = 11.0
+    basket_size_sigma: float = 0.45
+    zipf_exponent: float = 0.7
+    cross_pool_rate: float = 0.04
+    shared_rate: float = 0.10
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on invalid parameter values."""
+        if self.n_transactions < 1:
+            raise ConfigurationError("n_transactions must be positive")
+        if self.n_clusters < 1:
+            raise ConfigurationError("n_clusters must be positive")
+        if self.items_per_cluster < 2:
+            raise ConfigurationError("items_per_cluster must be at least 2")
+        if self.shared_items < 0:
+            raise ConfigurationError("shared_items must be non-negative")
+        if self.basket_size_mean < 2:
+            raise ConfigurationError("basket_size_mean must be at least 2")
+        if self.basket_size_sigma <= 0:
+            raise ConfigurationError("basket_size_sigma must be positive")
+        if self.zipf_exponent < 0:
+            raise ConfigurationError("zipf_exponent must be non-negative")
+        if not 0.0 <= self.cross_pool_rate < 1.0:
+            raise ConfigurationError("cross_pool_rate must lie in [0, 1)")
+        if not 0.0 <= self.shared_rate < 1.0:
+            raise ConfigurationError("shared_rate must lie in [0, 1)")
+        if self.cross_pool_rate + self.shared_rate >= 1.0:
+            raise ConfigurationError(
+                "cross_pool_rate + shared_rate must leave room for own-pool draws"
+            )
+
+
+def _zipf_cumulative(pool_size: int, exponent: float) -> np.ndarray:
+    """Cumulative popularity distribution over ranks ``0 .. pool_size - 1``."""
+    weights = 1.0 / np.power(np.arange(1, pool_size + 1, dtype=np.float64), exponent)
+    cumulative = np.cumsum(weights)
+    return cumulative / cumulative[-1]
+
+
+def generate_instacart_baskets(
+    config: InstacartBasketConfig | None = None,
+    rng: np.random.Generator | int | None = 0,
+    **overrides,
+) -> TransactionDataset:
+    """Generate Instacart-shaped baskets: Zipfian popularity, latent segments.
+
+    Fully vectorised — every random draw happens on arrays covering all item
+    slots at once — so generating several hundred thousand baskets takes on
+    the order of a second.  Items are integer product codes: segment pools
+    occupy ``cluster * items_per_cluster + rank`` and staples follow after
+    the last pool, with rank 0 the most popular product of its pool.
+
+    Basket sizes are *nominal*: each basket draws ``size`` item slots and
+    keeps the distinct items, so heavy Zipf skew can shrink a basket below
+    its nominal size (never below 2 — the two staple-most items of the
+    segment's own pool are added as a floor).
+
+    Parameters
+    ----------
+    config:
+        An :class:`InstacartBasketConfig`; defaults are used when omitted.
+    rng:
+        Random generator or seed.
+    **overrides:
+        Individual config fields to override.
+
+    Returns
+    -------
+    TransactionDataset
+        Baskets with the latent segment index as the ground-truth label.
+    """
+    if config is None:
+        config = InstacartBasketConfig()
+    if overrides:
+        config = InstacartBasketConfig(**{**config.__dict__, **overrides})
+    config.validate()
+    generator = np.random.default_rng(rng)
+
+    n = config.n_transactions
+    clusters = generator.integers(config.n_clusters, size=n)
+    log_mean = float(np.log(config.basket_size_mean)) - config.basket_size_sigma**2 / 2.0
+    sizes = np.maximum(
+        2,
+        np.rint(generator.lognormal(log_mean, config.basket_size_sigma, size=n)).astype(
+            np.int64
+        ),
+    )
+    total_slots = int(sizes.sum())
+    slot_cluster = np.repeat(clusters, sizes)
+
+    pool_cumulative = _zipf_cumulative(config.items_per_cluster, config.zipf_exponent)
+    ranks = np.searchsorted(pool_cumulative, generator.random(total_slots), side="right")
+
+    # Which pool does each slot draw from?  Staples first, then cross-pool
+    # noise, otherwise the basket's own segment pool.
+    rolls = generator.random(total_slots)
+    shared_mask = (rolls < config.shared_rate) & (config.shared_items > 0)
+    cross_mask = (
+        ~shared_mask
+        & (rolls < config.shared_rate + config.cross_pool_rate)
+        & (config.n_clusters > 1)
+    )
+
+    source_cluster = slot_cluster.copy()
+    n_cross = int(cross_mask.sum())
+    if n_cross:
+        offsets = generator.integers(1, config.n_clusters, size=n_cross)
+        source_cluster[cross_mask] = (
+            slot_cluster[cross_mask] + offsets
+        ) % config.n_clusters
+
+    items = source_cluster * config.items_per_cluster + ranks
+    if config.shared_items:
+        shared_cumulative = _zipf_cumulative(config.shared_items, config.zipf_exponent)
+        shared_base = config.n_clusters * config.items_per_cluster
+        n_shared = int(shared_mask.sum())
+        shared_ranks = np.searchsorted(
+            shared_cumulative, generator.random(n_shared), side="right"
+        )
+        items[shared_mask] = shared_base + shared_ranks
+
+    boundaries = np.cumsum(sizes)[:-1]
+    transactions: list[frozenset] = []
+    for basket_id, slot_items in enumerate(np.split(items, boundaries)):
+        basket = frozenset(int(item) for item in slot_items)
+        if len(basket) < 2:
+            own_base = int(clusters[basket_id]) * config.items_per_cluster
+            basket = basket | {own_base, own_base + 1}
+        transactions.append(basket)
+
+    return TransactionDataset(
+        transactions,
+        labels=[int(cluster) for cluster in clusters],
+        name="instacart-synthetic",
+    )

@@ -45,6 +45,13 @@ class InjectedFaultError(RuntimeError):
         self.name = name
         super().__init__("injected fault at failpoint %r" % name)
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) through ``__init__``, which would double-wrap the
+        # message and corrupt ``name`` when the error crosses a process
+        # boundary (shard workers raise it inside the child).
+        return (InjectedFaultError, (self.name,))
+
 
 def activate(name: str, times: int = -1) -> None:
     """Arm ``name``; it fires ``times`` times (-1 = until deactivated)."""

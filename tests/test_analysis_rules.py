@@ -464,6 +464,32 @@ class TestREG001:
         )
         assert report.findings == []
 
+    def test_shard_executor_literal_flagged_outside_registry(self):
+        report = lint(
+            'def f(executor):\n    return executor == "process"\n',
+            module="repro.cli",
+            codes=["REG001"],
+        )
+        assert codes_of(report) == ["REG001"]
+
+    def test_shard_executor_names_allowed_in_sharding(self):
+        report = lint(
+            'def f(executor):\n    return executor in ("thread", "process")\n',
+            module="repro.core.sharding",
+            codes=["REG001"],
+        )
+        assert report.findings == []
+
+    def test_auto_is_a_resolution_request_not_an_executor(self):
+        # "auto" is deliberately unregistered: modules may compare against
+        # it without importing anything from the sharding registry.
+        report = lint(
+            'def f(executor):\n    return executor == "auto"\n',
+            module="repro.cli",
+            codes=["REG001"],
+        )
+        assert report.findings == []
+
     def test_shared_name_allowed_in_either_home(self):
         # "bruteforce" is both a neighbour backend and a labelling strategy;
         # the labelling module may spell it.

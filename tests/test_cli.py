@@ -394,6 +394,17 @@ class TestShardedCli:
         assert arguments.shards == 1
         assert arguments.shard_workers is None
         assert arguments.shard_strategy == "round-robin"
+        assert arguments.shard_executor == "thread"
+        assert arguments.shard_retries == 1
+        assert arguments.merge_fan_in is None
+
+    def test_unknown_shard_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "x.txt", "--format", "transactions",
+                 "--clusters", "2", "--shards", "2",
+                 "--shard-executor", "fiber"]
+            )
 
     def test_unknown_shard_strategy_rejected(self):
         with pytest.raises(SystemExit):
@@ -417,6 +428,97 @@ class TestShardedCli:
         assert "sharded x2" in captured
         assert "Cluster composition" in captured
         assert len(output.read_text().split()) == 240
+
+    def test_mode_line_names_the_executor(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        code = main([
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "90", "--seed", "5", "--shards", "2",
+        ])
+        assert code == 0
+        assert "sharded x2, thread" in capsys.readouterr().out
+
+    def test_process_executor_cli_matches_thread(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        thread_out = tmp_path / "thread.txt"
+        process_out = tmp_path / "process.txt"
+        base = [
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "90", "--seed", "5", "--shards", "2",
+            "--shard-workers", "2",
+        ]
+        assert main(base + ["--shard-executor", "thread",
+                            "--output", str(thread_out)]) == 0
+        assert main(base + ["--shard-executor", "process",
+                            "--output", str(process_out)]) == 0
+        assert "sharded x2, process" in capsys.readouterr().out
+        assert thread_out.read_text() == process_out.read_text()
+
+    def test_degraded_run_warning_reaches_the_summary(self, tmp_path, capsys):
+        # Regression: a shard skipped after exhausted retries used to be
+        # visible only as a Python warning; the CLI summary must say so.
+        from repro.persistence import failpoints
+
+        path = self._basket_path(tmp_path)
+        failpoints.reset()
+        try:
+            with failpoints.failpoint("shard.worker.1", times=2):
+                with pytest.warns(RuntimeWarning):
+                    code = main([
+                        "cluster", str(path), "--format", "transactions",
+                        "--label-prefix", "class=", "--clusters", "3",
+                        "--theta", "0.3", "--sample-size", "90", "--seed", "5",
+                        "--shards", "2",
+                    ])
+        finally:
+            failpoints.reset()
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "WARNING: degraded run - 1 shard(s) skipped" in captured
+        assert ": 1" in captured
+
+    def test_shard_retries_flag_absorbs_repeated_faults(self, tmp_path, capsys):
+        from repro.persistence import failpoints
+
+        path = self._basket_path(tmp_path)
+        clean_out = tmp_path / "clean.txt"
+        retried_out = tmp_path / "retried.txt"
+        base = [
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "90", "--seed", "5", "--shards", "2",
+        ]
+        assert main(base + ["--output", str(clean_out)]) == 0
+        failpoints.reset()
+        try:
+            with failpoints.failpoint("shard.worker.1", times=2):
+                code = main(base + ["--shard-retries", "2",
+                                    "--output", str(retried_out)])
+        finally:
+            failpoints.reset()
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "degraded run" not in captured
+        assert clean_out.read_text() == retried_out.read_text()
+
+    def test_merge_fan_in_flag_forwarded(self, tmp_path, capsys):
+        path = self._basket_path(tmp_path)
+        flat_out = tmp_path / "flat.txt"
+        fanned_out = tmp_path / "fanned.txt"
+        base = [
+            "cluster", str(path), "--format", "transactions",
+            "--label-prefix", "class=", "--clusters", "3", "--theta", "0.3",
+            "--sample-size", "90", "--seed", "5", "--shards", "2",
+        ]
+        assert main(base + ["--output", str(flat_out)]) == 0
+        assert main(base + ["--merge-fan-in", "2",
+                            "--output", str(fanned_out)]) == 0
+        capsys.readouterr()
+        # Two shards at fan-in two is a single merge level: bit-identical
+        # to the flat merge by contract.
+        assert flat_out.read_text() == fanned_out.read_text()
 
     def test_one_shard_cli_matches_stream_cli(self, tmp_path, capsys):
         path = self._basket_path(tmp_path)

@@ -8,17 +8,28 @@ on the tight-cluster benchmark workload where the one-shot pipeline itself
 recovers the latent groups, so an agreement floor is meaningful.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.bench.engine_bench import WORKLOAD
 from repro.core.pipeline import RockPipeline
+from repro.core.shard_worker import ShardWorkerConfig
 from repro.core.sharding import (
+    ADAPTIVE_REPRESENTATIVES,
+    ADAPTIVE_REPRESENTATIVES_CEILING,
+    ADAPTIVE_REPRESENTATIVES_FLOOR,
+    AUTO_SHARD_EXECUTOR,
+    DEFAULT_SHARD_EXECUTOR,
+    PROCESS_SHARD_EXECUTOR,
     SHARD_STRATEGIES,
     ShardPlan,
+    adaptive_representative_bounds,
     allocate_sample_sizes,
     cluster_shards,
     merge_shard_summaries,
+    resolve_shard_executor,
     stable_shard_hash,
 )
 from repro.data.io import write_transactions
@@ -102,8 +113,27 @@ class TestAllocateSampleSizes:
 
     def test_one_point_floor_wins_over_tiny_budget(self):
         # Documented exception: a budget smaller than the number of
-        # non-empty shards yields one point per shard, not the budget.
-        assert allocate_sample_sizes([5, 5, 5], 2) == [1, 1, 1]
+        # non-empty shards yields one point per shard, not the budget —
+        # and the overshoot is reported, not silent.
+        with pytest.warns(RuntimeWarning, match="sample budget 2 is below"):
+            assert allocate_sample_sizes([5, 5, 5], 2) == [1, 1, 1]
+
+    def test_budget_equal_to_shard_count_does_not_warn(self):
+        # Boundary: one point per non-empty shard exactly fits the budget.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert allocate_sample_sizes([5, 5, 5], 3) == [1, 1, 1]
+
+    def test_empty_shards_do_not_count_toward_the_floor(self):
+        # Two non-empty shards, budget two: exactly satisfiable, no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert allocate_sample_sizes([5, 0, 5], 2) == [1, 0, 1]
+
+    def test_overshoot_warning_reports_allocation(self):
+        with pytest.warns(RuntimeWarning, match="allocating 4 points"):
+            allocation = allocate_sample_sizes([9, 9, 9, 9], 3)
+        assert allocation == [1, 1, 1, 1]
 
     def test_invalid_budget_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -370,6 +400,343 @@ class TestRunShardedQuality:
         )
 
 
+class TestResolveShardExecutor:
+    def _worker_config(self):
+        return ShardWorkerConfig.from_pipeline(_pipeline())
+
+    def test_concrete_names_pass_through(self):
+        assert resolve_shard_executor(DEFAULT_SHARD_EXECUTOR) == DEFAULT_SHARD_EXECUTOR
+        assert (
+            resolve_shard_executor(PROCESS_SHARD_EXECUTOR)
+            == PROCESS_SHARD_EXECUTOR
+        )
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown shard executor"):
+            resolve_shard_executor("psychic")
+
+    def test_auto_without_worker_config_is_thread(self):
+        assert (
+            resolve_shard_executor(AUTO_SHARD_EXECUTOR, shard_workers=4)
+            == DEFAULT_SHARD_EXECUTOR
+        )
+
+    def test_auto_single_worker_is_thread(self):
+        resolved = resolve_shard_executor(
+            AUTO_SHARD_EXECUTOR, shard_workers=1, worker_config=self._worker_config()
+        )
+        assert resolved == DEFAULT_SHARD_EXECUTOR
+
+    def test_auto_prefers_process_on_multicore(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        resolved = resolve_shard_executor(
+            AUTO_SHARD_EXECUTOR, shard_workers=4, worker_config=self._worker_config()
+        )
+        assert resolved == PROCESS_SHARD_EXECUTOR
+
+    def test_auto_stays_on_thread_for_single_core(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        resolved = resolve_shard_executor(
+            AUTO_SHARD_EXECUTOR, shard_workers=4, worker_config=self._worker_config()
+        )
+        assert resolved == DEFAULT_SHARD_EXECUTOR
+
+    def test_process_executor_needs_worker_config(self):
+        samples = [([frozenset({1, 2})], [0])]
+        with pytest.raises(ConfigurationError, match="worker_config"):
+            cluster_shards(
+                samples,
+                lambda shard_id, sample, positions: shard_id,
+                executor=PROCESS_SHARD_EXECUTOR,
+            )
+
+
+class TestProcessExecutor:
+    """The process executor is invisible: labels match the thread path."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_failpoints(self):
+        failpoints.reset()
+        yield
+        failpoints.reset()
+
+    @pytest.fixture(scope="class")
+    def thread_run(self, tight_baskets):
+        return _pipeline().run_sharded(
+            tight_baskets.transactions, n_shards=3, shard_workers=2
+        )
+
+    def test_process_matches_thread_bit_identically(
+        self, tight_baskets, thread_run
+    ):
+        processed = _pipeline().run_sharded(
+            tight_baskets.transactions,
+            n_shards=3,
+            shard_workers=2,
+            shard_executor=PROCESS_SHARD_EXECUTOR,
+        )
+        assert np.array_equal(thread_run.labels, processed.labels)
+        assert thread_run.clusters == processed.clusters
+        assert processed.parameters["shard_executor"] == PROCESS_SHARD_EXECUTOR
+
+    def test_process_worker_count_never_changes_labels(
+        self, tight_baskets, thread_run
+    ):
+        processed = _pipeline().run_sharded(
+            tight_baskets.transactions,
+            n_shards=3,
+            shard_workers=3,
+            shard_executor=PROCESS_SHARD_EXECUTOR,
+        )
+        assert np.array_equal(thread_run.labels, processed.labels)
+
+    def test_injected_crash_recovered_identically(self, tight_baskets, thread_run):
+        # One injected worker crash absorbed by the retry wave: labels must
+        # stay bit-identical and no shard may be recorded as skipped.
+        with failpoints.failpoint("shard.worker", times=1):
+            faulted = _pipeline().run_sharded(
+                tight_baskets.transactions,
+                n_shards=3,
+                shard_workers=2,
+                shard_executor=PROCESS_SHARD_EXECUTOR,
+            )
+        assert np.array_equal(thread_run.labels, faulted.labels)
+        assert faulted.parameters["skipped_shards"] == []
+
+    def test_exhausted_worker_degrades_with_warning(self, tight_baskets):
+        # The degraded-run warning must cross the process boundary: the
+        # child raises, the parent warns and records the skip.
+        with failpoints.failpoint("shard.worker.1", times=2):
+            with pytest.warns(RuntimeWarning, match="shard 1"):
+                result = _pipeline().run_sharded(
+                    tight_baskets.transactions,
+                    n_shards=3,
+                    shard_workers=2,
+                    shard_executor=PROCESS_SHARD_EXECUTOR,
+                )
+        assert result.parameters["skipped_shards"] == [1]
+        assert len(result.labels) == 800
+
+
+class TestShardRetries:
+    """run_sharded exposes the retry budget (regression: it used to be
+    hard-wired, so a shard failing more than one attempt could never
+    succeed even though cluster_shards supported deeper budgets)."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_failpoints(self):
+        failpoints.reset()
+        yield
+        failpoints.reset()
+
+    def test_shard_surviving_two_failures_is_bit_identical(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        clean = _pipeline().run_sharded(transactions, n_shards=3)
+        with failpoints.failpoint("shard.worker.1", times=2):
+            retried = _pipeline().run_sharded(
+                transactions, n_shards=3, shard_retries=2
+            )
+        assert np.array_equal(clean.labels, retried.labels)
+        assert clean.clusters == retried.clusters
+        assert retried.parameters["skipped_shards"] == []
+        assert retried.parameters["shard_retries"] == 2
+
+    def test_default_budget_still_degrades_on_double_failure(self, tight_baskets):
+        with failpoints.failpoint("shard.worker.1", times=2):
+            with pytest.warns(RuntimeWarning, match="shard 1"):
+                result = _pipeline().run_sharded(
+                    tight_baskets.transactions, n_shards=3
+                )
+        assert result.parameters["skipped_shards"] == [1]
+
+    def test_retries_zero_gives_single_attempt(self, tight_baskets):
+        with failpoints.failpoint("shard.worker.2", times=1):
+            with pytest.warns(RuntimeWarning, match="shard 2"):
+                result = _pipeline().run_sharded(
+                    tight_baskets.transactions, n_shards=3, shard_retries=0
+                )
+        assert result.parameters["skipped_shards"] == [2]
+
+    def test_negative_retries_rejected(self, tight_baskets):
+        with pytest.raises(ConfigurationError, match="shard_retries"):
+            _pipeline().run_sharded(
+                tight_baskets.transactions, n_shards=2, shard_retries=-1
+            )
+
+    def test_process_path_honours_deeper_budget(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        clean = _pipeline().run_sharded(transactions, n_shards=3)
+        with failpoints.failpoint("shard.worker.1", times=2):
+            retried = _pipeline().run_sharded(
+                transactions,
+                n_shards=3,
+                shard_workers=2,
+                shard_executor=PROCESS_SHARD_EXECUTOR,
+                shard_retries=2,
+            )
+        assert np.array_equal(clean.labels, retried.labels)
+        assert retried.parameters["skipped_shards"] == []
+
+
+def _two_group_pool():
+    group_a = [frozenset({1, 2, 3}), frozenset({1, 2, 4}), frozenset({1, 3, 4})]
+    group_b = [frozenset({7, 8, 9}), frozenset({7, 8, 10}), frozenset({7, 9, 10})]
+    pooled = (group_a + group_b) * 4
+    summaries = [tuple(range(start, start + 3)) for start in range(0, 24, 3)]
+    return pooled, summaries
+
+
+class TestHierarchicalMerge:
+    """fan_in merging: one level is bit-identical to the flat merge,
+    deeper hierarchies are seed-reproducible."""
+
+    def test_single_level_bit_identical_to_flat(self):
+        pooled, summaries = _two_group_pool()
+        flat = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=0
+        )
+        fanned = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=0,
+            fan_in=len(summaries),
+        )
+        assert fanned.groups == flat.groups
+        assert fanned.merge_history == flat.merge_history
+        assert fanned.stopped_early == flat.stopped_early
+        assert flat.levels == 1
+        assert fanned.levels == 1
+
+    def test_hierarchy_recovers_the_latent_groups(self):
+        pooled, summaries = _two_group_pool()
+        flat = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=0
+        )
+        for fan_in in (2, 4):
+            merged = merge_shard_summaries(
+                pooled, summaries, n_clusters=2, theta=0.4, rng=0, fan_in=fan_in
+            )
+            assert merged.levels > 1
+            assert sorted(merged.groups) == sorted(flat.groups)
+
+    def test_hierarchy_is_seed_reproducible(self):
+        pooled, summaries = _two_group_pool()
+        first = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=3, fan_in=2
+        )
+        second = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=3, fan_in=2
+        )
+        assert first.groups == second.groups
+        assert first.levels == second.levels
+
+    def test_level_count_follows_fan_in(self):
+        pooled, summaries = _two_group_pool()
+        merged = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=0, fan_in=2
+        )
+        # Eight summaries at fan-in two: 8 -> 4 -> 2 units, then the final
+        # flat merge over the survivors.
+        assert merged.levels == 3
+
+    def test_group_ids_refer_to_original_summaries(self):
+        pooled, summaries = _two_group_pool()
+        merged = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=0, fan_in=2
+        )
+        flattened = sorted(i for group in merged.groups for i in group)
+        assert flattened == list(range(len(summaries)))
+
+    def test_invalid_fan_in_rejected(self):
+        pooled, summaries = _two_group_pool()
+        with pytest.raises(ConfigurationError, match="fan_in"):
+            merge_shard_summaries(
+                pooled, summaries, n_clusters=2, theta=0.4, rng=0, fan_in=1
+            )
+
+    def test_summary_groups_must_partition(self):
+        pooled, summaries = _two_group_pool()
+        with pytest.raises(ConfigurationError, match="summary_groups"):
+            merge_shard_summaries(
+                pooled, summaries, n_clusters=2, theta=0.4, rng=0,
+                fan_in=2, summary_groups=[[0, 1], [1, 2]],
+            )
+        with pytest.raises(ConfigurationError, match="summary_groups"):
+            merge_shard_summaries(
+                pooled, summaries, n_clusters=2, theta=0.4, rng=0,
+                fan_in=2, summary_groups=[[0, 1]],
+            )
+
+    def test_run_sharded_fan_in_at_least_shards_is_flat(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        flat = _pipeline().run_sharded(transactions, n_shards=4)
+        fanned = _pipeline().run_sharded(
+            transactions, n_shards=4, merge_fan_in=4
+        )
+        assert np.array_equal(flat.labels, fanned.labels)
+        assert flat.clusters == fanned.clusters
+        assert fanned.parameters["merge_fan_in"] == 4
+        assert fanned.parameters["merge_levels"] == 1
+
+    def test_run_sharded_hierarchy_reproducible_and_sound(self, tight_baskets):
+        transactions = tight_baskets.transactions
+        first = _pipeline().run_sharded(
+            transactions, n_shards=4, merge_fan_in=2
+        )
+        second = _pipeline().run_sharded(
+            transactions, n_shards=4, merge_fan_in=2
+        )
+        assert np.array_equal(first.labels, second.labels)
+        assert first.parameters["merge_levels"] >= 1
+        flat = _pipeline().run_sharded(transactions, n_shards=4)
+        assert adjusted_rand_index(first.labels, flat.labels) >= 0.6
+
+
+class TestAdaptiveRepresentatives:
+    def test_bounds_clip_to_floor_and_ceiling(self):
+        pooled = [frozenset({i, i + 1}) for i in range(0, 12000, 2)]
+        tiny = tuple(range(2))
+        huge = tuple(range(len(pooled)))
+        bounds = adaptive_representative_bounds(pooled, [tiny, huge])
+        assert bounds[0] == ADAPTIVE_REPRESENTATIVES_FLOOR
+        assert bounds[1] == ADAPTIVE_REPRESENTATIVES_CEILING
+
+    def test_spread_raises_the_budget(self):
+        uniform = [frozenset(range(5)) for _ in range(200)]
+        mixed = [
+            frozenset(range(1 + (i % 13))) for i in range(200)
+        ]
+        summary = tuple(range(200))
+        uniform_bound = adaptive_representative_bounds(uniform, [summary])[0]
+        mixed_bound = adaptive_representative_bounds(mixed, [summary])[0]
+        assert mixed_bound > uniform_bound
+
+    def test_merge_accepts_auto_budget(self):
+        pooled, summaries = _two_group_pool()
+        merged = merge_shard_summaries(
+            pooled, summaries, n_clusters=2, theta=0.4, rng=0,
+            representatives_per_cluster=ADAPTIVE_REPRESENTATIVES,
+        )
+        assert sorted(i for g in merged.groups for i in g) == list(range(8))
+
+    def test_unknown_string_budget_rejected(self):
+        pooled, summaries = _two_group_pool()
+        with pytest.raises(ConfigurationError, match="representatives"):
+            merge_shard_summaries(
+                pooled, summaries, n_clusters=2, theta=0.4, rng=0,
+                representatives_per_cluster="psychic",
+            )
+
+    def test_run_sharded_accepts_auto(self, tight_baskets):
+        result = _pipeline().run_sharded(
+            tight_baskets.transactions,
+            n_shards=3,
+            representatives_per_cluster=ADAPTIVE_REPRESENTATIVES,
+        )
+        assert result.parameters["representatives_per_cluster"] == (
+            ADAPTIVE_REPRESENTATIVES
+        )
+        assert len(result.labels) == 800
+
+
 class TestRunShardedValidation:
     def test_invalid_shard_count_rejected(self, tight_baskets):
         with pytest.raises(ConfigurationError):
@@ -392,3 +759,18 @@ class TestRunShardedValidation:
             _pipeline().run_sharded(
                 tight_baskets.transactions, n_shards=2, shard_workers=0
             )
+
+    def test_unknown_executor_rejected(self, tight_baskets):
+        with pytest.raises(ConfigurationError, match="unknown shard executor"):
+            _pipeline().run_sharded(
+                tight_baskets.transactions, n_shards=2, shard_executor="psychic"
+            )
+
+    def test_auto_executor_resolved_and_recorded(self, tight_baskets):
+        result = _pipeline().run_sharded(
+            tight_baskets.transactions, n_shards=2,
+            shard_executor=AUTO_SHARD_EXECUTOR,
+        )
+        assert result.parameters["shard_executor"] in (
+            DEFAULT_SHARD_EXECUTOR, PROCESS_SHARD_EXECUTOR
+        )

@@ -6,8 +6,10 @@ import pytest
 
 from repro.data.dataset import CategoricalDataset, TransactionDataset
 from repro.datasets.market_basket import (
+    InstacartBasketConfig,
     MarketBasketConfig,
     example_transactions,
+    generate_instacart_baskets,
     generate_market_baskets,
 )
 from repro.datasets.mushroom import (
@@ -202,6 +204,72 @@ class TestMarketBasket:
             generate_market_baskets(rng=0, n_transactions=0)
         with pytest.raises(ConfigurationError):
             MarketBasketConfig(basket_size_mean=1.0).validate()
+
+
+class TestInstacartBaskets:
+    def test_shape_labels_and_minimum_size(self):
+        baskets = generate_instacart_baskets(rng=0, n_transactions=500, n_clusters=3)
+        assert baskets.n_transactions == 500
+        assert set(baskets.labels) <= {0, 1, 2}
+        assert min(len(t) for t in baskets) >= 2
+
+    def test_deterministic_for_a_seed(self):
+        first = generate_instacart_baskets(rng=11, n_transactions=400)
+        second = generate_instacart_baskets(rng=11, n_transactions=400)
+        assert first.transactions == second.transactions
+        assert list(first.labels) == list(second.labels)
+        third = generate_instacart_baskets(rng=12, n_transactions=400)
+        assert first.transactions != third.transactions
+
+    def test_item_popularity_is_zipfian(self):
+        # Rank-0 products must dominate their pools: the most popular item
+        # should appear far more often than the median item.
+        from collections import Counter
+
+        baskets = generate_instacart_baskets(rng=0, n_transactions=2000)
+        counts = sorted(
+            Counter(i for t in baskets.transactions for i in t).values(),
+            reverse=True,
+        )
+        assert counts[0] >= 4 * counts[len(counts) // 2]
+
+    def test_segment_pools_disjoint_without_noise(self):
+        baskets = generate_instacart_baskets(
+            rng=0, n_transactions=400, n_clusters=2,
+            cross_pool_rate=0.0, shared_rate=0.0, shared_items=0,
+        )
+        items_by_label: dict = {0: set(), 1: set()}
+        for transaction, label in zip(baskets.transactions, baskets.labels):
+            items_by_label[label] |= transaction
+        assert not (items_by_label[0] & items_by_label[1])
+
+    def test_staples_cross_segments(self):
+        config = InstacartBasketConfig(n_transactions=2000)
+        baskets = generate_instacart_baskets(config, rng=0)
+        shared_base = config.n_clusters * config.items_per_cluster
+        segments_with_staples = {
+            label
+            for transaction, label in zip(baskets.transactions, baskets.labels)
+            if any(item >= shared_base for item in transaction)
+        }
+        assert segments_with_staples == set(range(config.n_clusters))
+
+    def test_config_override_merge(self):
+        baskets = generate_instacart_baskets(
+            InstacartBasketConfig(n_transactions=60), rng=0, n_clusters=2
+        )
+        assert baskets.n_transactions == 60
+        assert set(baskets.labels) <= {0, 1}
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_instacart_baskets(rng=0, n_transactions=0)
+        with pytest.raises(ConfigurationError):
+            InstacartBasketConfig(zipf_exponent=-0.5).validate()
+        with pytest.raises(ConfigurationError):
+            InstacartBasketConfig(basket_size_sigma=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            InstacartBasketConfig(shared_rate=0.6, cross_pool_rate=0.5).validate()
 
 
 class TestMutualFunds:
